@@ -1,0 +1,20 @@
+"""Shared benchmark utilities."""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    Simulation-backed experiments are deterministic and slow; timing
+    them once keeps the harness honest without multiplying runtime.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

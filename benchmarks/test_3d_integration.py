@@ -1,0 +1,128 @@
+"""3D — stacked-NoC integration (Section 4.4, Fig. 3).
+
+Claims regenerated:
+  * vertical-link serialization minimizes TSV count and improves the
+    yield of vertical connections at a bounded latency cost;
+  * stacking shortens route-weighted wire length versus the flattened
+    2D equivalent (the "ideal fit" argument);
+  * routing-table flexibility enables 2D-only test mode and recovery
+    from vertical-link failures ("obviate for vertical connection
+    failures").
+"""
+
+import pytest
+
+from repro.apps import synthetic_soc
+from repro.core import CommunicationSpec, TopologySynthesizer
+from repro.three_d import (
+    Stack3dSynthesizer,
+    TsvTechnology,
+    design_vertical_link,
+    mesh3d,
+    reroute_around_failures,
+    routes_2d_only,
+    run_link_test,
+    total_wire_mm,
+    xyz_routing,
+)
+from repro.topology import check_routing_deadlock, mesh, xy_routing
+
+
+def test_3d_tsv_serialization_sweep(once):
+    def harness():
+        tech = TsvTechnology(yield_per_tsv=0.999)
+        return [
+            design_vertical_link(32, f, tech) for f in (1, 2, 4, 8, 16, 32)
+        ]
+
+    designs = once(harness)
+    print("\n3D: vertical-link serialization sweep (32-bit, y=0.999/TSV)")
+    print(f"{'factor':>7} {'TSVs':>5} {'area mm2':>9} {'yield':>7} {'+lat':>5}")
+    for d in designs:
+        print(
+            f"{d.serialization:>7} {d.tsv_count:>5} {d.area_mm2:>9.4f} "
+            f"{d.link_yield:>7.4f} {d.extra_latency_cycles:>5}"
+        )
+    tsvs = [d.tsv_count for d in designs]
+    yields = [d.link_yield for d in designs]
+    lats = [d.extra_latency_cycles for d in designs]
+    assert tsvs == sorted(tsvs, reverse=True)
+    assert yields == sorted(yields)
+    assert lats == sorted(lats)
+    # Serializing 32 -> 4 phits saves ~2/3 of the vias.
+    assert designs[2].tsv_count < designs[0].tsv_count / 2
+
+
+def test_3d_wire_length_vs_2d(once):
+    """Same 16 cores: a 2x2x4 stack vs a flat 4x4 mesh."""
+
+    def harness():
+        flat = mesh(4, 4, tile_pitch_mm=1.5)
+        stacked = mesh3d(2, 2, 4, tile_pitch_mm=1.5)
+        return {
+            "flat_wire_mm": total_wire_mm(flat, xy_routing(flat)),
+            "stacked_wire_mm": total_wire_mm(stacked, xyz_routing(stacked)),
+        }
+
+    result = once(harness)
+    print(
+        f"\n3Db: route-weighted wire: flat {result['flat_wire_mm']:.0f} mm vs "
+        f"stacked {result['stacked_wire_mm']:.0f} mm"
+    )
+    assert result["stacked_wire_mm"] < 0.75 * result["flat_wire_mm"]
+
+
+def test_3d_synthesis_on_soc(once):
+    """SunFloor-3D-lite on a synthetic SoC, vs the 2D custom design."""
+
+    def harness():
+        spec = CommunicationSpec.from_workload(
+            synthetic_soc(14, num_memories=2, seed=9)
+        )
+        names = spec.core_names
+        layer_of = {c: (0 if i < len(names) // 2 else 1)
+                    for i, c in enumerate(names)}
+        result3d = Stack3dSynthesizer(spec, layer_of).synthesize(
+            switches_per_layer=2, frequency_hz=600e6
+        )
+        result2d = TopologySynthesizer(spec).synthesize(4, frequency_hz=600e6)
+        return spec, result3d, result2d
+
+    spec, r3, r2 = once(harness)
+    d3, d2 = r3.design, r2.design
+    print(
+        f"\n3Dc: {spec.name}: 3D {d3.power_mw:.1f} mW / "
+        f"{d3.avg_latency_cycles:.1f} cy, yield {r3.stack_yield:.4f}, "
+        f"TSV area {r3.tsv_area_mm2:.4f} mm2 | 2D {d2.power_mw:.1f} mW / "
+        f"{d2.avg_latency_cycles:.1f} cy"
+    )
+    assert check_routing_deadlock(d3.topology, d3.routing_table)
+    assert d3.feasible
+    assert 0.99 < r3.stack_yield <= 1.0
+    # TSV area is a rounding error next to the NoC itself.
+    assert r3.tsv_area_mm2 < 0.05 * d3.area_mm2
+
+
+def test_3d_test_mode_and_failure_recovery(once):
+    def harness():
+        m = mesh3d(3, 3, 2)
+        full = xyz_routing(m)
+        only2d = routes_2d_only(m, full)
+        report = run_link_test(m, forced_failures=[("s_1_1_0", "s_1_1_1")])
+        degraded = reroute_around_failures(m, report.failed)
+        return m, full, only2d, report, degraded
+
+    m, full, only2d, report, degraded = once(harness)
+    print(
+        f"\n3Dd: 2D-test-mode keeps {len(only2d)}/{len(full)} routes; "
+        f"after {len(report.failed)} failed vertical links the stack "
+        f"re-routes all {len(degraded)} pairs deadlock-free"
+    )
+    # Test mode: all intra-layer pairs remain routable.
+    per_layer_pairs = 2 * (9 * 8)
+    assert len(only2d) == per_layer_pairs
+    # Recovery: full connectivity, failures avoided, still deadlock-free.
+    assert len(degraded) == len(full)
+    dead = set(report.failed)
+    assert all(l not in dead for r in degraded for l in r.links())
+    assert check_routing_deadlock(m, degraded)

@@ -1,0 +1,118 @@
+"""FAUST — the quasi-mesh receiver matrix at 10.6 Gb/s (Section 5).
+
+"The implemented topology is a quasi-mesh as on some routers connect
+more than one core.  In the receiver matrix — which consists of only 10
+cores — the aggregate required bandwidth is 10.6 Gbits/s to maintain
+real time communication."
+
+Regenerated experiment: the ten receiver-matrix cores' real-time flows
+(aggregate exactly 10.6 Gb/s at the DSPIN-class clock) are admitted as
+guaranteed-throughput connections and sustained under best-effort
+interference from the rest of the chip.
+"""
+
+import pytest
+
+from repro.arch import MessageClass
+from repro.chips import faust
+from repro.qos import ConnectionManager, GtConnection
+from repro.sim import CompositeTraffic, FlowGraphTraffic, NocSimulator, SyntheticTraffic
+
+CYCLES = 2500
+WARMUP = 400
+NUM_SLOTS = 32
+
+
+def _admit(chip, flows):
+    mgr = ConnectionManager(chip.topology, chip.routing_table, num_slots=NUM_SLOTS)
+    for flow in flows:
+        mgr.admit(
+            GtConnection(
+                flow.connection_id,
+                flow.source,
+                flow.destination,
+                bandwidth_fraction=min(1.0, flow.flits_per_cycle * 1.3),
+                packet_size_flits=1,
+            )
+        )
+    return mgr
+
+
+def test_faust_receiver_matrix_guarantees(once):
+    def harness():
+        chip = faust.build()
+        flows = faust.receiver_matrix_flows(chip)
+        aggregate = faust.aggregate_rt_bandwidth_bps(flows, chip)
+        mgr = _admit(chip, flows)
+        rows = []
+        for be_rate in (0.0, 0.20):
+            sim = NocSimulator(
+                chip.topology, chip.routing_table, chip.params,
+                warmup_cycles=WARMUP,
+            )
+            mgr.install(sim)
+            gt = FlowGraphTraffic(flows)
+            be = SyntheticTraffic("uniform", be_rate, 4, seed=23)
+            sim.run(CYCLES, CompositeTraffic([gt, be]))
+            gt_lat = sim.stats.latency(MessageClass.GUARANTEED)
+            gt_flits = sum(
+                r.size_flits
+                for r in sim.stats.records
+                if r.message_class is MessageClass.GUARANTEED
+            )
+            delivered_bps = (
+                gt_flits / (CYCLES - WARMUP) * faust.FLIT_WIDTH * chip.frequency_hz
+            )
+            rows.append(
+                {
+                    "be_rate": be_rate,
+                    "gt_mean_latency": gt_lat.mean,
+                    "gt_max_latency": gt_lat.maximum,
+                    "gt_delivered_gbps": delivered_bps / 1e9,
+                }
+            )
+        return aggregate, rows
+
+    aggregate, rows = once(harness)
+    print(f"\nFAUST: receiver matrix, required aggregate {aggregate / 1e9:.2f} Gb/s")
+    for r in rows:
+        print(
+            f"  BE rate {r['be_rate']}: GT delivered "
+            f"{r['gt_delivered_gbps']:.2f} Gb/s, latency mean "
+            f"{r['gt_mean_latency']:.1f} max {r['gt_max_latency']}"
+        )
+    # The spec'd aggregate is the published 10.6 Gb/s.
+    assert aggregate == pytest.approx(10.6e9, rel=0.01)
+    # GT sustains the real-time aggregate with and without BE noise.
+    for r in rows:
+        assert r["gt_delivered_gbps"] == pytest.approx(10.6, rel=0.07)
+    # Latency is load-independent (the hard-QoS property).
+    assert rows[1]["gt_mean_latency"] == pytest.approx(
+        rows[0]["gt_mean_latency"], abs=2.0
+    )
+    assert rows[1]["gt_max_latency"] <= rows[0]["gt_max_latency"] + NUM_SLOTS
+
+
+def test_faust_admission_is_capacity_checked(once):
+    """Requests beyond the slot table are refused, not silently degraded."""
+
+    def harness():
+        chip = faust.build()
+        mgr = ConnectionManager(chip.topology, chip.routing_table, num_slots=4)
+        cores = chip.receiver_matrix
+        admitted = 0
+        from repro.qos import AdmissionError
+
+        try:
+            for i in range(4):
+                mgr.admit(
+                    GtConnection(100 + i, cores[0], cores[-1], 0.5)
+                )
+                admitted += 1
+        except AdmissionError:
+            return admitted
+        return admitted
+
+    admitted = once(harness)
+    print(f"\nFAUSTb: admission stopped after {admitted} half-capacity connections")
+    assert admitted == 2  # two 50% connections fill the shared links

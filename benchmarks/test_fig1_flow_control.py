@@ -1,0 +1,112 @@
+"""FIG1 — xpipes building blocks: the ACK/NACK vs ON/OFF trade-off.
+
+Section 3 / Fig. 1: "If ACK/NACK flow control is used then output
+buffers are required, as flits have to be retransmitted until the
+downstream router has sufficient capacity to store and accept them.  If
+ON/OFF flow control is used, backpressure from the downstream switch
+stalls the transmission ... In this case, output buffers can be
+omitted."
+
+Regenerated series: load sweep on a 4x4 mesh under all three flow
+controls (credit reference, ON/OFF, ACK/NACK) — mean latency, accepted
+throughput, retransmissions, and the buffer-cost accounting.
+"""
+
+import pytest
+
+from repro.arch import FlowControlKind, NocParameters
+from repro.physical.switch_model import default_switch_model
+from repro.sim import NocSimulator, SyntheticTraffic
+from repro.topology import mesh, xy_routing
+
+RATES = (0.10, 0.25, 0.40)
+CYCLES = 1800
+WARMUP = 300
+CORES = 16
+
+
+def _params(kind: FlowControlKind) -> NocParameters:
+    if kind is FlowControlKind.ACK_NACK:
+        return NocParameters(
+            flow_control=kind, output_buffer_depth=4, ack_nack_window=4
+        )
+    return NocParameters(flow_control=kind, buffer_depth=4)
+
+
+def _run_sweep():
+    topo = mesh(4, 4)
+    table = xy_routing(topo)
+    rows = []
+    for kind in (FlowControlKind.CREDIT, FlowControlKind.ON_OFF,
+                 FlowControlKind.ACK_NACK):
+        for rate in RATES:
+            sim = NocSimulator(topo, table, _params(kind), warmup_cycles=WARMUP)
+            traffic = SyntheticTraffic("uniform", rate, 4, seed=11)
+            sim.run(CYCLES, traffic)
+            latency = sim.stats.latency().mean
+            throughput = sim.stats.throughput_flits_per_cycle(
+                CYCLES - WARMUP
+            ) / CORES
+            rows.append(
+                {
+                    "flow_control": kind.value,
+                    "offered": rate,
+                    "latency_cycles": round(latency, 1),
+                    "accepted": round(throughput, 3),
+                    "retransmissions": sim.total_retransmissions(),
+                }
+            )
+    return rows
+
+
+def test_fig1_flow_control_tradeoff(once):
+    rows = once(_run_sweep)
+    print("\nFIG1: flow-control load sweep (4x4 mesh, uniform)")
+    print(f"{'fc':>9} {'offered':>8} {'latency':>8} {'accepted':>9} {'retx':>6}")
+    for r in rows:
+        print(
+            f"{r['flow_control']:>9} {r['offered']:>8} {r['latency_cycles']:>8} "
+            f"{r['accepted']:>9} {r['retransmissions']:>6}"
+        )
+    by = {(r["flow_control"], r["offered"]): r for r in rows}
+
+    # At low load all three are equivalent (same zero-load path latency).
+    low = [by[(k, 0.10)]["latency_cycles"] for k in ("credit", "on_off", "ack_nack")]
+    assert max(low) - min(low) < 2.0
+
+    # ON/OFF's conservative (delayed) backpressure costs latency at high
+    # load relative to exact credits.
+    assert (
+        by[("on_off", 0.40)]["latency_cycles"]
+        >= by[("credit", 0.40)]["latency_cycles"]
+    )
+
+    # ACK/NACK pays link cycles in retransmissions under congestion;
+    # credits/ON-OFF never retransmit.
+    assert by[("ack_nack", 0.40)]["retransmissions"] > 0
+    assert by[("credit", 0.40)]["retransmissions"] == 0
+
+    # Accepted throughput tracks offered load below saturation for the
+    # buffered schemes.
+    for kind in ("credit", "on_off"):
+        assert by[(kind, 0.25)]["accepted"] == pytest.approx(0.25, rel=0.15)
+
+
+def test_fig1_acknack_requires_output_buffers(once):
+    """The architectural consequence: ACK/NACK without output buffers is
+    rejected at instantiation; ON/OFF omits them; the area cost of the
+    mandatory output buffers is visible in the switch model."""
+
+    def harness():
+        model = default_switch_model()
+        onoff_area = model.estimate(5, 5, output_buffer_depth=0).area_mm2
+        acknack_area = model.estimate(5, 5, output_buffer_depth=4).area_mm2
+        return onoff_area, acknack_area
+
+    onoff_area, acknack_area = once(harness)
+    with pytest.raises(ValueError, match="output buffers"):
+        NocParameters(flow_control=FlowControlKind.ACK_NACK, output_buffer_depth=0)
+    NocParameters(flow_control=FlowControlKind.ON_OFF, output_buffer_depth=0)
+    overhead = acknack_area / onoff_area - 1.0
+    print(f"\nFIG1b: ACK/NACK output-buffer area overhead: {overhead:.1%}")
+    assert acknack_area > onoff_area

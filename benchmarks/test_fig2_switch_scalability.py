@@ -1,0 +1,92 @@
+"""FIG2 — 65 nm 32-bit switch scalability (Fig. 2 of the paper).
+
+Regenerates the figure's series: for each radix, the achievable
+standard-cell row utilization and the feasibility class, plus the
+area/frequency trends behind them, and Section 4.2's crossbar
+comparison (bus-width crossbars capped at ~8x8, NoC-width switches an
+order larger).
+
+Paper bands reproduced:
+  * up to 10x10        -> >= 85% row utilization  (EFFICIENT)
+  * 14x14 .. 22x22     -> 70% .. 50%              (DEGRADED)
+  * 26x26 and above    -> DRC violations at 50%   (INFEASIBLE)
+"""
+
+from repro.physical.routability import RoutabilityClass, RoutabilityModel
+from repro.physical.switch_model import SwitchPhysicalModel
+from repro.physical.technology import TechNode, TechnologyLibrary
+
+RADICES = (2, 4, 6, 8, 10, 12, 14, 18, 22, 26, 30, 34)
+
+
+def _sweep():
+    tech = TechnologyLibrary.for_node(TechNode.NM_65)
+    router = RoutabilityModel(tech)
+    switches = SwitchPhysicalModel(tech)
+    rows = []
+    for radix in RADICES:
+        verdict = router.classify(radix, port_width=32)
+        est = switches.estimate(radix, radix, flit_width=32)
+        rows.append(
+            {
+                "radix": radix,
+                "row_utilization": round(verdict.achievable_row_utilization, 3),
+                "class": verdict.classification.value,
+                "area_mm2": round(est.area_mm2, 4),
+                "fmax_mhz": round(est.max_frequency_hz / 1e6),
+            }
+        )
+    return rows
+
+
+def test_fig2_switch_scalability(once):
+    rows = once(_sweep)
+    print("\nFIG2: 65nm 32-bit switch scalability")
+    print(f"{'radix':>6} {'util':>6} {'class':>12} {'area mm2':>9} {'fmax MHz':>9}")
+    for r in rows:
+        print(
+            f"{r['radix']:>6} {r['row_utilization']:>6} {r['class']:>12} "
+            f"{r['area_mm2']:>9} {r['fmax_mhz']:>9}"
+        )
+    by_radix = {r["radix"]: r for r in rows}
+
+    # Band 1: up to 10x10 efficient at >= 85%.
+    for radix in (2, 4, 6, 8, 10):
+        assert by_radix[radix]["class"] == RoutabilityClass.EFFICIENT.value
+        assert by_radix[radix]["row_utilization"] >= 0.85
+    # Band 2: 14..22 degraded, utilization descending from ~.70+ to ~.50.
+    for radix in (14, 18, 22):
+        assert by_radix[radix]["class"] == RoutabilityClass.DEGRADED.value
+    assert by_radix[14]["row_utilization"] > 0.70
+    assert 0.50 <= by_radix[22]["row_utilization"] < 0.60
+    # Band 3: 26+ infeasible.
+    for radix in (26, 30, 34):
+        assert by_radix[radix]["class"] == RoutabilityClass.DRC_INFEASIBLE.value
+    # Area grows and frequency falls monotonically with radix.
+    areas = [r["area_mm2"] for r in rows]
+    fmaxes = [r["fmax_mhz"] for r in rows]
+    assert areas == sorted(areas)
+    assert fmaxes == sorted(fmaxes, reverse=True)
+
+
+def test_fig2_crossbar_vs_noc_switch(once):
+    """Section 4.2: 100-200-wire crossbars cap near 8x8; 32-bit NoC
+    switches reach far larger radices."""
+
+    def harness():
+        model = RoutabilityModel(TechnologyLibrary.for_node(TechNode.NM_65))
+        return {
+            "bus128_max": model.max_feasible_radix(port_width=128),
+            "bus200_max": model.max_feasible_radix(port_width=200),
+            "noc32_max": model.max_feasible_radix(port_width=32),
+            "noc32_efficient": model.max_feasible_radix(
+                port_width=32, require_efficient=True
+            ),
+        }
+
+    result = once(harness)
+    print("\nFIG2b: crossbar routability limits:", result)
+    assert result["bus128_max"] <= 8
+    assert result["bus200_max"] <= 8
+    assert result["noc32_max"] >= 20
+    assert result["noc32_efficient"] >= 10

@@ -1,0 +1,78 @@
+"""FIG5 — BONE hierarchical star vs conventional 2D-mesh CMP.
+
+Section 5 / Fig. 5: the BONE design — 10 RISC processors, 8 dual-port
+SRAMs, crossbar switches in a hierarchical star — provides "better
+performance than a conventional 2D mesh-based CMP" for its
+memory-centric traffic (SRAM banks assigned dynamically to processors).
+
+Regenerated series: identical memory traffic driven through both
+topologies; latency and delivered throughput per configuration.
+"""
+
+import pytest
+
+from repro.chips import bone
+from repro.sim import FlowGraphTraffic, NocSimulator
+
+CYCLES = 2500
+WARMUP = 400
+
+
+def _run(chip, total_rate):
+    sim = NocSimulator(
+        chip.topology, chip.routing_table, chip.params, warmup_cycles=WARMUP
+    )
+    traffic = FlowGraphTraffic(bone.memory_traffic(total_rate))
+    sim.run(CYCLES, traffic)
+    return {
+        "latency": sim.stats.latency().mean,
+        "p95": sim.stats.latency().p95,
+        "delivered": sim.stats.throughput_flits_per_cycle(CYCLES - WARMUP),
+    }
+
+
+def test_fig5_bone_beats_mesh_on_memory_traffic(once):
+    def harness():
+        star = bone.build()
+        ref = bone.build_mesh_reference()
+        rows = []
+        for rate in (1.0, 2.0):
+            rows.append(("star", rate, _run(star, rate)))
+            rows.append(("mesh", rate, _run(ref, rate)))
+        return rows
+
+    rows = once(harness)
+    print("\nFIG5: BONE hierarchical star vs 2D-mesh CMP (memory traffic)")
+    print(f"{'topology':>9} {'rate':>5} {'latency':>8} {'p95':>6} {'delivered':>10}")
+    for name, rate, r in rows:
+        print(
+            f"{name:>9} {rate:>5} {r['latency']:>8.1f} {r['p95']:>6.0f} "
+            f"{r['delivered']:>10.2f}"
+        )
+    results = {(name, rate): r for name, rate, r in rows}
+    for rate in (1.0, 2.0):
+        star = results[("star", rate)]
+        ref = results[("mesh", rate)]
+        # The paper's claim: better performance than the mesh CMP.
+        assert star["latency"] < ref["latency"]
+        assert star["delivered"] >= ref["delivered"] * 0.98
+
+
+def test_fig5_dual_porting_matters(once):
+    """The dual-port SRAMs are the architecture's trick: each bank is
+    reachable from two crossbars, halving hub crossings."""
+
+    def harness():
+        chip = bone.build()
+        table = chip.routing_table
+        through_hub = 0
+        flows = bone.memory_traffic()
+        for f in flows:
+            route = table.route(f.source, f.destination)
+            if "hub" in route.path:
+                through_hub += 1
+        return through_hub, len(flows)
+
+    through_hub, total = once(harness)
+    print(f"\nFIG5b: {through_hub}/{total} memory flows cross the hub")
+    assert through_hub < total / 2

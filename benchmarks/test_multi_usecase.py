@@ -1,0 +1,122 @@
+"""USECASES — one NoC serving several applications (§1, §6).
+
+"A mobile phone SoC nowadays comprises several tens to hundreds of
+components" running different applications; the tool flow must support
+"varied application Quality-of-Service constraints".  The SunFloor
+family's multi-use-case extension synthesizes one topology for the
+worst-case envelope of all use cases.
+
+Regenerated claim: the shared design verifies against every use case,
+and costs far less than provisioning a dedicated NoC per use case —
+while paying only a modest premium over the largest single use case.
+"""
+
+import pytest
+
+from repro.apps import synthetic_soc
+from repro.core import (
+    CommunicationSpec,
+    CoreSpec,
+    FlowSpec,
+    TopologySynthesizer,
+    envelope_spec,
+    synthesize_multi_usecase,
+)
+
+
+def _mobile_platform_use_cases():
+    """Three operating modes of one mobile-SoC-like platform."""
+    cores = [
+        CoreSpec(name)
+        for name in (
+            "cpu", "gpu", "dsp", "modem", "isp", "display",
+            "video_dec", "audio", "sdram", "sram",
+        )
+    ]
+    f = FlowSpec
+    video_call = CommunicationSpec(
+        cores,
+        [
+            f("modem", "video_dec", 120), f("video_dec", "sdram", 300),
+            f("sdram", "display", 400), f("isp", "sdram", 250),
+            f("audio", "sram", 20), f("cpu", "sdram", 150),
+        ],
+        name="video_call",
+    )
+    gaming = CommunicationSpec(
+        cores,
+        [
+            f("cpu", "gpu", 200), f("gpu", "sdram", 600),
+            f("sdram", "display", 500), f("audio", "sram", 30),
+            f("cpu", "sdram", 250),
+        ],
+        name="gaming",
+    )
+    playback = CommunicationSpec(
+        cores,
+        [
+            f("video_dec", "sdram", 350), f("sdram", "display", 450),
+            f("audio", "sram", 25), f("cpu", "sdram", 80),
+        ],
+        name="playback",
+    )
+    return [video_call, gaming, playback]
+
+
+def test_usecases_shared_design(once):
+    def harness():
+        use_cases = _mobile_platform_use_cases()
+        shared = synthesize_multi_usecase(
+            use_cases, num_switches=3, frequency_hz=600e6, verify_cycles=800
+        )
+        dedicated = []
+        for uc in use_cases:
+            synth = TopologySynthesizer(uc)
+            dedicated.append(synth.synthesize(3, frequency_hz=600e6).design)
+        return use_cases, shared, dedicated
+
+    use_cases, shared, dedicated = once(harness)
+    print("\nUSECASES: mobile platform, 3 operating modes")
+    for design in dedicated:
+        print(
+            f"  dedicated {design.name:<26} {design.power_mw:6.1f} mW "
+            f"{design.area_mm2:.3f} mm2"
+        )
+    print(
+        f"  shared    {shared.design.name:<26} {shared.design.power_mw:6.1f} mW "
+        f"{shared.design.area_mm2:.3f} mm2"
+    )
+    for name, report in shared.verifications.items():
+        print(f"    verify[{name}]: passed={report.passed}")
+
+    # One design serves every mode.
+    assert shared.all_use_cases_pass
+    # Shared area is a fraction of provisioning one NoC per mode.
+    total_dedicated_area = sum(d.area_mm2 for d in dedicated)
+    assert shared.design.area_mm2 < 0.6 * total_dedicated_area
+    # The envelope premium over the biggest single mode is modest: the
+    # worst-case merge reuses capacity across mutually exclusive modes.
+    biggest = max(d.area_mm2 for d in dedicated)
+    assert shared.design.area_mm2 <= biggest * 1.5
+
+
+def test_usecases_envelope_reuses_capacity(once):
+    """Aggregate envelope bandwidth is far below the sum of use cases:
+    the quantitative reason a shared NoC is cheap."""
+
+    def harness():
+        use_cases = _mobile_platform_use_cases()
+        env = envelope_spec(use_cases)
+        return (
+            env.total_bandwidth_mbps,
+            sum(uc.total_bandwidth_mbps for uc in use_cases),
+            max(uc.total_bandwidth_mbps for uc in use_cases),
+        )
+
+    envelope_bw, summed_bw, biggest_bw = once(harness)
+    print(
+        f"\nUSECASESb: envelope {envelope_bw:.0f} MB/s vs summed "
+        f"{summed_bw:.0f} MB/s vs biggest mode {biggest_bw:.0f} MB/s"
+    )
+    assert envelope_bw < 0.75 * summed_bw
+    assert envelope_bw >= biggest_bw

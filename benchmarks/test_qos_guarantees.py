@@ -1,0 +1,157 @@
+"""QOS — Aethereal-style guaranteed services (Section 3).
+
+"The network supports guaranteed throughput (GT) for real time
+applications and best effort (BE) traffic for timing unconstrained
+applications ... [TDMA] assigns each GT connection a number of slots."
+
+Regenerated series: GT latency/throughput across a best-effort load
+sweep — flat for GT (the hard guarantee), rising for BE — plus the
+analytical worst-case bound that simulation must respect.
+"""
+
+import pytest
+
+from repro.arch import MessageClass, NocParameters
+from repro.qos import ConnectionManager, GtConnection, analyze
+from repro.sim import (
+    CompositeTraffic,
+    Flow,
+    FlowGraphTraffic,
+    NocSimulator,
+    SyntheticTraffic,
+)
+from repro.topology import mesh, xy_routing
+
+NUM_SLOTS = 8
+CYCLES = 2200
+WARMUP = 300
+BE_RATES = (0.0, 0.15, 0.35)
+
+
+def _run_sweep():
+    topo = mesh(4, 4)
+    table = xy_routing(topo)
+    mgr = ConnectionManager(topo, table, num_slots=NUM_SLOTS)
+    conn = GtConnection(1, "c_0_0", "c_3_3", bandwidth_fraction=0.25,
+                        packet_size_flits=1)
+    admitted = mgr.admit(conn)
+    bound = analyze(admitted, NUM_SLOTS).worst_case_latency_cycles
+    rows = []
+    for be_rate in BE_RATES:
+        sim = NocSimulator(
+            topo, table, NocParameters(num_vcs=2), warmup_cycles=WARMUP
+        )
+        mgr.install(sim)
+        gt = FlowGraphTraffic(
+            [
+                Flow(
+                    "c_0_0", "c_3_3",
+                    flits_per_cycle=0.2,
+                    packet_size_flits=1,
+                    message_class=MessageClass.GUARANTEED,
+                    connection_id=1,
+                )
+            ]
+        )
+        be = SyntheticTraffic("uniform", be_rate, 4, seed=31)
+        sim.run(CYCLES, CompositeTraffic([gt, be]))
+        gt_lat = sim.stats.latency(MessageClass.GUARANTEED)
+        try:
+            be_lat = sim.stats.latency(MessageClass.BEST_EFFORT).mean
+        except ValueError:
+            be_lat = None
+        rows.append(
+            {
+                "be_rate": be_rate,
+                "gt_mean": gt_lat.mean,
+                "gt_max": gt_lat.maximum,
+                "be_mean": be_lat,
+            }
+        )
+    return bound, rows
+
+
+def test_qos_gt_guarantees_hold_under_load(once):
+    bound, rows = once(_run_sweep)
+    print(f"\nQOS: GT connection, worst-case analytical bound {bound} cycles")
+    print(f"{'BE rate':>8} {'GT mean':>8} {'GT max':>7} {'BE mean':>8}")
+    for r in rows:
+        be = f"{r['be_mean']:.1f}" if r["be_mean"] is not None else "-"
+        print(f"{r['be_rate']:>8} {r['gt_mean']:>8.1f} {r['gt_max']:>7} {be:>8}")
+
+    idle = rows[0]
+    for r in rows:
+        # Hard guarantee: the analytical bound holds at every load.
+        assert r["gt_max"] <= bound
+        # Load independence: GT latency does not move with BE load.
+        assert r["gt_mean"] == pytest.approx(idle["gt_mean"], abs=1.0)
+    # BE latency, by contrast, grows with its own load.
+    loaded_be = [r["be_mean"] for r in rows if r["be_mean"] is not None]
+    assert loaded_be == sorted(loaded_be)
+
+
+def test_qos_be_uses_residual_capacity(once):
+    """Idle GT slots are not wasted: BE throughput at a GT-reserved
+    network matches the no-GT network when the GT connection is idle."""
+
+    def harness():
+        topo = mesh(4, 4)
+        table = xy_routing(topo)
+        mgr = ConnectionManager(topo, table, num_slots=NUM_SLOTS)
+        mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.5, packet_size_flits=1))
+
+        def run(install):
+            sim = NocSimulator(topo, table, NocParameters(num_vcs=2))
+            if install:
+                mgr.install(sim)
+            be = SyntheticTraffic("uniform", 0.2, 4, seed=13)
+            sim.run(1200, be, drain=True)
+            return sim.stats.packets_delivered, sim.stats.latency().mean
+
+        return run(True), run(False)
+
+    (with_gt_n, with_gt_lat), (no_gt_n, no_gt_lat) = once(harness)
+    print(
+        f"\nQOSb: BE under idle GT reservation: {with_gt_n} packets at "
+        f"{with_gt_lat:.1f} cy vs {no_gt_n} at {no_gt_lat:.1f} cy without"
+    )
+    assert with_gt_n == no_gt_n
+    assert with_gt_lat == pytest.approx(no_gt_lat, rel=0.25)
+
+
+def test_qos_slot_table_size_tradeoff(once):
+    """Finer tables (more slots) lower the guaranteed-bandwidth
+    granularity but stretch the worst-case wait — the Aethereal design
+    knob."""
+
+    def harness():
+        topo = mesh(4, 4)
+        table = xy_routing(topo)
+        rows = []
+        for slots in (4, 8, 16, 32):
+            mgr = ConnectionManager(topo, table, num_slots=slots)
+            admitted = mgr.admit(
+                GtConnection(1, "c_0_0", "c_3_3", 1.0 / slots,
+                             packet_size_flits=1)
+            )
+            g = analyze(admitted, slots)
+            rows.append(
+                {
+                    "slots": slots,
+                    "bw_fraction": g.bandwidth_fraction,
+                    "worst_case": g.worst_case_latency_cycles,
+                }
+            )
+        return rows
+
+    rows = once(harness)
+    print("\nQOSc: slot-table size sweep (single-slot connection)")
+    for r in rows:
+        print(
+            f"  S={r['slots']:>2}: granularity {r['bw_fraction']:.3f}, "
+            f"worst-case {r['worst_case']} cycles"
+        )
+    fracs = [r["bw_fraction"] for r in rows]
+    worst = [r["worst_case"] for r in rows]
+    assert fracs == sorted(fracs, reverse=True)
+    assert worst == sorted(worst)

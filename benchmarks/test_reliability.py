@@ -1,0 +1,161 @@
+"""RELIABILITY — the introduction's dependability claims, quantified.
+
+"NoCs can locally handle at run-time the correction of timing failures
+induced by variability and/or other signal integrity issues.  Moreover,
+reconfigurable NoCs can support component redundancy in a transparent
+fashion, thus being an essential technology for designing
+highly-dependable systems." (Section 1)
+
+Regenerated series:
+  * error-control crossover: CRC+retransmission vs ECC across the flit
+    error rate swept by voltage-margin reduction;
+  * hard-fault recovery: link failures on a mesh, reconfigured routes
+    (deadlock-free) with bounded hop inflation;
+  * spare-switch redundancy: design yield vs area overhead.
+"""
+
+import pytest
+
+from repro.reliability import (
+    FaultScenario,
+    WireErrorModel,
+    degradation,
+    preferred_scheme,
+    reconfigure_routing,
+    redundancy_sweep,
+    retransmission_point,
+    ecc_point,
+)
+from repro.topology import check_routing_deadlock, mesh, xy_routing
+
+
+def test_reliability_error_control_crossover(once):
+    def harness():
+        model = WireErrorModel(base_ber=7e-7)
+        rows = []
+        for margin in (1.0, 0.8, 0.6, 0.4, 0.3, 0.25):
+            p = model.flit_error_probability(3.0, 32, voltage_margin=margin)
+            retx = retransmission_point(p)
+            ecc = ecc_point(p)
+            rows.append(
+                {
+                    "margin": margin,
+                    "p_flit": p,
+                    "retx_latency": retx.effective_latency_cycles,
+                    "ecc_latency": ecc.effective_latency_cycles,
+                    "preferred": preferred_scheme(p),
+                }
+            )
+        return rows
+
+    rows = once(harness)
+    print("\nREL: error-control vs voltage margin (3 mm 32-bit link)")
+    print(f"{'margin':>7} {'P(flit err)':>12} {'retx cy':>8} {'ecc cy':>7} {'pick':>15}")
+    for r in rows:
+        print(
+            f"{r['margin']:>7} {r['p_flit']:>12.2e} {r['retx_latency']:>8.2f} "
+            f"{r['ecc_latency']:>7.2f} {r['preferred']:>15}"
+        )
+    # Error probability grows monotonically as the margin shrinks.
+    ps = [r["p_flit"] for r in rows]
+    assert ps == sorted(ps)
+    # At nominal margins retransmission wins (rare errors, no codec stage);
+    # deep in the guard band the crossover flips the choice to ECC.
+    assert rows[0]["preferred"] == "retransmission"
+    assert rows[-1]["preferred"] == "ecc"
+    # Retransmission latency degrades with errors, ECC stays flat.
+    assert rows[-1]["retx_latency"] > rows[0]["retx_latency"]
+    assert rows[-1]["ecc_latency"] == rows[0]["ecc_latency"]
+
+
+def test_reliability_runtime_error_correction(once):
+    """Dynamic counterpart to the analytic crossover: inject transmission
+    errors on every link of a live mesh and watch the CRC+retransmission
+    machinery deliver every packet, paying only latency."""
+    from repro.arch import FlowControlKind, NocParameters
+    from repro.sim import NocSimulator, SyntheticTraffic
+
+    def harness():
+        topo = mesh(4, 4)
+        table = xy_routing(topo)
+        params = NocParameters(
+            flow_control=FlowControlKind.ACK_NACK, output_buffer_depth=4
+        )
+        rows = []
+        for p_err in (0.0, 0.02, 0.08):
+            sim = NocSimulator(topo, table, params,
+                               link_error_probability=p_err)
+            traffic = SyntheticTraffic("uniform", 0.08, 4, seed=3)
+            sim.run(1200, traffic, drain=True)
+            rows.append(
+                {
+                    "p_err": p_err,
+                    "offered": traffic.packets_offered,
+                    "delivered": sim.stats.packets_delivered,
+                    "corrupted": sim.total_corrupted_flits(),
+                    "latency": round(sim.stats.latency().mean, 1),
+                }
+            )
+        return rows
+
+    rows = once(harness)
+    print("\nRELd: run-time error correction (4x4 mesh, ACK/NACK links)")
+    print(f"{'P(err)':>7} {'offered':>8} {'delivered':>10} {'corrupt':>8} {'latency':>8}")
+    for r in rows:
+        print(
+            f"{r['p_err']:>7} {r['offered']:>8} {r['delivered']:>10} "
+            f"{r['corrupted']:>8} {r['latency']:>8}"
+        )
+    for r in rows:
+        assert r["delivered"] == r["offered"]  # zero loss at every rate
+    assert rows[0]["corrupted"] == 0
+    assert rows[2]["corrupted"] > rows[1]["corrupted"] > 0
+    latencies = [r["latency"] for r in rows]
+    assert latencies == sorted(latencies)  # errors cost cycles, not data
+
+
+def test_reliability_fault_recovery(once):
+    def harness():
+        topo = mesh(4, 4)
+        before = xy_routing(topo)
+        scenario = FaultScenario()
+        scenario.add_link("s_1_1", "s_2_1")
+        scenario.add_link("s_2_2", "s_2_3")
+        after = reconfigure_routing(topo, scenario)
+        report = degradation(before, after)
+        safe = check_routing_deadlock(topo, after).is_deadlock_free
+        return report, safe
+
+    report, safe = once(harness)
+    print(
+        f"\nRELb: 2 link failures on 4x4 mesh: {report.routes_rerouted} routes "
+        f"rerouted, hops {report.mean_hops_before:.2f} -> "
+        f"{report.mean_hops_after:.2f} (+{report.hop_inflation:.1%}), "
+        f"deadlock-free={safe}"
+    )
+    assert safe
+    assert report.routes_rerouted > 0
+    # Transparent recovery: the mesh pays single-digit-% extra hops.
+    assert report.hop_inflation < 0.5
+
+
+def test_reliability_spare_switch_yield(once):
+    def harness():
+        # A 16-switch NoC with deliberately poor per-switch yield.
+        return redundancy_sweep(
+            num_switches=16, switch_area_mm2=0.05, defects_per_mm2=1.0,
+            max_spares=4,
+        )
+
+    points = once(harness)
+    print("\nRELc: spare-switch redundancy (16 switches, 95% each)")
+    for p in points:
+        print(
+            f"  spares={p.num_spares}: yield {p.design_yield:.3f}, "
+            f"area +{p.area_overhead_fraction:.0%}"
+        )
+    yields = [p.design_yield for p in points]
+    assert yields == sorted(yields)
+    # Two spares lift a sub-50% design into the comfortable range.
+    assert points[0].design_yield < 0.6
+    assert points[2].design_yield > 0.85

@@ -1,0 +1,89 @@
+"""SER — structured wiring: serialization and segmentation (Section 4.1).
+
+Claims regenerated:
+  * "a typical on-chip bus requires around 100 to 200 wires" while a NoC
+    link deploys a chosen flit width plus a handful of control wires;
+  * the flit-width sweep exposes the performance/wiring trade-off
+    designers pick from;
+  * "links can be explicitly segmented to further break critical paths"
+    — the pipeline-stage count follows wire length and clock frequency.
+"""
+
+import pytest
+
+from repro.physical.technology import TechNode, TechnologyLibrary
+from repro.physical.wire import (
+    BUS_REFERENCE_WIRES,
+    WireModel,
+    required_pipeline_stages,
+)
+
+
+def test_ser_serialization_tradeoff(once):
+    def harness():
+        tech = TechnologyLibrary.for_node(TechNode.NM_65)
+        model = WireModel(tech)
+        return model.serialization_tradeoff(
+            payload_bits=128,
+            flit_widths=[8, 16, 32, 64, 128],
+            length_mm=2.0,
+            frequency_hz=1e9,
+        )
+
+    rows = once(harness)
+    print("\nSER: 128-bit payload over a 2 mm link @ 1 GHz")
+    print(f"{'flit w':>7} {'wires':>6} {'cycles':>7} {'pJ/payload':>11}")
+    for r in rows:
+        print(
+            f"{r['flit_width']:>7} {r['wire_count']:>6} "
+            f"{r['serialization_cycles']:>7} "
+            f"{r['energy_pj_per_payload']:>11.1f}"
+        )
+    wires = [r["wire_count"] for r in rows]
+    cycles = [r["serialization_cycles"] for r in rows]
+    assert wires == sorted(wires)                      # wider -> more wires
+    assert cycles == sorted(cycles, reverse=True)      # wider -> fewer cycles
+
+    # The bus comparison: every reference bus needs 100-200 wires; the
+    # 32-bit NoC link fits in ~40.
+    noc32 = next(r for r in rows if r["flit_width"] == 32)
+    for name, bus_wires in BUS_REFERENCE_WIRES.items():
+        print(f"  {name}: {bus_wires} wires vs NoC-32: {noc32['wire_count']}")
+        assert 100 <= bus_wires <= 200
+        assert noc32["wire_count"] < bus_wires / 2
+
+
+def test_ser_link_segmentation(once):
+    """Pipeline stages track length x frequency: the wire-segmentation
+    knob that 'breaks critical paths'."""
+
+    def harness():
+        tech = TechnologyLibrary.for_node(TechNode.NM_65)
+        rows = []
+        for freq in (0.5e9, 1e9, 2e9):
+            for length in (1.0, 3.0, 6.0, 12.0):
+                rows.append(
+                    {
+                        "frequency_ghz": freq / 1e9,
+                        "length_mm": length,
+                        "stages": required_pipeline_stages(length, freq, tech),
+                    }
+                )
+        return rows
+
+    rows = once(harness)
+    print("\nSERb: link pipeline stages vs length and clock")
+    for r in rows:
+        print(
+            f"  {r['length_mm']:>5} mm @ {r['frequency_ghz']} GHz -> "
+            f"{r['stages']} stages"
+        )
+    # Monotone in both axes.
+    for freq in (0.5, 1.0, 2.0):
+        series = [r["stages"] for r in rows if r["frequency_ghz"] == freq]
+        assert series == sorted(series)
+    for length in (1.0, 3.0, 6.0, 12.0):
+        series = [r["stages"] for r in rows if r["length_mm"] == length]
+        assert series == sorted(series)
+    # Short wires at moderate clocks need no relay at all.
+    assert rows[0]["stages"] == 0

@@ -1,0 +1,107 @@
+"""SCALING — the introduction's physics, across 130/90/65/45 nm.
+
+"The importance of interconnects for system performance is growing with
+technology scaling ... with technology scaling, gate delays decrease
+while global wire delays do not.  Thus, in current advanced
+technologies the delay on the wires has an increasingly significant
+impact on system performance." (Section 1)
+
+Regenerated series per node: gate delay, wire delay, their ratio, the
+longest single-cycle wire at 1 GHz, and the 5x5 switch's achievable
+frequency — the numbers behind the claim that NoCs (pipelined,
+point-to-point, floorplan-aware) become *necessary* as nodes shrink.
+"""
+
+import pytest
+
+from repro.physical.switch_model import SwitchPhysicalModel
+from repro.physical.technology import TechNode, TechnologyLibrary
+
+NODES = (TechNode.NM_130, TechNode.NM_90, TechNode.NM_65, TechNode.NM_45)
+
+
+def test_scaling_gate_vs_wire(once):
+    def harness():
+        rows = []
+        for node in NODES:
+            tech = TechnologyLibrary.for_node(node)
+            switch = SwitchPhysicalModel(tech).estimate(5, 5)
+            rows.append(
+                {
+                    "node_nm": node.nanometers,
+                    "gate_ps": tech.gate_delay_ps,
+                    "wire_ps_per_mm": tech.wire_delay_ps_per_mm,
+                    "wire_gate_ratio": tech.wire_delay_ps_per_mm
+                    / tech.gate_delay_ps,
+                    "single_cycle_mm_at_1ghz": tech.max_wire_mm_at(1e9),
+                    "switch5_fmax_mhz": switch.max_frequency_hz / 1e6,
+                }
+            )
+        return rows
+
+    rows = once(harness)
+    print("\nSCALING: gate vs wire across nodes")
+    print(
+        f"{'node':>5} {'gate ps':>8} {'wire ps/mm':>11} {'ratio':>6} "
+        f"{'1-cyc mm @1GHz':>15} {'5x5 fmax':>9}"
+    )
+    for r in rows:
+        print(
+            f"{r['node_nm']:>5} {r['gate_ps']:>8} {r['wire_ps_per_mm']:>11} "
+            f"{r['wire_gate_ratio']:>6.1f} {r['single_cycle_mm_at_1ghz']:>15.2f} "
+            f"{r['switch5_fmax_mhz']:>9.0f}"
+        )
+    gates = [r["gate_ps"] for r in rows]
+    wires = [r["wire_ps_per_mm"] for r in rows]
+    ratios = [r["wire_gate_ratio"] for r in rows]
+    reach = [r["single_cycle_mm_at_1ghz"] for r in rows]
+    fmax = [r["switch5_fmax_mhz"] for r in rows]
+    # "Gate delays decrease..."
+    assert gates == sorted(gates, reverse=True)
+    # "...while global wire delays do not."
+    assert wires == sorted(wires)
+    # "The delay on the wires has an increasingly significant impact."
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 2 * ratios[0]
+    # Logic gets faster, but the single-cycle wire reach shrinks: global
+    # wires must be pipelined — the structured-wiring argument.
+    assert fmax == sorted(fmax)
+    assert reach == sorted(reach, reverse=True)
+
+
+def test_scaling_chip_span_vs_wire_reach(once):
+    """A fixed-function block shrinks with the node, but SoCs integrate
+    more of them: at 45 nm a chip-spanning wire costs several clock
+    cycles, which only a pipelined NoC absorbs transparently."""
+
+    def harness():
+        rows = []
+        die_side_mm = 14.0  # large-SoC die, growing integration
+        for node in NODES:
+            tech = TechnologyLibrary.for_node(node)
+            switch = SwitchPhysicalModel(tech).estimate(5, 5)
+            freq = min(1.2e9, switch.max_frequency_hz)
+            from repro.physical.wire import required_pipeline_stages
+
+            rows.append(
+                {
+                    "node_nm": node.nanometers,
+                    "clock_mhz": freq / 1e6,
+                    "stages_for_die_span": required_pipeline_stages(
+                        die_side_mm, freq, tech
+                    ),
+                }
+            )
+        return rows
+
+    rows = once(harness)
+    print("\nSCALINGb: pipeline stages to cross a 14 mm die at the switch clock")
+    for r in rows:
+        print(
+            f"  {r['node_nm']:>3} nm @ {r['clock_mhz']:.0f} MHz: "
+            f"{r['stages_for_die_span']} relay stations"
+        )
+    stages = [r["stages_for_die_span"] for r in rows]
+    assert stages == sorted(stages)      # more stages every node
+    assert stages[0] <= 1                # 130 nm: die nearly single-cycle
+    assert stages[-1] >= 2               # 45 nm: multi-cycle global wires

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The Fig. 6 tool flow end to end on a real SoC workload.
+
+Takes the VOPD video-decoder communication graph, runs the full
+iNoCs/SunFloor-style pipeline — synthesis sweep, Pareto front, knee
+point, structural Verilog, simulation-based verification — and prints
+the comparison against the standard-topology baselines.
+
+Run:  python examples/mpsoc_topology_synthesis.py
+"""
+
+from repro.apps import vopd
+from repro.core import CommunicationSpec, NocDesignFlow, mesh_baseline, star_baseline
+
+
+def main() -> None:
+    spec = CommunicationSpec.from_workload(vopd())
+    print(f"Input spec: {spec!r}\n")
+
+    flow = NocDesignFlow(spec)
+    result = flow.run(
+        switch_counts=(2, 3, 4, 6, 8),
+        frequencies_hz=(500e6, 700e6),
+        verify_cycles=2000,
+    )
+
+    print("Pareto front (power vs latency):")
+    for point in result.pareto_front:
+        marker = " <- chosen" if point is result.chosen else ""
+        print(
+            f"  {point.name:<22} {point.power_mw:6.1f} mW  "
+            f"{point.avg_latency_ns:6.1f} ns  {point.area_mm2:.3f} mm2{marker}"
+        )
+
+    evaluator = flow.explorer.synthesizer.evaluator
+    mesh_ref = mesh_baseline(spec, evaluator, frequency_hz=700e6)
+    star_ref = star_baseline(spec, evaluator, frequency_hz=700e6)
+    print("\nStandard-topology references:")
+    for ref in (mesh_ref, star_ref):
+        print(
+            f"  {ref.name:<22} {ref.power_mw:6.1f} mW  "
+            f"{ref.avg_latency_ns:6.1f} ns  {ref.area_mm2:.3f} mm2"
+        )
+
+    v = result.verification
+    print(
+        f"\nVerification: passed={v.passed}, simulated {v.simulated_cycles} "
+        f"cycles, delivered {v.delivered_flits}/{v.offered_flits} flits, "
+        f"measured latency {v.measured_avg_latency:.1f} cycles"
+    )
+
+    print("\nGenerated structural Verilog (head):")
+    for line in result.verilog.splitlines()[:12]:
+        print(f"  {line}")
+    print(f"  ... ({len(result.verilog.splitlines())} lines total)")
+
+
+if __name__ == "__main__":
+    main()

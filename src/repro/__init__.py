@@ -1,0 +1,25 @@
+"""repro — a Networks-on-Chip design automation stack.
+
+Reproduction of the system stack surveyed in G. De Micheli et al.,
+"Networks on Chips: from Research to Products", DAC 2010:
+
+* :mod:`repro.arch` — the xpipes-style parametrizable component library
+  (network interfaces, switches, links, flow control, arbitration).
+* :mod:`repro.sim` — a deterministic cycle-accurate flit-level simulator.
+* :mod:`repro.topology` — topology generators and deadlock-free routing.
+* :mod:`repro.physical` — technology-calibrated area / frequency / power /
+  wiring models and an incremental floorplanner.
+* :mod:`repro.qos` — Aethereal-style TDMA guaranteed-throughput services.
+* :mod:`repro.core` — the SunFloor / iNoCs-style synthesis tool flow
+  (Fig. 6 of the paper): spec in, Pareto set of floorplan-aware custom
+  topologies out, with netlist and simulation-model generation.
+* :mod:`repro.three_d` — 3D-IC extensions (TSVs, vertical-link
+  serialization, 3D synthesis, built-in link test).
+* :mod:`repro.gals` — GALS synchronization and voltage-frequency islands.
+* :mod:`repro.chips` — case-study chip models (Intel Teraflops, Tilera
+  TILE-Gx, FAUST, BONE, SPIN).
+* :mod:`repro.apps` — application communication workloads (MPEG-4, VOPD,
+  MWD, PIP, ...).
+"""
+
+__version__ = "1.0.0"

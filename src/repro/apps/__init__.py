@@ -1,0 +1,25 @@
+"""Application communication workloads."""
+
+from repro.apps.workloads import (
+    ALL_WORKLOADS,
+    ApplicationWorkload,
+    WorkloadFlow,
+    mpeg4_decoder,
+    mwd,
+    pip,
+    synthetic_soc,
+    vopd,
+    workload,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "ApplicationWorkload",
+    "WorkloadFlow",
+    "mpeg4_decoder",
+    "mwd",
+    "pip",
+    "synthetic_soc",
+    "vopd",
+    "workload",
+]

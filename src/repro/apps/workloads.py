@@ -1,0 +1,242 @@
+"""Application communication graphs (core-to-core bandwidth specs).
+
+The synthesis tool flow takes "the average bandwidth of communication
+between the different cores" as input (Section 6), "obtained by
+application profiling or from the designer's estimates".  We ship the
+benchmark graphs standard in the topology-synthesis literature the
+paper builds on ([9][11][42]):
+
+* **VOPD** — Video Object Plane Decoder, 12 cores, a mostly linear
+  video pipeline with a feedback loop (the canonical SunFloor example);
+* **MPEG-4 decoder** — 12 cores, memory-centric: a shared SDRAM hotspot
+  takes most of the traffic (the worst case for meshes, the best for
+  custom/star topologies);
+* **MWD** — Multi-Window Display, 12 cores, moderate parallel pipeline;
+* **PIP** — Picture-In-Picture, 8 cores, two parallel shallow pipelines.
+
+Bandwidths are in MB/s, transcribed (to the precision that matters for
+topology shape) from the published communication task graphs.  A seeded
+synthetic-SoC generator provides arbitrarily sized graphs of the same
+character for scaling studies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadFlow:
+    """One producer-consumer flow of an application graph."""
+
+    source: str
+    destination: str
+    mb_per_s: float
+    latency_ns: Optional[float] = None  # average-latency constraint, if any
+
+    def __post_init__(self) -> None:
+        if self.mb_per_s <= 0:
+            raise ValueError("flow bandwidth must be positive")
+        if self.source == self.destination:
+            raise ValueError("flow endpoints must differ")
+
+
+@dataclass(frozen=True)
+class ApplicationWorkload:
+    """A named communication task graph."""
+
+    name: str
+    cores: Tuple[str, ...]
+    flows: Tuple[WorkloadFlow, ...]
+
+    def __post_init__(self) -> None:
+        names = set(self.cores)
+        if len(names) != len(self.cores):
+            raise ValueError("duplicate core names")
+        for flow in self.flows:
+            if flow.source not in names or flow.destination not in names:
+                raise ValueError(
+                    f"flow {flow.source}->{flow.destination} references "
+                    "unknown cores"
+                )
+
+    @property
+    def total_mb_per_s(self) -> float:
+        return sum(f.mb_per_s for f in self.flows)
+
+    def bandwidth_matrix(self) -> Dict[Tuple[str, str], float]:
+        out: Dict[Tuple[str, str], float] = {}
+        for f in self.flows:
+            out[(f.source, f.destination)] = (
+                out.get((f.source, f.destination), 0.0) + f.mb_per_s
+            )
+        return out
+
+
+def vopd() -> ApplicationWorkload:
+    """Video Object Plane Decoder (12 cores), per [9]/[11]."""
+    f = WorkloadFlow
+    return ApplicationWorkload(
+        name="vopd",
+        cores=(
+            "vld", "run_le_dec", "inv_scan", "acdc_pred", "stripe_mem",
+            "iquant", "idct", "up_samp", "vop_rec", "pad", "vop_mem", "arm",
+        ),
+        flows=(
+            f("vld", "run_le_dec", 70),
+            f("run_le_dec", "inv_scan", 362),
+            f("inv_scan", "acdc_pred", 362),
+            f("acdc_pred", "stripe_mem", 49),
+            f("stripe_mem", "acdc_pred", 27),
+            f("acdc_pred", "iquant", 357),
+            f("iquant", "idct", 353),
+            f("idct", "up_samp", 300),
+            f("up_samp", "vop_rec", 313),
+            f("vop_rec", "pad", 313),
+            f("pad", "vop_mem", 313),
+            f("vop_mem", "pad", 94),
+            f("arm", "idct", 16),
+            f("pad", "arm", 16),
+        ),
+    )
+
+
+def mpeg4_decoder() -> ApplicationWorkload:
+    """MPEG-4 decoder (12 cores), memory-centric, per [42]."""
+    f = WorkloadFlow
+    return ApplicationWorkload(
+        name="mpeg4",
+        cores=(
+            "vu", "au", "med_cpu", "dsp", "rast", "idct", "up_samp",
+            "bab", "risc", "sram1", "sram2", "sdram",
+        ),
+        flows=(
+            f("vu", "sdram", 190),
+            f("sdram", "vu", 0.5),
+            f("au", "sdram", 0.5),
+            f("sdram", "au", 60),
+            f("med_cpu", "sdram", 0.5),
+            f("sdram", "med_cpu", 40),
+            f("dsp", "sdram", 60),
+            f("sdram", "dsp", 250),
+            f("rast", "sdram", 640),
+            f("idct", "sdram", 250),
+            f("sdram", "up_samp", 600),
+            f("up_samp", "rast", 500),
+            f("bab", "sdram", 205),
+            f("risc", "sram1", 910),
+            f("sram1", "risc", 910),
+            f("risc", "sram2", 670),
+            f("sram2", "risc", 675),
+            f("risc", "sdram", 500),
+        ),
+    )
+
+
+def mwd() -> ApplicationWorkload:
+    """Multi-Window Display (12 cores), per [9]."""
+    f = WorkloadFlow
+    return ApplicationWorkload(
+        name="mwd",
+        cores=(
+            "in", "nr", "mem1", "hs", "vs", "jug1",
+            "mem2", "hvs", "jug2", "mem3", "se", "blend",
+        ),
+        flows=(
+            f("in", "nr", 64),
+            f("in", "hs", 128),
+            f("nr", "mem1", 64),
+            f("nr", "hvs", 96),
+            f("mem1", "hs", 64),
+            f("hs", "vs", 96),
+            f("vs", "jug1", 96),
+            f("jug1", "mem2", 96),
+            f("mem2", "hvs", 96),
+            f("hvs", "jug2", 96),
+            f("jug2", "mem3", 96),
+            f("mem3", "se", 64),
+            f("se", "blend", 16),
+            f("hvs", "blend", 16),
+        ),
+    )
+
+
+def pip() -> ApplicationWorkload:
+    """Picture-In-Picture (8 cores), per [9]."""
+    f = WorkloadFlow
+    return ApplicationWorkload(
+        name="pip",
+        cores=(
+            "inp_mem_a", "hs_a", "vs_a", "inp_mem_b",
+            "hs_b", "vs_b", "jug", "out_mem",
+        ),
+        flows=(
+            f("inp_mem_a", "hs_a", 128),
+            f("hs_a", "vs_a", 64),
+            f("vs_a", "jug", 64),
+            f("inp_mem_b", "hs_b", 128),
+            f("hs_b", "vs_b", 64),
+            f("vs_b", "jug", 64),
+            f("jug", "out_mem", 64),
+        ),
+    )
+
+
+ALL_WORKLOADS = {
+    "vopd": vopd,
+    "mpeg4": mpeg4_decoder,
+    "mwd": mwd,
+    "pip": pip,
+}
+
+
+def workload(name: str) -> ApplicationWorkload:
+    """Look up a bundled workload by name."""
+    try:
+        return ALL_WORKLOADS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(ALL_WORKLOADS)}"
+        ) from None
+
+
+def synthetic_soc(
+    num_cores: int,
+    num_memories: int = 2,
+    seed: int = 1,
+    pipeline_mb_per_s: Tuple[float, float] = (50.0, 400.0),
+    memory_fraction: float = 0.5,
+) -> ApplicationWorkload:
+    """Generate a mobile-SoC-class communication graph.
+
+    Structure mirrors the OMAP/Nomadik-class chips of the paper's
+    introduction: a processing pipeline (each core talks to the next)
+    plus memory traffic (a fraction of cores stream to/from shared
+    memory controllers).  Deterministic under ``seed``.
+    """
+    if num_cores < 2:
+        raise ValueError("need at least 2 cores")
+    if num_memories < 0:
+        raise ValueError("memories must be non-negative")
+    if not 0.0 <= memory_fraction <= 1.0:
+        raise ValueError("memory fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    cores = [f"pe_{i}" for i in range(num_cores)]
+    memories = [f"mem_{j}" for j in range(num_memories)]
+    lo, hi = pipeline_mb_per_s
+    flows: List[WorkloadFlow] = []
+    for a, b in zip(cores, cores[1:]):
+        flows.append(WorkloadFlow(a, b, round(rng.uniform(lo, hi), 1)))
+    if memories:
+        for core in cores:
+            if rng.random() < memory_fraction:
+                mem = memories[rng.randrange(len(memories))]
+                flows.append(WorkloadFlow(core, mem, round(rng.uniform(lo, hi), 1)))
+                flows.append(WorkloadFlow(mem, core, round(rng.uniform(lo, hi), 1)))
+    return ApplicationWorkload(
+        name=f"synthetic{num_cores}",
+        cores=tuple(cores + memories),
+        flows=tuple(flows),
+    )

@@ -1,0 +1,68 @@
+"""The xpipes-style parametrizable component library (Fig. 1).
+
+Network interfaces, switches, links, arbiters and flow control — the
+"simple (parametrizable) library" of modular NoC building blocks the
+paper describes in Section 3, as behavioural models consumed by the
+cycle-accurate simulator in :mod:`repro.sim`.
+"""
+
+from repro.arch.parameters import (
+    ArbitrationKind,
+    DEFAULT_PARAMETERS,
+    FlowControlKind,
+    NocParameters,
+)
+from repro.arch.packet import (
+    Flit,
+    FlitType,
+    MessageClass,
+    Packet,
+    packet_size_flits,
+    reset_packet_ids,
+)
+from repro.arch.arbiter import FixedPriorityArbiter, RoundRobinArbiter, TdmaArbiter
+from repro.arch.link import AckNackLink, CreditLink, Link, OnOffLink, make_link
+from repro.arch.switch import InputPort, SwitchModel
+from repro.arch.network_interface import InitiatorNI, RoutingLut, TargetNI
+from repro.arch.ocp import (
+    OcpCommand,
+    OcpTransaction,
+    make_request_packet,
+    make_response_packet,
+    split_transaction,
+    request_packet_flits,
+    response_packet_flits,
+)
+
+__all__ = [
+    "ArbitrationKind",
+    "DEFAULT_PARAMETERS",
+    "FlowControlKind",
+    "NocParameters",
+    "Flit",
+    "FlitType",
+    "MessageClass",
+    "Packet",
+    "packet_size_flits",
+    "reset_packet_ids",
+    "FixedPriorityArbiter",
+    "RoundRobinArbiter",
+    "TdmaArbiter",
+    "AckNackLink",
+    "CreditLink",
+    "Link",
+    "OnOffLink",
+    "make_link",
+    "InputPort",
+    "SwitchModel",
+    "InitiatorNI",
+    "RoutingLut",
+    "TargetNI",
+    "OcpCommand",
+    "OcpTransaction",
+    "make_request_packet",
+    "make_response_packet",
+    "split_transaction",
+    "request_packet_flits",
+    "response_packet_flits",
+]

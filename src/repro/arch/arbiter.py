@@ -1,0 +1,101 @@
+"""Output-port arbiters.
+
+"In any case, the arbiter is required to resolve conflicts between
+packets when they require access to the same physical link." (Section 3)
+
+Three policies:
+
+* round-robin — the xpipes default, starvation-free;
+* fixed priority — simplest, can starve low-priority inputs;
+* TDMA — the Aethereal-style slot table (Section 3): each time slot is
+  owned by a guaranteed-throughput connection; unowned or unclaimed
+  slots fall back to best-effort round-robin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Starvation-free rotating-priority arbiter over ``n`` requesters."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.n = n
+        self._pointer = 0
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        """Return the granted requester index, or None if no requests.
+
+        The pointer advances past the winner, so every requester is
+        served within ``n`` grants.
+        """
+        if len(requests) != self.n:
+            raise ValueError(f"expected {self.n} request lines, got {len(requests)}")
+        for offset in range(self.n):
+            idx = (self._pointer + offset) % self.n
+            if requests[idx]:
+                self._pointer = (idx + 1) % self.n
+                return idx
+        return None
+
+
+class FixedPriorityArbiter:
+    """Lowest index wins; can starve high indices under load."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.n = n
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        if len(requests) != self.n:
+            raise ValueError(f"expected {self.n} request lines, got {len(requests)}")
+        for idx, req in enumerate(requests):
+            if req:
+                return idx
+        return None
+
+
+class TdmaArbiter:
+    """Aethereal-style slot-table arbiter.
+
+    ``slot_table[s]`` names the guaranteed-throughput connection that owns
+    slot ``s`` (or None for a best-effort slot).  At cycle ``t`` the
+    active slot is ``t % len(slot_table)``: if its owner requests, it is
+    granted unconditionally; otherwise best-effort requesters compete
+    round-robin — GT guarantees hold while idle GT slots are not wasted.
+    """
+
+    def __init__(self, slot_table: Sequence[Optional[int]], n: int):
+        if not slot_table:
+            raise ValueError("slot table must be non-empty")
+        self.slot_table = list(slot_table)
+        self._be = RoundRobinArbiter(n)
+        self.n = n
+
+    def grant(
+        self,
+        cycle: int,
+        requests: Sequence[bool],
+        connection_of: Sequence[Optional[int]],
+    ) -> Optional[int]:
+        """Arbitrate at ``cycle``.
+
+        ``connection_of[i]`` is the GT connection id of requester i's
+        head-of-line packet (None for best-effort traffic).
+        """
+        if len(requests) != self.n or len(connection_of) != self.n:
+            raise ValueError("request/connection vectors must match arbiter size")
+        owner = self.slot_table[cycle % len(self.slot_table)]
+        if owner is not None:
+            for idx, (req, conn) in enumerate(zip(requests, connection_of)):
+                if req and conn == owner:
+                    return idx
+        # Slot unowned or owner idle: best-effort round robin.
+        be_requests = [
+            req and conn is None for req, conn in zip(requests, connection_of)
+        ]
+        return self._be.grant(be_requests)

@@ -1,0 +1,372 @@
+"""Link models: pipelined transport plus link-level flow control.
+
+"Links abstract the connectivity between NIs and switches and between
+the switches themselves ... they can provide pipelining in order to
+achieve the required timing." (Section 3)
+
+Three concrete links implement the flow controls of Fig. 1:
+
+* :class:`CreditLink` — exact credit bookkeeping; the reference.
+* :class:`OnOffLink` — ON/OFF backpressure: the sender observes the
+  downstream buffer state *delayed by the link traversal* and therefore
+  throttles conservatively; no output buffers needed, but long/pipelined
+  links lose throughput when buffers are shallow.
+* :class:`AckNackLink` — go-back-N retransmission: flits transmit
+  speculatively, a full receiver NACKs, and the sender replays from its
+  output (retransmission) buffer — "output buffers are required, as
+  flits have to be retransmitted until the downstream router has
+  sufficient capacity" (Section 3).
+
+All links carry at most one flit per cycle, regardless of VC count, and
+deliver after ``delay_cycles`` (1 + pipeline stages).
+
+The receiver contract: a downstream object exposes ``free_slots(vc)``
+and ``accept(flit)``; credit/ON-OFF links never call ``accept`` unless
+the model guarantees space, while the ACK/NACK link probes with
+``try_accept`` semantics (accept returns False when full).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Protocol, Tuple
+
+from repro.arch.packet import Flit
+from repro.arch.parameters import FlowControlKind, NocParameters
+
+
+class Receiver(Protocol):
+    """Downstream endpoint of a link (switch input port or NI sink)."""
+
+    def free_slots(self, vc: int) -> int: ...
+
+    def accept(self, flit: Flit) -> bool: ...
+
+
+class Link:
+    """Base link: delay pipeline and per-cycle bandwidth accounting."""
+
+    def __init__(self, name: str, delay_cycles: int, num_vcs: int):
+        if delay_cycles < 1:
+            raise ValueError("link delay must be >= 1 cycle")
+        if num_vcs < 1:
+            raise ValueError("need at least one VC")
+        self.name = name
+        self.delay_cycles = delay_cycles
+        self.num_vcs = num_vcs
+        self.receiver: Optional[Receiver] = None
+        self._in_flight: Deque[Tuple[int, Flit]] = deque()  # (deliver_at, flit)
+        self._last_send_cycle = -1
+        self.flits_carried = 0  # lifetime statistics (utilization, power)
+
+    def connect(self, receiver: Receiver) -> None:
+        self.receiver = receiver
+
+    # -- sender interface ------------------------------------------------
+    def can_send(self, vc: int, cycle: int) -> bool:
+        raise NotImplementedError
+
+    def can_send_flit(self, flit: Flit, cycle: int) -> bool:
+        """Flit-aware gate (overridden by multi-link dispatchers)."""
+        return self.can_send(flit.vc, cycle)
+
+    def send(self, flit: Flit, cycle: int) -> None:
+        if self._last_send_cycle == cycle:
+            raise RuntimeError(f"link {self.name}: second send in cycle {cycle}")
+        if not self.can_send(flit.vc, cycle):
+            raise RuntimeError(f"link {self.name}: send without flow-control grant")
+        self._last_send_cycle = cycle
+        self._in_flight.append((cycle + self.delay_cycles, flit))
+        self.flits_carried += 1
+
+    # -- per-cycle update -------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Deliver flits whose traversal completes this cycle."""
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            __, flit = self._in_flight.popleft()
+            self._deliver(flit, cycle)
+
+    def _deliver(self, flit: Flit, cycle: int) -> None:
+        raise NotImplementedError
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._in_flight)
+
+
+class CreditLink(Link):
+    """Exact credit-based flow control with credit-return latency."""
+
+    def __init__(self, name: str, delay_cycles: int, num_vcs: int, buffer_depth: int):
+        super().__init__(name, delay_cycles, num_vcs)
+        if buffer_depth < 1:
+            raise ValueError("downstream buffer depth must be >= 1")
+        self.credits = [buffer_depth] * num_vcs
+        self._returning: Deque[Tuple[int, int]] = deque()  # (arrive_at, vc)
+
+    def can_send(self, vc: int, cycle: int) -> bool:
+        self._collect_credits(cycle)
+        return self.credits[vc] > 0
+
+    def send(self, flit: Flit, cycle: int) -> None:
+        super().send(flit, cycle)
+        self.credits[flit.vc] -= 1
+
+    def return_credit(self, vc: int, cycle: int) -> None:
+        """Called by the receiver when a flit leaves its input buffer."""
+        self._returning.append((cycle + self.delay_cycles, vc))
+
+    def _collect_credits(self, cycle: int) -> None:
+        while self._returning and self._returning[0][0] <= cycle:
+            __, vc = self._returning.popleft()
+            self.credits[vc] += 1
+
+    def tick(self, cycle: int) -> None:
+        self._collect_credits(cycle)
+        super().tick(cycle)
+
+    def _deliver(self, flit: Flit, cycle: int) -> None:
+        accepted = self.receiver.accept(flit)
+        if not accepted:  # pragma: no cover - credits prevent this
+            raise RuntimeError(
+                f"link {self.name}: receiver overflow under credit flow control"
+            )
+
+
+class OnOffLink(Link):
+    """ON/OFF backpressure: delayed buffer-state observation.
+
+    The sender samples the downstream free-slot count as it was
+    ``delay_cycles`` ago (the backpressure wire has the same latency as
+    the data wires) and additionally accounts for its own in-flight
+    flits, so the downstream buffer can never overflow.  The OFF
+    threshold reserves slots to absorb flits already in the pipeline.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        delay_cycles: int,
+        num_vcs: int,
+        buffer_depth: int,
+        threshold: int = 1,
+    ):
+        super().__init__(name, delay_cycles, num_vcs)
+        if not 1 <= threshold <= buffer_depth:
+            raise ValueError("threshold must be within the buffer depth")
+        self.buffer_depth = buffer_depth
+        self.threshold = threshold
+        # History of observed free slots per VC, oldest first; index 0 is
+        # the sample the sender sees "now".
+        self._history: List[Deque[int]] = [
+            deque([buffer_depth] * delay_cycles, maxlen=delay_cycles)
+            for __ in range(num_vcs)
+        ]
+        self._in_flight_per_vc = [0] * num_vcs
+
+    def can_send(self, vc: int, cycle: int) -> bool:
+        observed = self._history[vc][0]
+        effective = observed - self._in_flight_per_vc[vc]
+        return effective > max(0, self.threshold - 1)
+
+    def send(self, flit: Flit, cycle: int) -> None:
+        super().send(flit, cycle)
+        self._in_flight_per_vc[flit.vc] += 1
+
+    def tick(self, cycle: int) -> None:
+        super().tick(cycle)
+        # Sample the downstream state for the sender to observe later.
+        if self.receiver is not None:
+            for vc in range(self.num_vcs):
+                self._history[vc].append(self.receiver.free_slots(vc))
+
+    def _deliver(self, flit: Flit, cycle: int) -> None:
+        self._in_flight_per_vc[flit.vc] -= 1
+        accepted = self.receiver.accept(flit)
+        if not accepted:  # pragma: no cover - conservative gating prevents this
+            raise RuntimeError(
+                f"link {self.name}: receiver overflow under ON/OFF flow control"
+            )
+
+
+class AckNackLink(Link):
+    """Go-back-N retransmission (single VC).
+
+    The output buffer holds every transmitted-but-unacknowledged flit.
+    A full receiver NACKs; the sender rewinds and replays, consuming
+    link cycles — the throughput cost of ACK/NACK under congestion that
+    motivates ON/OFF in xpipes.
+
+    ``flit_error_probability`` injects transmission errors: a corrupted
+    flit fails its CRC at the receiver and is NACKed exactly like a
+    buffer-refused one, so the same machinery provides the *run-time
+    error correction* the paper's introduction claims for NoCs.  Errors
+    are deterministic under ``error_seed``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        delay_cycles: int,
+        window: int,
+        flit_error_probability: float = 0.0,
+        error_seed: int = 1,
+    ):
+        super().__init__(name, delay_cycles, num_vcs=1)
+        if window < 1:
+            raise ValueError("retransmission window must be >= 1")
+        if not 0.0 <= flit_error_probability < 1.0:
+            raise ValueError("flit error probability must be in [0, 1)")
+        import random as _random
+
+        self.window = window
+        self.flit_error_probability = flit_error_probability
+        self._error_rng = _random.Random(error_seed)
+        self.flits_corrupted = 0
+        self._buffer: Deque[Flit] = deque()  # unacked flits, seq order
+        self._base_seq = 0                   # seq of _buffer[0]
+        self._send_ptr = 0                   # next index in _buffer to (re)transmit
+        self._high_water = 0                 # furthest index ever transmitted
+        self._control: Deque[Tuple[int, str, int]] = deque()  # (at, kind, seq)
+        self._expected_seq = 0               # receiver side
+        self._last_nacked: Optional[int] = None
+        self._last_event_cycle = 0           # for the retransmission timeout
+        self._timeout = max(6, 4 * delay_cycles)
+        self.retransmissions = 0
+
+    # -- sender ------------------------------------------------------------
+    def can_send(self, vc: int, cycle: int) -> bool:
+        # Accept a *new* flit only when the window has room; actual wire
+        # transmission is scheduled by tick().
+        self._process_control(cycle)
+        return len(self._buffer) < self.window
+
+    def send(self, flit: Flit, cycle: int) -> None:
+        if not self.can_send(flit.vc, cycle):
+            raise RuntimeError(f"link {self.name}: window full")
+        self._buffer.append(flit)
+        self.flits_carried += 1
+
+    def tick(self, cycle: int) -> None:
+        self._process_control(cycle)
+        # Timeout recovery: everything transmitted, nothing in flight, no
+        # control responses pending, yet flits remain unacknowledged —
+        # the NACK dedupe swallowed the replay request.  Resend the window.
+        if (
+            self._buffer
+            and self._send_ptr >= len(self._buffer)
+            and not self._in_flight
+            and not self._control
+            and cycle - self._last_event_cycle >= self._timeout
+        ):
+            self._send_ptr = 0
+            self._last_nacked = None
+            self._last_event_cycle = cycle
+        # Transmit one flit per cycle from the send pointer.
+        if self._send_ptr < len(self._buffer):
+            flit = self._buffer[self._send_ptr]
+            seq = self._base_seq + self._send_ptr
+            self._in_flight.append((cycle + self.delay_cycles, (seq, flit)))
+            if self._send_ptr < self._high_water:
+                self.retransmissions += 1
+            self._send_ptr += 1
+            self._high_water = max(self._high_water, self._send_ptr)
+            self._last_event_cycle = cycle
+        # Deliveries.
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            __, (seq, flit) = self._in_flight.popleft()
+            self._receive(seq, flit, cycle)
+
+    # -- receiver ------------------------------------------------------------
+    def _receive(self, seq: int, flit: Flit, cycle: int) -> None:
+        if (
+            self.flit_error_probability > 0.0
+            and self._error_rng.random() < self.flit_error_probability
+        ):
+            # CRC failure: the corrupted flit is discarded and replayed.
+            self.flits_corrupted += 1
+            self._nack(self._expected_seq, cycle)
+            return
+        if seq != self._expected_seq:
+            # Out-of-order (post-rewind duplicate or gap): request replay.
+            self._nack(self._expected_seq, cycle)
+            return
+        if self.receiver.accept(flit):
+            self._expected_seq += 1
+            self._last_nacked = None
+            self._control.append((cycle + self.delay_cycles, "ack", seq))
+        else:
+            self._nack(seq, cycle)
+
+    def _nack(self, seq: int, cycle: int) -> None:
+        if self._last_nacked == seq:
+            return  # rate-limit duplicate NACKs for the same expected seq
+        self._last_nacked = seq
+        self._control.append((cycle + self.delay_cycles, "nack", seq))
+
+    def _process_control(self, cycle: int) -> None:
+        while self._control and self._control[0][0] <= cycle:
+            __, kind, seq = self._control.popleft()
+            self._last_event_cycle = cycle
+            if kind == "ack":
+                while self._buffer and self._base_seq <= seq:
+                    self._buffer.popleft()
+                    self._base_seq += 1
+                    self._send_ptr = max(0, self._send_ptr - 1)
+                    self._high_water = max(0, self._high_water - 1)
+            else:  # nack: rewind to the requested sequence number
+                rewind = seq - self._base_seq
+                if 0 <= rewind < self._send_ptr:
+                    self._send_ptr = rewind
+
+    def _deliver(self, flit: Flit, cycle: int) -> None:  # pragma: no cover
+        raise AssertionError("AckNackLink handles delivery in tick()")
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._in_flight) or bool(self._buffer) or bool(self._control)
+
+
+def make_link(
+    name: str,
+    delay_cycles: int,
+    params: NocParameters,
+    flit_error_probability: float = 0.0,
+) -> Link:
+    """Factory: build the link matching ``params.flow_control``.
+
+    ``flit_error_probability`` enables transmission-error injection; it
+    requires the retransmitting (ACK/NACK) flow control, since the other
+    schemes have no recovery path.
+    """
+    if flit_error_probability > 0.0 and params.flow_control is not (
+        FlowControlKind.ACK_NACK
+    ):
+        raise ValueError(
+            "error injection requires ACK/NACK flow control (the only "
+            "scheme with link-level recovery)"
+        )
+    if params.flow_control is FlowControlKind.CREDIT:
+        return CreditLink(name, delay_cycles, params.num_vcs, params.buffer_depth)
+    if params.flow_control is FlowControlKind.ON_OFF:
+        return OnOffLink(
+            name,
+            delay_cycles,
+            params.num_vcs,
+            params.buffer_depth,
+            threshold=params.onoff_threshold,
+        )
+    if params.flow_control is FlowControlKind.ACK_NACK:
+        if params.num_vcs != 1:
+            raise ValueError("ACK/NACK links support a single VC")
+        import zlib
+
+        return AckNackLink(
+            name,
+            delay_cycles,
+            params.ack_nack_window,
+            flit_error_probability=flit_error_probability,
+            error_seed=zlib.crc32(name.encode()),  # stable across runs
+        )
+    raise ValueError(f"unknown flow control {params.flow_control!r}")

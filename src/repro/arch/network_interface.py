@@ -1,0 +1,298 @@
+"""Network interfaces: the protocol boundary of the NoC.
+
+"The main role of the Network Interfaces is to convert the bus protocol
+that is used by the Processing Elements to the network protocol used by
+the switches ... In xpipes, two separate NIs are defined, an initiator
+and a target one, respectively associated with system masters and system
+slaves." (Section 3)
+
+* :class:`InitiatorNI` — packetizes outbound transactions, reads the
+  source route from its LUT, serializes flits into the injection link
+  (one flit per cycle), optionally gated by a TDMA slot table for
+  guaranteed-throughput connections.
+* :class:`TargetNI` — the sink: reassembles packets and (for
+  request-class packets) can produce responses after a service latency,
+  modelling a memory/slave core.  It always consumes arriving flits,
+  the consumption guarantee underpinning message-dependent deadlock
+  freedom.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.arch.link import Link
+from repro.arch.packet import Flit, MessageClass, Packet
+from repro.arch.parameters import NocParameters
+
+
+class RoutingLut:
+    """The NI look-up table: destination core -> (route, vc path)."""
+
+    def __init__(self):
+        self._entries: Dict[str, Tuple[Tuple[str, ...], Optional[Tuple[int, ...]]]] = {}
+
+    def set(self, destination: str, route: Tuple[str, ...],
+            vc_path: Optional[Tuple[int, ...]] = None) -> None:
+        self._entries[destination] = (route, vc_path)
+
+    def lookup(self, destination: str) -> Tuple[Tuple[str, ...], Optional[Tuple[int, ...]]]:
+        try:
+            return self._entries[destination]
+        except KeyError:
+            raise KeyError(f"NI LUT has no route to {destination!r}") from None
+
+    def __contains__(self, destination: str) -> bool:
+        return destination in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class InitiatorNI:
+    """Master-side NI: packetize and inject.
+
+    Guaranteed and best-effort packets wait in *separate* queues (the
+    Aethereal NI structure): GT flits inject only in their owned TDMA
+    slots and preempt BE serialization in those cycles, so best-effort
+    backlog can never push guaranteed traffic off its reservation.
+    """
+
+    def __init__(self, core: str, params: NocParameters, lut: RoutingLut):
+        self.core = core
+        self.params = params
+        self.lut = lut
+        self.injection_link: Optional[Link] = None
+        self._be_queue: Deque[Packet] = deque()
+        # One queue per GT connection (the Aethereal NI structure): a
+        # connection waiting for its slot must never block another
+        # connection whose slot is open.
+        self._gt_queues: Dict[Optional[int], Deque[Packet]] = {}
+        self._current_be: Optional[List[Flit]] = None  # flits left of head packet
+        self._current_gt: Dict[Optional[int], List[Flit]] = {}
+        self.slot_table: Optional[List[Optional[int]]] = None  # TDMA injection gate
+        self.gt_vc: Optional[int] = None  # dedicated VC for guaranteed traffic
+        self.trace = None  # optional callback(cycle, flit) on injection
+        self.packets_injected = 0
+        self.flits_injected = 0
+
+    def connect(self, link: Link) -> None:
+        self.injection_link = link
+
+    # ------------------------------------------------------------------
+    def send(self, destination: str, size_flits: int, cycle: int,
+             message_class: MessageClass = MessageClass.BEST_EFFORT,
+             connection_id: Optional[int] = None,
+             payload: Optional[object] = None) -> Packet:
+        """Queue one packet toward ``destination``; returns it."""
+        route, vc_path = self.lut.lookup(destination)
+        if message_class is MessageClass.GUARANTEED and self.gt_vc is not None:
+            vc_path = tuple([self.gt_vc] * (len(route) - 1))
+        packet = Packet(
+            source=self.core,
+            destination=destination,
+            size_flits=size_flits,
+            route=route,
+            injection_cycle=cycle,
+            message_class=message_class,
+            connection_id=connection_id,
+            vc_path=vc_path,
+            payload=payload,
+        )
+        self.enqueue(packet)
+        return packet
+
+    def enqueue(self, packet: Packet) -> None:
+        """Queue a pre-built packet (responses, traces)."""
+        if packet.message_class is MessageClass.GUARANTEED:
+            self._gt_queues.setdefault(packet.connection_id, deque()).append(
+                packet
+            )
+        else:
+            self._be_queue.append(packet)
+
+    @property
+    def backlog(self) -> int:
+        """Packets waiting (including those being serialized)."""
+        return (
+            len(self._be_queue)
+            + sum(len(q) for q in self._gt_queues.values())
+            + (1 if self._current_be else 0)
+            + sum(1 for flits in self._current_gt.values() if flits)
+        )
+
+    def tick(self, cycle: int) -> None:
+        """Inject at most one flit into the NoC (GT first in its slots)."""
+        if self.injection_link is None:
+            raise RuntimeError(f"initiator NI {self.core!r} is not connected")
+        if self._try_inject_gt(cycle):
+            return
+        self._try_inject_be(cycle)
+
+    def _gt_head_flit(self, connection_id: Optional[int]):
+        """Head flit of one connection's serialization stream, if any."""
+        current = self._current_gt.get(connection_id)
+        if not current:
+            queue = self._gt_queues.get(connection_id)
+            if not queue:
+                return None
+            current = queue.popleft().flits()
+            self._current_gt[connection_id] = current
+            self.packets_injected += 1
+        return current[0]
+
+    def _try_inject_gt(self, cycle: int) -> bool:
+        if not self._gt_queues and not any(self._current_gt.values()):
+            return False
+        # Only the owner of the current slot may inject: look up whose
+        # turn it is rather than serializing connections through a FIFO.
+        if self.slot_table is not None:
+            owner = self.slot_table[cycle % len(self.slot_table)]
+            if owner is None:
+                return False
+            candidates = [owner]
+        else:
+            # No table installed (direct use): fixed priority over ids.
+            ids = set(self._gt_queues) | {
+                cid for cid, flits in self._current_gt.items() if flits
+            }
+            candidates = sorted(
+                ids, key=lambda c: (c is None, c if c is not None else 0)
+            )
+        for connection_id in candidates:
+            flit = self._gt_head_flit(connection_id)
+            if flit is None:
+                continue
+            flit.vc = flit.packet.vc_on_link(0)
+            if not self.injection_link.can_send_flit(flit, cycle):
+                return False
+            self._current_gt[connection_id].pop(0)
+            self._transmit(flit, cycle)
+            if not self._current_gt[connection_id]:
+                del self._current_gt[connection_id]
+            return True
+        return False
+
+    def _try_inject_be(self, cycle: int) -> None:
+        if self._current_be is None:
+            if not self._be_queue:
+                return
+            self._current_be = self._be_queue.popleft().flits()
+            self.packets_injected += 1
+        flit = self._current_be[0]
+        flit.vc = flit.packet.vc_on_link(0)
+        if not self.injection_link.can_send_flit(flit, cycle):
+            return
+        self._current_be.pop(0)
+        self._transmit(flit, cycle)
+        if not self._current_be:
+            self._current_be = None
+
+    def _transmit(self, flit: Flit, cycle: int) -> None:
+        self.injection_link.send(flit, cycle)
+        flit.hop += 1  # the flit now travels toward route[1]
+        self.flits_injected += 1
+        if self.trace is not None:
+            self.trace(cycle, flit)
+
+
+class TargetNI:
+    """Slave-side NI: sink, reassembly, optional response generation.
+
+    Implements the link Receiver contract.  A small ejection buffer
+    (always drained at one flit per cycle) keeps the consumption
+    guarantee honest while still exerting realistic backpressure if the
+    link delivers faster than the drain rate (it cannot: links also
+    carry one flit per cycle).
+    """
+
+    def __init__(self, core: str, params: NocParameters,
+                 ejection_depth: int = 8):
+        self.core = core
+        self.params = params
+        self.ejection_depth = ejection_depth
+        self._buffer: Deque[Flit] = deque()
+        self._ejection_links: Dict[str, Link] = {}  # upstream switch -> link
+        self._responder: Optional[Callable[[Packet, int], Optional[Packet]]] = None
+        self.trace = None  # optional callback(cycle, flit) on drain
+        self._service_cycles = 0
+        self._pending_responses: Deque[Tuple[int, Packet]] = deque()
+        self.response_ni: Optional[InitiatorNI] = None
+        self.packets_received: List[Tuple[Packet, int]] = []  # (packet, arrival)
+        self.flits_received = 0
+
+    def set_responder(
+        self,
+        responder: Callable[[Packet, int], Optional[Packet]],
+        service_cycles: int = 0,
+    ) -> None:
+        """Install a callback building a response packet for request
+        packets (memory model); needs ``response_ni`` to inject it.
+
+        ``service_cycles`` models the slave's access latency: the
+        response enters the injection queue that many cycles after the
+        request's tail arrives.
+        """
+        if service_cycles < 0:
+            raise ValueError("service latency must be non-negative")
+        self._responder = responder
+        self._service_cycles = service_cycles
+
+    def register_ejection_link(self, upstream: str, link: Link) -> None:
+        """Record the link arriving from ``upstream`` (credit returns)."""
+        self._ejection_links[upstream] = link
+
+    # -- Receiver contract -------------------------------------------------
+    def free_slots(self, vc: int) -> int:
+        return self.ejection_depth - len(self._buffer)
+
+    def accept(self, flit: Flit) -> bool:
+        if len(self._buffer) >= self.ejection_depth:
+            return False
+        self._buffer.append(flit)
+        return True
+
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Drain one flit; complete packets at their tail flit."""
+        # Release responses whose service latency has elapsed.
+        while self._pending_responses and self._pending_responses[0][0] <= cycle:
+            __, response = self._pending_responses.popleft()
+            if self.response_ni is None:
+                raise RuntimeError(
+                    f"target NI {self.core!r} has a responder but no "
+                    "response initiator NI"
+                )
+            self.response_ni.enqueue(response)
+        if not self._buffer:
+            return
+        flit = self._buffer.popleft()
+        upstream = flit.packet.route[flit.hop - 1]
+        link = self._ejection_links.get(upstream)
+        if link is not None and hasattr(link, "return_credit"):
+            link.return_credit(flit.vc, cycle)
+        self.flits_received += 1
+        flit.arrival_cycle = cycle
+        if self.trace is not None:
+            self.trace(cycle, flit)
+        if flit.is_tail:
+            packet = flit.packet
+            self.packets_received.append((packet, cycle))
+            if (
+                self._responder is not None
+                and packet.message_class is MessageClass.REQUEST
+            ):
+                response = self._responder(packet, cycle)
+                if response is not None:
+                    if self.response_ni is None:
+                        raise RuntimeError(
+                            f"target NI {self.core!r} has a responder but no "
+                            "response initiator NI"
+                        )
+                    if self._service_cycles == 0:
+                        self.response_ni.enqueue(response)
+                    else:
+                        self._pending_responses.append(
+                            (cycle + self._service_cycles, response)
+                        )

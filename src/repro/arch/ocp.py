@@ -1,0 +1,164 @@
+"""OCP-style transaction layer.
+
+"The interface among IP cores and NIs is point-to-point as defined by
+the Open Core Protocol OCP 2.0 specification, guaranteeing maximum
+re-usability." (Section 3)
+
+We model the subset of OCP that matters architecturally: read and write
+transactions with burst lengths, and their conversion into
+request/response packets.  This is the glue the paper's NIs implement:
+"NIs convert transaction requests/responses into packets and vice
+versa."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.arch.packet import MessageClass, Packet, packet_size_flits
+from repro.arch.parameters import NocParameters
+
+
+class OcpCommand(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class OcpTransaction:
+    """One OCP burst transaction issued by a master."""
+
+    command: OcpCommand
+    master: str
+    slave: str
+    address: int
+    burst_bytes: int
+    transaction_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.burst_bytes < 1:
+            raise ValueError("burst must carry at least one byte")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+    @property
+    def is_read(self) -> bool:
+        return self.command is OcpCommand.READ
+
+
+# Header/command bits carried by request packets beyond the route field.
+_COMMAND_BITS = 48  # address + command + burst metadata
+
+
+def request_packet_flits(txn: OcpTransaction, params: NocParameters) -> int:
+    """Flits of the request packet for ``txn``.
+
+    Writes carry the burst payload out; reads carry only the command.
+    """
+    payload_bits = _COMMAND_BITS + (0 if txn.is_read else txn.burst_bytes * 8)
+    return min(
+        params.max_packet_flits,
+        packet_size_flits(payload_bits, params.flit_width, params.header_bits),
+    )
+
+
+def response_packet_flits(txn: OcpTransaction, params: NocParameters) -> int:
+    """Flits of the response packet for ``txn``.
+
+    Reads return the burst payload; writes return a short acknowledgement.
+    """
+    payload_bits = 16 + (txn.burst_bytes * 8 if txn.is_read else 0)
+    return min(
+        params.max_packet_flits,
+        packet_size_flits(payload_bits, params.flit_width, params.header_bits),
+    )
+
+
+def make_request_packet(
+    txn: OcpTransaction,
+    route: Tuple[str, ...],
+    params: NocParameters,
+    cycle: int,
+    vc_path: Optional[Tuple[int, ...]] = None,
+) -> Packet:
+    """Build the request packet the initiator NI injects for ``txn``."""
+    return Packet(
+        source=txn.master,
+        destination=txn.slave,
+        size_flits=request_packet_flits(txn, params),
+        route=route,
+        injection_cycle=cycle,
+        message_class=MessageClass.REQUEST,
+        vc_path=vc_path,
+        payload=txn,
+    )
+
+
+def split_transaction(
+    txn: OcpTransaction, params: NocParameters
+) -> "list[OcpTransaction]":
+    """Split a burst that exceeds ``max_packet_flits`` into sub-bursts.
+
+    Real NIs chop long OCP bursts into maximum-length packets ("packets
+    are then serialized into a sequence of flits"); truncating would
+    lose payload.  Each sub-transaction keeps the parent's id; addresses
+    advance through the burst.  Returns ``[txn]`` when it already fits.
+    """
+    # Payload bytes one maximal packet can move (beyond the command).
+    max_payload_bits = (
+        (params.max_packet_flits - 1) * params.flit_width
+        + (params.flit_width - params.header_bits)
+        - _COMMAND_BITS
+    )
+    if max_payload_bits < 8:
+        raise ValueError(
+            "max_packet_flits too small to carry any burst payload"
+        )
+    carried = txn.burst_bytes * 8 if not txn.is_read else 0
+    if carried <= max_payload_bits:
+        # Reads always fit (command only); short writes too.
+        return [txn]
+    chunk_bytes = max_payload_bits // 8
+    out = []
+    offset = 0
+    remaining = txn.burst_bytes
+    while remaining > 0:
+        step = min(chunk_bytes, remaining)
+        out.append(
+            OcpTransaction(
+                command=txn.command,
+                master=txn.master,
+                slave=txn.slave,
+                address=txn.address + offset,
+                burst_bytes=step,
+                transaction_id=txn.transaction_id,
+            )
+        )
+        offset += step
+        remaining -= step
+    return out
+
+
+def make_response_packet(
+    request: Packet,
+    route: Tuple[str, ...],
+    params: NocParameters,
+    cycle: int,
+    vc_path: Optional[Tuple[int, ...]] = None,
+) -> Packet:
+    """Build the response packet a target NI returns for ``request``."""
+    txn = request.payload
+    if not isinstance(txn, OcpTransaction):
+        raise TypeError("request packet does not carry an OCP transaction")
+    return Packet(
+        source=request.destination,
+        destination=request.source,
+        size_flits=response_packet_flits(txn, params),
+        route=route,
+        injection_cycle=cycle,
+        message_class=MessageClass.RESPONSE,
+        vc_path=vc_path,
+        payload=txn,
+    )

@@ -1,0 +1,147 @@
+"""Packets and flits.
+
+"NIs convert transaction requests/responses into packets and vice versa.
+Packets are then serialized into a sequence of FLow control unITS
+(flits) before transmission, to decrease the physical wire parallelism
+requirements." (Section 3)
+
+A packet's head flit carries the source route (the path read from the
+NI LUT) plus header metadata; body flits carry pure payload; the tail
+flit releases the wormhole.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+
+class FlitType(Enum):
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    SINGLE = "single"  # head and tail in one (single-flit packet)
+
+
+class MessageClass(Enum):
+    """Traffic class, for QoS and message-dependent deadlock analysis."""
+
+    BEST_EFFORT = "be"
+    GUARANTEED = "gt"
+    REQUEST = "request"
+    RESPONSE = "response"
+
+
+_packet_ids = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Restart the global packet-id counter (test/determinism helper)."""
+    global _packet_ids
+    _packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One network packet: a routed payload between two cores."""
+
+    source: str
+    destination: str
+    size_flits: int
+    route: Tuple[str, ...]
+    injection_cycle: int = 0
+    message_class: MessageClass = MessageClass.BEST_EFFORT
+    connection_id: Optional[int] = None  # GT connection (TDMA slot owner)
+    vc_path: Optional[Tuple[int, ...]] = None  # VC per link, len(route) - 1
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    payload: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.size_flits < 1:
+            raise ValueError("packet needs at least one flit")
+        if len(self.route) < 2:
+            raise ValueError("packet route must span source to destination")
+        if self.route[0] != self.source or self.route[-1] != self.destination:
+            raise ValueError("route endpoints must match source/destination")
+        if self.vc_path is not None and len(self.vc_path) != len(self.route) - 1:
+            raise ValueError(
+                f"vc_path needs {len(self.route) - 1} entries, got {len(self.vc_path)}"
+            )
+
+    def vc_on_link(self, hop: int) -> int:
+        """VC used on the link route[hop] -> route[hop+1]."""
+        if not 0 <= hop < len(self.route) - 1:
+            raise IndexError(f"hop {hop} out of range for route {self.route}")
+        return self.vc_path[hop] if self.vc_path is not None else 0
+
+    def flits(self) -> List["Flit"]:
+        """Serialize into head/body/tail flits."""
+        if self.size_flits == 1:
+            return [Flit(self, 0, FlitType.SINGLE)]
+        out = [Flit(self, 0, FlitType.HEAD)]
+        out.extend(
+            Flit(self, i, FlitType.BODY) for i in range(1, self.size_flits - 1)
+        )
+        out.append(Flit(self, self.size_flits - 1, FlitType.TAIL))
+        return out
+
+
+@dataclass
+class Flit:
+    """One flow-control unit moving through the network."""
+
+    packet: Packet
+    index: int
+    flit_type: FlitType
+    hop: int = 0          # position in packet.route: the node currently holding it
+    vc: int = 0           # virtual channel on the *next* link
+    arrival_cycle: Optional[int] = None
+
+    @property
+    def is_head(self) -> bool:
+        return self.flit_type in (FlitType.HEAD, FlitType.SINGLE)
+
+    @property
+    def is_tail(self) -> bool:
+        return self.flit_type in (FlitType.TAIL, FlitType.SINGLE)
+
+    @property
+    def route(self) -> Tuple[str, ...]:
+        return self.packet.route
+
+    def current_node(self) -> str:
+        return self.packet.route[self.hop]
+
+    def next_node(self) -> Optional[str]:
+        if self.hop + 1 < len(self.packet.route):
+            return self.packet.route[self.hop + 1]
+        return None
+
+    def __repr__(self) -> str:  # compact for debugging
+        return (
+            f"Flit(p{self.packet.packet_id}#{self.index} "
+            f"{self.flit_type.value} @{self.current_node()})"
+        )
+
+
+def packet_size_flits(payload_bits: int, flit_width: int, header_bits: int) -> int:
+    """Flits needed to carry ``payload_bits`` (header eats into flit 1).
+
+    Mirrors the NI packetization datapath: the head flit carries
+    ``flit_width - header_bits`` payload bits (never negative), the rest
+    carry ``flit_width`` each.
+    """
+    if payload_bits < 0:
+        raise ValueError("payload must be non-negative")
+    if flit_width < 8:
+        raise ValueError("flit width must be >= 8")
+    if header_bits >= flit_width:
+        raise ValueError("header must fit within one flit")
+    head_payload = flit_width - header_bits
+    if payload_bits <= head_payload:
+        return 1
+    remaining = payload_bits - head_payload
+    return 1 + math.ceil(remaining / flit_width)

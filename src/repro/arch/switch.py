@@ -1,0 +1,236 @@
+"""Wormhole switch model.
+
+"Switches are the backbone of the network.  Their main function is to
+route packets from source to destination ... Switches provide buffering
+resources to lower congestion and improve performance." (Section 3)
+
+The model is an input-queued wormhole switch with per-(port, VC) FIFOs:
+
+* routing is *source routing* — the output port is read from the flit's
+  route, no route computation stage;
+* per output port, an arbiter grants one flit per cycle among the input
+  VCs whose head flit requests it;
+* wormhole: a (output, VC) pair is locked by the winning packet from
+  head to tail, so packets never interleave within a VC (but different
+  VCs share the physical link cycle-by-cycle);
+* on buffer pop, a credit returns to the upstream link (credit-based
+  flow control) — other flow controls observe buffer occupancy instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.arch.arbiter import RoundRobinArbiter, TdmaArbiter
+from repro.arch.link import CreditLink, Link
+from repro.arch.packet import Flit, MessageClass
+from repro.arch.parameters import ArbitrationKind, NocParameters
+
+
+class InputPort:
+    """Per-upstream-neighbour input: one FIFO per virtual channel.
+
+    Implements the link Receiver contract (``free_slots`` / ``accept``).
+    Each buffered flit carries its *ready cycle* — arrival plus the
+    router pipeline depth — so multi-stage switches are modelled by
+    delaying eligibility, not by extra buffer structures.
+    """
+
+    def __init__(self, switch: "SwitchModel", upstream: str, num_vcs: int, depth: int):
+        self.switch = switch
+        self.upstream = upstream
+        self.depth = depth
+        # Each entry: (flit, earliest cycle it may be forwarded).
+        self.buffers: List[Deque[Tuple[Flit, int]]] = [
+            deque() for __ in range(num_vcs)
+        ]
+        self.upstream_link: Optional[Link] = None
+        self.peak_occupancy = 0  # deepest any single VC FIFO ever got
+
+    def free_slots(self, vc: int) -> int:
+        return self.depth - len(self.buffers[vc])
+
+    def accept(self, flit: Flit) -> bool:
+        if self.free_slots(flit.vc) <= 0:
+            return False
+        ready = self.switch.now + self.switch.params.switch_latency_cycles
+        self.buffers[flit.vc].append((flit, ready))
+        occupied = len(self.buffers[flit.vc])
+        if occupied > self.peak_occupancy:
+            self.peak_occupancy = occupied
+        return True
+
+    def head(self, vc: int, cycle: int) -> Optional[Flit]:
+        """Head-of-line flit, if its pipeline delay has elapsed."""
+        buf = self.buffers[vc]
+        if not buf:
+            return None
+        flit, ready = buf[0]
+        return flit if cycle >= ready else None
+
+    def pop(self, vc: int, cycle: int) -> Flit:
+        flit, __ = self.buffers[vc].popleft()
+        if isinstance(self.upstream_link, CreditLink):
+            self.upstream_link.return_credit(flit.vc, cycle)
+        return flit
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(b) for b in self.buffers)
+
+
+class SwitchModel:
+    """One switch instance inside the simulator."""
+
+    def __init__(self, name: str, params: NocParameters):
+        self.name = name
+        self.params = params
+        self.inputs: Dict[str, InputPort] = {}
+        self.outputs: Dict[str, Link] = {}
+        # Wormhole ownership: (output node, vc) -> (input node, input vc)
+        self._locks: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        self._arbiters: Dict[str, RoundRobinArbiter] = {}
+        self._tdma: Dict[str, TdmaArbiter] = {}
+        self.now = -1  # updated at each tick; used for pipeline timing
+        self.trace = None  # optional callback(cycle, flit) on forward
+        self.flits_forwarded = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (done by the simulator builder)
+    # ------------------------------------------------------------------
+    def add_input(self, upstream: str, link: Link) -> InputPort:
+        if upstream in self.inputs:
+            raise ValueError(f"duplicate input from {upstream!r}")
+        port = InputPort(
+            self, upstream, self.params.num_vcs, self.params.buffer_depth
+        )
+        port.upstream_link = link
+        self.inputs[upstream] = port
+        return port
+
+    def add_output(self, downstream: str, link: Link) -> None:
+        if downstream in self.outputs:
+            raise ValueError(f"duplicate output to {downstream!r}")
+        self.outputs[downstream] = link
+
+    def set_tdma_table(self, downstream: str, arbiter: TdmaArbiter) -> None:
+        """Install an Aethereal slot table on one output port."""
+        if downstream not in self.outputs:
+            raise KeyError(f"no output to {downstream!r}")
+        self._tdma[downstream] = arbiter
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Arbitrate each output port and forward at most one flit on it.
+
+        All (input, VC) head flits are scanned exactly once, so an input
+        FIFO supplies at most one flit per cycle (the crossbar's input
+        bandwidth constraint) and each output link carries at most one.
+        """
+        self.now = cycle
+        if not hasattr(self, "_sorted_inputs"):
+            self._sorted_inputs = sorted(self.inputs)
+            self._sorted_outputs = sorted(self.outputs)
+        requests: Dict[str, List[Tuple[str, int, Flit]]] = {}
+        for upstream in self._sorted_inputs:
+            port = self.inputs[upstream]
+            for vc in range(self.params.num_vcs):
+                flit = port.head(vc, cycle)
+                if flit is None:
+                    continue
+                downstream = flit.next_node()
+                link = self.outputs.get(downstream)
+                if link is None:
+                    raise RuntimeError(
+                        f"switch {self.name}: flit routed to unknown "
+                        f"output {downstream!r}"
+                    )
+                out_vc = flit.packet.vc_on_link(flit.hop)  # VC for next link
+                if flit.packet.message_class is not MessageClass.GUARANTEED:
+                    # GT flits own their time slots end to end; slot
+                    # reservation already serializes them, so only
+                    # best-effort traffic takes wormhole locks.
+                    lock = self._locks.get((downstream, out_vc))
+                    if flit.is_head:
+                        if lock is not None and lock != (upstream, vc):
+                            continue  # VC busy with another packet
+                    elif lock != (upstream, vc):
+                        continue  # only the owner may send body/tail
+                if not link.can_send(out_vc, cycle):
+                    continue
+                requests.setdefault(downstream, []).append(
+                    (upstream, vc, flit)
+                )
+        for downstream in self._sorted_outputs:
+            candidates = requests.get(downstream)
+            if not candidates:
+                continue
+            winner = self._arbitrate(downstream, candidates, cycle)
+            if winner is None:
+                continue
+            upstream, vc, __ = winner
+            flit = self.inputs[upstream].pop(vc, cycle)
+            out_vc = flit.packet.vc_on_link(flit.hop)
+            flit.vc = out_vc
+            if flit.packet.message_class is not MessageClass.GUARANTEED:
+                if flit.is_head:
+                    self._locks[(downstream, out_vc)] = (upstream, vc)
+                if flit.is_tail:
+                    self._locks.pop((downstream, out_vc), None)
+            self.outputs[downstream].send(flit, cycle)
+            flit.hop += 1
+            self.flits_forwarded += 1
+            if self.trace is not None:
+                self.trace(cycle, flit)
+
+    def _arbitrate(
+        self,
+        downstream: str,
+        candidates: List[Tuple[str, int, Flit]],
+        cycle: int,
+    ) -> Optional[Tuple[str, int, Flit]]:
+        if not hasattr(self, "_input_index"):
+            self._input_index = {
+                name: i for i, name in enumerate(sorted(self.inputs))
+            }
+        index_of = self._input_index
+        n = len(index_of) * self.params.num_vcs
+
+        def slot(upstream: str, vc: int) -> int:
+            return index_of[upstream] * self.params.num_vcs + vc
+
+        requests = [False] * n
+        by_slot: Dict[int, Tuple[str, int, Flit]] = {}
+        for upstream, vc, flit in candidates:
+            s = slot(upstream, vc)
+            requests[s] = True
+            by_slot[s] = (upstream, vc, flit)
+
+        tdma = self._tdma.get(downstream)
+        if tdma is not None:
+            connection_of: List[Optional[int]] = [None] * n
+            for s, (__, __vc, flit) in by_slot.items():
+                if flit.packet.message_class is MessageClass.GUARANTEED:
+                    connection_of[s] = flit.packet.connection_id
+            granted = tdma.grant(cycle, requests, connection_of)
+        else:
+            if self.params.arbitration is ArbitrationKind.FIXED_PRIORITY:
+                granted = next((i for i, r in enumerate(requests) if r), None)
+            else:
+                arbiter = self._arbiters.get(downstream)
+                if arbiter is None or arbiter.n != n:
+                    arbiter = RoundRobinArbiter(n)
+                    self._arbiters[downstream] = arbiter
+                granted = arbiter.grant(requests)
+        if granted is None:
+            return None
+        return by_slot[granted]
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Total flits buffered in this switch (stats/idle detection)."""
+        return sum(port.occupancy for port in self.inputs.values())

@@ -1,0 +1,5 @@
+"""Case-study chip models from Section 5 of the paper."""
+
+from repro.chips import bone, faust, spin, teraflops, tile_gx
+
+__all__ = ["bone", "faust", "spin", "teraflops", "tile_gx"]

@@ -1,0 +1,120 @@
+"""BONE memory-centric NoC (KAIST) — Fig. 5.
+
+"The design consists of 8 dual port memories, crossbar switches and ten
+RISC processors.  They are connected in a hierarchical star topology.
+The dual-port SRAMs are assigned dynamically to the RISC processors that
+are exchanging data ... The architecture supports flexible mapping of
+tasks to processors, thereby providing better performance than a
+conventional 2D mesh-based CMP." (Section 5)
+
+We build both contenders — the hierarchical star and a same-size 2D
+mesh CMP — plus the memory-centric traffic (processors exchanging data
+through shared SRAM banks) on which the star's advantage shows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.parameters import NocParameters
+from repro.sim.traffic import Flow
+from repro.topology.graph import RoutingTable, Topology
+from repro.topology.mesh import mesh
+from repro.topology.routing import shortest_path_routing, xy_routing
+from repro.topology.star import bone_style
+
+NUM_PROCESSORS = 10
+NUM_MEMORIES = 8
+FREQUENCY_HZ = 335e6  # published BONE-series clock ballpark
+FLIT_WIDTH = 32
+
+
+@dataclass(frozen=True)
+class BoneChip:
+    topology: Topology
+    routing_table: RoutingTable
+    params: NocParameters
+    frequency_hz: float
+
+
+def build() -> BoneChip:
+    """The Fig. 5 hierarchical star."""
+    topo = bone_style(NUM_PROCESSORS, NUM_MEMORIES, flit_width=FLIT_WIDTH)
+    return BoneChip(
+        topology=topo,
+        routing_table=shortest_path_routing(topo),
+        params=NocParameters(flit_width=FLIT_WIDTH),
+        frequency_hz=FREQUENCY_HZ,
+    )
+
+
+def build_mesh_reference() -> BoneChip:
+    """The 'conventional 2D mesh-based CMP' the paper compares against.
+
+    Same 18 endpoints (10 processors + 8 memories) on a 5x4 mesh with
+    processors and memories interleaved; two tiles stay empty.
+    """
+    grid = mesh(5, 4, flit_width=FLIT_WIDTH, name="bone_mesh_ref")
+    topo = Topology("bone_mesh_ref", flit_width=FLIT_WIDTH)
+    for sw in grid.switches:
+        a = grid.node_attrs(sw)
+        topo.add_switch(sw, x=a["x"], y=a["y"])
+    endpoints = _interleaved_endpoints()
+    tiles = [(x, y) for y in range(4) for x in range(5)]
+    for name, (x, y) in zip(endpoints, tiles):
+        attrs = {"x": x, "y": y}
+        topo.add_core(name, **attrs)
+        topo.add_link(name, f"s_{x}_{y}", length_mm=0.4)
+    for src, dst in grid.links:
+        if grid.kind(src).value == "switch" and grid.kind(dst).value == "switch":
+            if not topo.has_link(src, dst):
+                topo.add_link(src, dst, length_mm=grid.link_attrs(src, dst).length_mm)
+    return BoneChip(
+        topology=topo,
+        routing_table=xy_routing(topo),
+        params=NocParameters(flit_width=FLIT_WIDTH),
+        frequency_hz=FREQUENCY_HZ,
+    )
+
+
+def _interleaved_endpoints() -> List[str]:
+    """Processors and memories alternating across the grid."""
+    riscs = [f"risc_{p}" for p in range(NUM_PROCESSORS)]
+    srams = [f"sram_{m}" for m in range(NUM_MEMORIES)]
+    out: List[str] = []
+    for r, s in itertools.zip_longest(riscs, srams):
+        if r:
+            out.append(r)
+        if s:
+            out.append(s)
+    return out
+
+
+def memory_traffic(
+    total_flits_per_cycle: float = 2.0,
+    packet_size_flits: int = 4,
+) -> List[Flow]:
+    """Memory-centric workload: every processor streams to and from its
+    dynamically assigned SRAM banks (round-robin assignment).
+
+    The same flow list drives both topologies, so the comparison is
+    apples-to-apples.
+    """
+    if total_flits_per_cycle <= 0:
+        raise ValueError("traffic must be positive")
+    flows: List[Flow] = []
+    pairs = []
+    for p in range(NUM_PROCESSORS):
+        primary = p % NUM_MEMORIES
+        secondary = (p + 3) % NUM_MEMORIES
+        pairs.append((f"risc_{p}", f"sram_{primary}"))
+        pairs.append((f"sram_{primary}", f"risc_{p}"))
+        pairs.append((f"risc_{p}", f"sram_{secondary}"))
+    rate = total_flits_per_cycle / len(pairs)
+    for src, dst in pairs:
+        flows.append(
+            Flow(src, dst, flits_per_cycle=rate, packet_size_flits=packet_size_flits)
+        )
+    return flows

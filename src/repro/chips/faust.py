@@ -1,0 +1,91 @@
+"""FAUST telecom demonstrator — the quasi-mesh GT case study.
+
+"The GALS based ANoC and the multi-synchronous DSPIN NoC have been
+implemented in two demonstrator chips as system interconnect for the
+FAUST application ... The implemented topology is a quasi-mesh as on
+some routers connect more than one core.  In the receiver matrix —
+which consists of only 10 cores — the aggregate required bandwidth is
+10.6 Gbits/s to maintain real time communication." (Section 5)
+
+We build the quasi-mesh, define the 10-core receiver matrix with flows
+summing to 10.6 Gb/s, and expose the guaranteed-throughput admission
+problem the FAUST benchmark solves: every real-time flow must be
+admitted as a GT connection and sustain its bandwidth under best-effort
+interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.arch.packet import MessageClass
+from repro.arch.parameters import NocParameters
+from repro.sim.traffic import Flow
+from repro.topology.graph import RoutingTable, Topology
+from repro.topology.mesh import quasi_mesh
+from repro.topology.routing import xy_routing
+
+FREQUENCY_HZ = 250e6          # DSPIN-class clock
+FLIT_WIDTH = 32
+AGGREGATE_RT_BPS = 10.6e9     # published receiver-matrix requirement
+
+# 5x4 quasi-mesh; entries give cores per router (some host 2, one hosts 0).
+_CORES_AT = (
+    1, 1, 2, 1, 1,
+    1, 2, 1, 1, 1,
+    1, 1, 1, 2, 1,
+    1, 1, 0, 1, 1,
+)
+
+
+@dataclass(frozen=True)
+class FaustChip:
+    topology: Topology
+    routing_table: RoutingTable
+    params: NocParameters
+    frequency_hz: float
+    receiver_matrix: Tuple[str, ...]
+
+
+def build() -> FaustChip:
+    """Build the quasi-mesh and pick the receiver-matrix cores."""
+    topo = quasi_mesh(5, 4, list(_CORES_AT), flit_width=FLIT_WIDTH, name="faust")
+    table = xy_routing(topo)
+    # The receiver matrix: ten cores on the left/lower region of the die.
+    cores = sorted(topo.cores)
+    receiver = tuple(cores[:10])
+    return FaustChip(
+        topology=topo,
+        routing_table=table,
+        params=NocParameters(flit_width=FLIT_WIDTH, num_vcs=2),
+        frequency_hz=FREQUENCY_HZ,
+        receiver_matrix=receiver,
+    )
+
+
+def receiver_matrix_flows(chip: FaustChip) -> List[Flow]:
+    """The real-time flow set: a chain over the receiver matrix whose
+    aggregate bandwidth is the published 10.6 Gb/s."""
+    cores = chip.receiver_matrix
+    num_flows = len(cores) - 1
+    per_flow_bps = AGGREGATE_RT_BPS / num_flows
+    per_flow_flits = per_flow_bps / (FLIT_WIDTH * chip.frequency_hz)
+    return [
+        Flow(
+            src,
+            dst,
+            flits_per_cycle=per_flow_flits,
+            packet_size_flits=1,
+            message_class=MessageClass.GUARANTEED,
+            connection_id=i + 1,
+        )
+        for i, (src, dst) in enumerate(zip(cores, cores[1:]))
+    ]
+
+
+def aggregate_rt_bandwidth_bps(flows: List[Flow], chip: FaustChip) -> float:
+    """Check value: sum of the flow set's bandwidth in bits/s."""
+    return sum(
+        f.flits_per_cycle * FLIT_WIDTH * chip.frequency_hz for f in flows
+    )

@@ -1,0 +1,45 @@
+"""SPIN — the fat-tree pioneer NoC.
+
+"The SPIN project described in [3] is an early example of a NoC
+architecture, with the use of a regular, fat-tree-based network."
+(Section 2)
+
+A 4-ary 2-tree (16 terminals) matching the published SPIN32-class
+configuration, with deadlock-free least-common-ancestor routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.parameters import NocParameters
+from repro.topology.fattree import fat_tree
+from repro.topology.graph import RoutingTable, Topology
+from repro.topology.routing import fat_tree_routing
+
+ARITY = 4
+LEVELS = 2
+FREQUENCY_HZ = 200e6
+FLIT_WIDTH = 32
+
+
+@dataclass(frozen=True)
+class SpinChip:
+    topology: Topology
+    routing_table: RoutingTable
+    params: NocParameters
+    frequency_hz: float
+
+
+def build() -> SpinChip:
+    topo = fat_tree(ARITY, LEVELS, flit_width=FLIT_WIDTH, name="spin")
+    return SpinChip(
+        topology=topo,
+        routing_table=fat_tree_routing(topo),
+        params=NocParameters(flit_width=FLIT_WIDTH),
+        frequency_hz=FREQUENCY_HZ,
+    )
+
+
+def num_terminals(chip: SpinChip) -> int:
+    return len(chip.topology.cores)

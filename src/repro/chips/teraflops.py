@@ -1,0 +1,84 @@
+"""Intel Teraflops (Polaris) 80-core research chip — Fig. 4.
+
+"The Intel Teraflops, a prototype 80-core processor, also uses a mesh
+network to connect the cores.  Each core consists of two programmable
+floating point units and a five-port router.  The routers are connected
+in a 2D mesh topology.  In order to avoid the communication overhead in
+maintaining coherency, the system does not use cache coherency and
+instead, data is transferred using message passing.  The aggregate
+bandwidth supported by the chip at 3.16 GHz operating speed is around
+1.62 Terabits/s." (Section 5)
+
+The quoted 1.62 Tb/s is the *bisection bandwidth* of the 8x10 mesh at
+a 32-bit datapath: 8 columns x 2 directions x 32 bits x 3.16 GHz =
+1.618 Tb/s, which :func:`aggregate_bisection_bandwidth_bps` computes
+and the FIG4 benchmark validates against simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.arch.parameters import NocParameters
+from repro.topology.graph import RoutingTable, Topology
+from repro.topology.mesh import mesh
+from repro.topology.routing import xy_routing
+
+WIDTH = 8
+HEIGHT = 10
+FREQUENCY_HZ = 3.16e9
+FLIT_WIDTH = 32
+PUBLISHED_AGGREGATE_BPS = 1.62e12
+
+
+@dataclass(frozen=True)
+class TeraflopsChip:
+    """The built chip model."""
+
+    topology: Topology
+    routing_table: RoutingTable
+    params: NocParameters
+    frequency_hz: float
+
+
+def build(tile_pitch_mm: float = 1.5) -> TeraflopsChip:
+    """Build the 8x10 mesh with 5-port routers and XY routing."""
+    topo = mesh(
+        WIDTH, HEIGHT,
+        flit_width=FLIT_WIDTH,
+        tile_pitch_mm=tile_pitch_mm,
+        name="teraflops",
+    )
+    table = xy_routing(topo)
+    params = NocParameters(flit_width=FLIT_WIDTH, buffer_depth=4, num_vcs=1)
+    return TeraflopsChip(
+        topology=topo,
+        routing_table=table,
+        params=params,
+        frequency_hz=FREQUENCY_HZ,
+    )
+
+
+def router_ports(chip: TeraflopsChip) -> Tuple[int, int]:
+    """Port count of an interior router (Fig. 4 shows a 5-port router)."""
+    interior = f"s_{WIDTH // 2}_{HEIGHT // 2}"
+    return chip.topology.radix(interior)
+
+
+def bisection_links(chip: TeraflopsChip) -> int:
+    """Unidirectional links crossing the horizontal mid cut."""
+    upper = HEIGHT // 2
+    count = 0
+    for x in range(WIDTH):
+        a, b = f"s_{x}_{upper - 1}", f"s_{x}_{upper}"
+        if chip.topology.has_link(a, b):
+            count += 1
+        if chip.topology.has_link(b, a):
+            count += 1
+    return count
+
+
+def aggregate_bisection_bandwidth_bps(chip: TeraflopsChip) -> float:
+    """The Fig. 4 headline number: cut links x width x frequency."""
+    return bisection_links(chip) * FLIT_WIDTH * chip.frequency_hz

@@ -1,0 +1,58 @@
+"""Tilera TILE-Gx — the 100-core commercial CMP.
+
+"Tilera markets the TILE-Gx, a 100 core processor, which is the
+commercial spin-off of research done on the RAW architecture at MIT"
+(Section 1); "the Tilera TILE-Gx processor has 100 cores integrated
+onto a chip, with the cores connected by a 2D mesh network" (Section 5).
+
+The iMesh interconnect is in fact *several* parallel 2D meshes (the
+RAW heritage of exposing multiple physical networks); we model the
+chip as a 10x10 mesh replicated ``NUM_NETWORKS`` times for capacity
+accounting, and build one instance for simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.parameters import NocParameters
+from repro.topology.graph import RoutingTable, Topology
+from repro.topology.mesh import mesh
+from repro.topology.routing import xy_routing
+
+SIDE = 10
+NUM_NETWORKS = 5      # iMesh: independent physical meshes
+FREQUENCY_HZ = 1.0e9
+FLIT_WIDTH = 64
+
+
+@dataclass(frozen=True)
+class TileGxChip:
+    topology: Topology
+    routing_table: RoutingTable
+    params: NocParameters
+    frequency_hz: float
+    num_networks: int
+
+
+def build(tile_pitch_mm: float = 1.7) -> TileGxChip:
+    """Build one of the parallel 10x10 mesh networks."""
+    topo = mesh(
+        SIDE, SIDE,
+        flit_width=FLIT_WIDTH,
+        tile_pitch_mm=tile_pitch_mm,
+        name="tile_gx",
+    )
+    return TileGxChip(
+        topology=topo,
+        routing_table=xy_routing(topo),
+        params=NocParameters(flit_width=FLIT_WIDTH),
+        frequency_hz=FREQUENCY_HZ,
+        num_networks=NUM_NETWORKS,
+    )
+
+
+def aggregate_bisection_bandwidth_bps(chip: TileGxChip) -> float:
+    """All networks together: cut links x width x frequency x networks."""
+    cut_links = 2 * SIDE  # both directions across the mid cut
+    return cut_links * FLIT_WIDTH * chip.frequency_hz * chip.num_networks

@@ -1,0 +1,271 @@
+"""Command-line interface: the tool flow without writing Python.
+
+Four subcommands mirror the designer-facing entry points:
+
+* ``characterize`` — the Fig. 2 switch radix sweep for a technology node;
+* ``simulate``     — cycle-accurate simulation of a standard topology
+                     under a synthetic pattern;
+* ``synthesize``   — the Fig. 6 flow on a bundled workload, printing the
+                     Pareto front and optionally writing the Verilog;
+* ``chips``        — the Section 5 case-study summaries.
+
+Examples::
+
+    python -m repro characterize --node 65 --radices 4 8 12 16
+    python -m repro simulate --topology mesh --size 4 --rate 0.2
+    python -m repro synthesize --workload vopd --verilog-out vopd.v
+    python -m repro chips
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.physical.routability import RoutabilityModel
+    from repro.physical.switch_model import SwitchPhysicalModel
+    from repro.physical.technology import TechNode, TechnologyLibrary
+
+    node = TechNode(args.node)
+    tech = TechnologyLibrary.for_node(node)
+    switches = SwitchPhysicalModel(tech)
+    router = RoutabilityModel(tech)
+    print(f"Switch characterization at {node.nanometers} nm, "
+          f"{args.width}-bit flits")
+    print(f"{'radix':>6} {'area mm2':>9} {'fmax MHz':>9} {'row util':>9} {'class':>12}")
+    for radix in args.radices:
+        est = switches.estimate(radix, radix, flit_width=args.width)
+        verdict = router.classify(radix, port_width=args.width)
+        print(
+            f"{radix:>6} {est.area_mm2:>9.4f} "
+            f"{est.max_frequency_hz / 1e6:>9.0f} "
+            f"{verdict.achievable_row_utilization:>9.2f} "
+            f"{verdict.classification.value:>12}"
+        )
+    return 0
+
+
+def _build_topology(kind: str, size: int):
+    from repro.topology import (
+        fat_tree,
+        fat_tree_routing,
+        mesh,
+        spidergon,
+        spidergon_routing,
+        torus,
+        torus_xy_routing,
+        xy_routing,
+    )
+    from repro.topology.routing import dateline_vc_assignment
+
+    if kind == "mesh":
+        topo = mesh(size, size)
+        return topo, xy_routing(topo), None, 1
+    if kind == "torus":
+        topo = torus(size, size)
+        table = torus_xy_routing(topo, size, size)
+        return topo, table, dateline_vc_assignment(topo, table), 2
+    if kind == "spidergon":
+        topo = spidergon(size)
+        table = spidergon_routing(topo)
+        return topo, table, dateline_vc_assignment(topo, table), 2
+    if kind == "fattree":
+        topo = fat_tree(2, size)
+        return topo, fat_tree_routing(topo), None, 1
+    raise ValueError(f"unknown topology {kind!r}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.arch import FlowControlKind, NocParameters
+    from repro.sim import NocSimulator, SyntheticTraffic
+
+    topo, table, vca, min_vcs = _build_topology(args.topology, args.size)
+    params = NocParameters(
+        flow_control=FlowControlKind(args.flow_control),
+        num_vcs=max(min_vcs, args.vcs),
+        buffer_depth=args.buffer_depth,
+        output_buffer_depth=(
+            args.buffer_depth
+            if args.flow_control == "ack_nack"
+            else 0
+        ),
+    )
+    sim = NocSimulator(topo, table, params, vc_assignment=vca,
+                       warmup_cycles=args.warmup)
+    traffic = SyntheticTraffic(
+        args.pattern, args.rate, args.packet_size, seed=args.seed
+    )
+    sim.run(args.cycles, traffic, drain=True)
+    cores = len(topo.cores)
+    window = max(1, args.cycles - args.warmup)
+    latency = sim.stats.latency()
+    print(f"Simulated {topo!r}")
+    print(f"  pattern {args.pattern} @ {args.rate} flits/cycle/core, "
+          f"{args.cycles} cycles (+drain)")
+    print(f"  packets delivered : {sim.stats.packets_delivered}")
+    print(f"  latency mean/p95  : {latency.mean:.1f} / {latency.p95:.0f} cycles")
+    print(f"  accepted traffic  : "
+          f"{sim.stats.throughput_flits_per_cycle(window) / cores:.3f} "
+          f"flits/cycle/core")
+    if args.heatmap:
+        if args.topology not in ("mesh", "torus"):
+            print("  (heat map is only available for mesh/torus)")
+        else:
+            from repro.report import mesh_heatmap
+
+            print("  link-utilization heat map (0-9 = share of the peak):")
+            art = mesh_heatmap(topo, sim.link_utilization())
+            for line in art.splitlines():
+                print(f"    {line}")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.apps import synthetic_soc, workload
+    from repro.core import CommunicationSpec, NocDesignFlow
+
+    if args.spec_file:
+        from repro.core import load_spec
+
+        spec = load_spec(args.spec_file)
+    elif args.workload.startswith("synthetic:"):
+        n = int(args.workload.split(":", 1)[1])
+        spec = CommunicationSpec.from_workload(synthetic_soc(n, seed=args.seed))
+    else:
+        spec = CommunicationSpec.from_workload(workload(args.workload))
+    print(f"Synthesizing for {spec!r}")
+    flow = NocDesignFlow(spec)
+    result = flow.run(
+        switch_counts=args.switches,
+        frequencies_hz=[f * 1e6 for f in args.frequencies],
+        verify_cycles=args.verify_cycles,
+    )
+    print("Pareto front:")
+    for point in result.pareto_front:
+        marker = "  <- chosen" if point is result.chosen else ""
+        print(
+            f"  {point.name:<24} {point.power_mw:7.1f} mW "
+            f"{point.avg_latency_ns:7.1f} ns {point.area_mm2:7.3f} mm2{marker}"
+        )
+    v = result.verification
+    print(f"Verification: passed={v.passed}"
+          + (f" ({'; '.join(v.failures)})" if v.failures else ""))
+    if args.verilog_out:
+        with open(args.verilog_out, "w") as fh:
+            fh.write(result.verilog)
+        print(f"Wrote structural Verilog to {args.verilog_out}")
+    if args.design_out:
+        from repro.topology import save_design
+
+        save_design(
+            result.chosen.topology, result.chosen.routing_table,
+            args.design_out,
+        )
+        print(f"Wrote topology + routing tables to {args.design_out}")
+    return 0 if v.passed else 1
+
+
+def _cmd_chips(args: argparse.Namespace) -> int:
+    from repro.chips import bone, faust, spin, teraflops, tile_gx
+
+    t = teraflops.build()
+    print(
+        f"teraflops : {len(t.topology.cores)} cores, 8x10 mesh, "
+        f"{teraflops.aggregate_bisection_bandwidth_bps(t) / 1e12:.2f} Tb/s "
+        f"aggregate @ {t.frequency_hz / 1e9:.2f} GHz"
+    )
+    g = tile_gx.build()
+    print(
+        f"tile_gx   : {len(g.topology.cores)} cores, "
+        f"{g.num_networks} parallel meshes, "
+        f"{tile_gx.aggregate_bisection_bandwidth_bps(g) / 1e12:.2f} Tb/s"
+    )
+    f = faust.build()
+    flows = faust.receiver_matrix_flows(f)
+    print(
+        f"faust     : quasi-mesh, {len(f.topology.cores)} cores on "
+        f"{len(f.topology.switches)} routers, receiver matrix "
+        f"{faust.aggregate_rt_bandwidth_bps(flows, f) / 1e9:.1f} Gb/s GT"
+    )
+    b = bone.build()
+    print(
+        f"bone      : hierarchical star, "
+        f"{sum(1 for c in b.topology.cores if c.startswith('risc'))} RISC + "
+        f"{sum(1 for c in b.topology.cores if c.startswith('sram'))} "
+        f"dual-port SRAM"
+    )
+    s = spin.build()
+    print(
+        f"spin      : {spin.num_terminals(s)}-terminal fat tree "
+        f"({len(s.topology.switches)} switches)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NoC design automation stack (De Micheli et al., DAC 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="switch radix sweep (Fig. 2)")
+    p.add_argument("--node", type=int, default=65, choices=(130, 90, 65, 45))
+    p.add_argument("--width", type=int, default=32)
+    p.add_argument("--radices", type=int, nargs="+",
+                   default=[2, 4, 6, 8, 10, 14, 18, 22, 26, 30])
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("simulate", help="cycle-accurate simulation")
+    p.add_argument("--topology", default="mesh",
+                   choices=("mesh", "torus", "spidergon", "fattree"))
+    p.add_argument("--size", type=int, default=4,
+                   help="mesh/torus side, spidergon nodes, fat-tree levels")
+    p.add_argument("--pattern", default="uniform",
+                   choices=("uniform", "transpose", "bit-complement",
+                            "neighbor", "hotspot", "shuffle"))
+    p.add_argument("--rate", type=float, default=0.1)
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--warmup", type=int, default=300)
+    p.add_argument("--packet-size", type=int, default=4)
+    p.add_argument("--flow-control", default="on_off",
+                   choices=("credit", "on_off", "ack_nack"))
+    p.add_argument("--vcs", type=int, default=1)
+    p.add_argument("--buffer-depth", type=int, default=4)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--heatmap", action="store_true",
+                   help="print an ASCII link-load heat map (mesh/torus)")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("synthesize", help="the Fig. 6 tool flow")
+    p.add_argument("--workload", default="vopd",
+                   help="vopd | mpeg4 | mwd | pip | synthetic:N")
+    p.add_argument("--spec-file", default=None,
+                   help="JSON spec file (overrides --workload)")
+    p.add_argument("--switches", type=int, nargs="+", default=[2, 3, 4, 6])
+    p.add_argument("--frequencies", type=float, nargs="+",
+                   default=[500, 700], help="MHz")
+    p.add_argument("--verify-cycles", type=int, default=1500)
+    p.add_argument("--verilog-out", default=None)
+    p.add_argument("--design-out", default=None,
+                   help="write topology + LUTs as JSON")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_synthesize)
+
+    p = sub.add_parser("chips", help="Section 5 case-study summaries")
+    p.set_defaults(func=_cmd_chips)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

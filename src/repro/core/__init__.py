@@ -1,0 +1,74 @@
+"""The SunFloor / iNoCs-style NoC synthesis tool flow (Fig. 6)."""
+
+from repro.core.spec import CommunicationSpec, CoreSpec, FlowSpec
+from repro.core.mapping import Mapping, map_cores
+from repro.core.evaluate import DesignEvaluator, DesignPoint, default_evaluator
+from repro.core.synthesis import SynthesisResult, TopologySynthesizer
+from repro.core.baselines import mesh_baseline, star_baseline
+from repro.core.pareto import dominates, knee_point, pareto_front
+from repro.core.sweep import DesignSpaceExplorer, SweepResult
+from repro.core.netlist import Netlist, generate_netlist, to_verilog
+from repro.core.simgen import SimulationModel, generate_simulation_model
+from repro.core.verification import VerificationReport, verify_design
+from repro.core.flow import FlowResult, NocDesignFlow
+from repro.core.multi_usecase import (
+    MultiUseCaseResult,
+    envelope_spec,
+    synthesize_multi_usecase,
+)
+from repro.core.specio import (
+    load_spec,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.core.sunmap import STANDARD_FAMILIES, SunmapResult, select_topology
+from repro.core.buffer_sizing import (
+    PortBufferRequirement,
+    size_buffers,
+    sized_parameters,
+    uniform_depth,
+)
+
+__all__ = [
+    "CommunicationSpec",
+    "CoreSpec",
+    "FlowSpec",
+    "Mapping",
+    "map_cores",
+    "DesignEvaluator",
+    "DesignPoint",
+    "default_evaluator",
+    "SynthesisResult",
+    "TopologySynthesizer",
+    "mesh_baseline",
+    "star_baseline",
+    "dominates",
+    "knee_point",
+    "pareto_front",
+    "DesignSpaceExplorer",
+    "SweepResult",
+    "Netlist",
+    "generate_netlist",
+    "to_verilog",
+    "SimulationModel",
+    "generate_simulation_model",
+    "VerificationReport",
+    "verify_design",
+    "FlowResult",
+    "MultiUseCaseResult",
+    "envelope_spec",
+    "synthesize_multi_usecase",
+    "NocDesignFlow",
+    "load_spec",
+    "save_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+    "STANDARD_FAMILIES",
+    "SunmapResult",
+    "select_topology",
+    "PortBufferRequirement",
+    "size_buffers",
+    "sized_parameters",
+    "uniform_depth",
+]

@@ -1,0 +1,110 @@
+"""Buffer sizing: the fourth design-automation issue of Section 2.
+
+"Several research groups have focused on design automation for NoCs.
+The issues include routing strategy development, topology synthesis,
+QoS achievement, buffer sizing."
+
+Input FIFOs must cover the flow-control round trip (or the link idles
+between grants) plus a burstiness margin proportional to the
+contention a port sees.  The sizer computes, per switch input port:
+
+    depth = rtt_cycles + ceil(burst_margin * (sharers - 1))
+
+where ``rtt_cycles`` is the credit/backpressure loop of the upstream
+link (2 x link delay + pipeline overhead) and ``sharers`` counts the
+flows crossing that port (each extra flow adds head-of-line exposure).
+The result feeds :class:`repro.arch.parameters.NocParameters`
+(per-design uniform depth = the worst port's need) or per-port reports
+for custom RTL generation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.parameters import NocParameters
+from repro.core.spec import CommunicationSpec
+from repro.topology.graph import NodeKind, RoutingTable, Topology
+
+
+@dataclass(frozen=True)
+class PortBufferRequirement:
+    """Sizing outcome for one switch input port."""
+
+    switch: str
+    upstream: str
+    rtt_cycles: int
+    flows_sharing: int
+    recommended_depth: int
+
+
+def size_buffers(
+    topology: Topology,
+    routing_table: RoutingTable,
+    spec: Optional[CommunicationSpec] = None,
+    switch_latency_cycles: int = 1,
+    burst_margin: float = 0.5,
+    min_depth: int = 2,
+    max_depth: int = 16,
+) -> List[PortBufferRequirement]:
+    """Size every switch input port of a routed design.
+
+    Without a ``spec``, every routed pair counts as one flow; with one,
+    only the spec's flows contribute to the sharer counts.
+    """
+    if burst_margin < 0:
+        raise ValueError("burst margin must be non-negative")
+    if min_depth < 1 or max_depth < min_depth:
+        raise ValueError("need 1 <= min_depth <= max_depth")
+
+    # Flows crossing each directed link.
+    flows_on_link: Dict[Tuple[str, str], int] = {}
+    pairs = (
+        [(f.source, f.destination) for f in spec.flows]
+        if spec is not None
+        else routing_table.pairs()
+    )
+    for pair in pairs:
+        if not routing_table.has_route(*pair):
+            raise ValueError(f"flow {pair} is not routed")
+        for link in routing_table.route(*pair).links():
+            flows_on_link[link] = flows_on_link.get(link, 0) + 1
+
+    out: List[PortBufferRequirement] = []
+    for switch in sorted(topology.switches):
+        for upstream in sorted(topology.predecessors(switch)):
+            link = (upstream, switch)
+            delay = topology.link_attrs(*link).delay_cycles
+            rtt = 2 * delay + switch_latency_cycles
+            sharers = flows_on_link.get(link, 0)
+            depth = rtt + math.ceil(burst_margin * max(0, sharers - 1))
+            depth = max(min_depth, min(max_depth, depth))
+            out.append(
+                PortBufferRequirement(
+                    switch=switch,
+                    upstream=upstream,
+                    rtt_cycles=rtt,
+                    flows_sharing=sharers,
+                    recommended_depth=depth,
+                )
+            )
+    return out
+
+
+def uniform_depth(requirements: List[PortBufferRequirement]) -> int:
+    """The single depth covering every port (for uniform parametrization)."""
+    if not requirements:
+        raise ValueError("no ports to size")
+    return max(r.recommended_depth for r in requirements)
+
+
+def sized_parameters(
+    base: NocParameters,
+    requirements: List[PortBufferRequirement],
+) -> NocParameters:
+    """A parameter bundle with the sized uniform buffer depth."""
+    depth = uniform_depth(requirements)
+    threshold = min(base.onoff_threshold, depth)
+    return base.with_(buffer_depth=depth, onoff_threshold=threshold)

@@ -1,0 +1,229 @@
+"""Design-point evaluation: power, area, frequency, latency.
+
+Shared by the custom-topology synthesizer and the standard-topology
+baselines so that every design point in the Fig. 6 flow's output is
+scored by exactly the same technology-calibrated models:
+
+* **area** — switch estimates from the radix-dependent physical model
+  plus NI area;
+* **max frequency** — the slowest switch in the design (Fig. 2: radix
+  kills frequency), the quantity the flow "predicts accurately already
+  during architectural design";
+* **power** — leakage plus activity-proportional dynamic power, with
+  wire power from floorplan distances;
+* **average latency** — bandwidth-weighted zero-load packet latency in
+  cycles (switch traversals + link traversals + serialization).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.spec import CommunicationSpec
+from repro.physical.floorplan import Floorplan
+from repro.physical.power import PowerModel
+from repro.physical.switch_model import SwitchPhysicalModel
+from repro.physical.technology import TechNode, TechnologyLibrary
+from repro.physical.wire import WireModel, required_pipeline_stages
+from repro.topology.graph import NodeKind, RoutingTable, Topology
+
+# Nominal NI area (mm^2) per attached core at 65 nm, 32-bit; scales with
+# technology cell area and flit width.
+_NI_AREA_BASE_MM2 = 0.012
+
+
+@dataclass
+class DesignPoint:
+    """One synthesized NoC configuration with its predicted metrics."""
+
+    name: str
+    num_switches: int
+    flit_width: int
+    frequency_hz: float
+    max_frequency_hz: float
+    power_mw: float
+    area_mm2: float
+    avg_latency_cycles: float
+    avg_latency_ns: float
+    max_link_load: float          # fraction of link capacity (worst link)
+    feasible: bool
+    topology: Topology
+    routing_table: RoutingTable
+    floorplan: Optional[Floorplan] = None
+    notes: List[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"DesignPoint({self.name!r}, switches={self.num_switches}, "
+            f"power={self.power_mw:.1f}mW, area={self.area_mm2:.2f}mm2, "
+            f"latency={self.avg_latency_cycles:.1f}cy, "
+            f"feasible={self.feasible})"
+        )
+
+
+class DesignEvaluator:
+    """Scores a routed topology against a spec at an operating point."""
+
+    def __init__(self, tech: TechnologyLibrary):
+        self.tech = tech
+        self.switch_model = SwitchPhysicalModel(tech)
+        self.wire_model = WireModel(tech)
+        self.power_model = PowerModel(tech)
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        name: str,
+        spec: CommunicationSpec,
+        topology: Topology,
+        routing_table: RoutingTable,
+        frequency_hz: float,
+        flit_width: int,
+        floorplan: Optional[Floorplan] = None,
+        packet_size_flits: int = 4,
+    ) -> DesignPoint:
+        """Produce the full metric bundle for one design."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        notes: List[str] = []
+
+        # -- per-link flow loads (bits/s) --------------------------------
+        link_loads_bps: Dict[Tuple[str, str], float] = {}
+        flow_rates = {}
+        for flow in spec.flows:
+            key = (flow.source, flow.destination)
+            flow_rates[key] = flow_rates.get(key, 0.0) + flow.bandwidth_mbps * 8e6
+        for key, bps in flow_rates.items():
+            if not routing_table.has_route(*key):
+                raise ValueError(f"flow {key} is not routed")
+            for link in routing_table.route(*key).links():
+                link_loads_bps[link] = link_loads_bps.get(link, 0.0) + bps
+
+        capacity_bps = flit_width * frequency_hz
+        max_load = max(
+            (load / capacity_bps for load in link_loads_bps.values()), default=0.0
+        )
+
+        # -- switch characterization -------------------------------------
+        area = 0.0
+        power_components = []
+        min_fmax = math.inf
+        for sw in topology.switches:
+            rin, rout = topology.radix(sw)
+            est = self.switch_model.estimate(rin, rout, flit_width=flit_width)
+            area += est.area_mm2
+            min_fmax = min(min_fmax, est.max_frequency_hz)
+            flits_per_s = sum(
+                load / flit_width
+                for (a, b), load in link_loads_bps.items()
+                if a == sw
+            )
+            power_components.append(
+                self.power_model.switch_power(sw, est, flits_per_s)
+            )
+
+        # -- NI area/power -------------------------------------------------
+        ni_scale = (flit_width / 32.0) * (self.tech.cell_area_um2 / 1.3)
+        for core in topology.cores:
+            area += _NI_AREA_BASE_MM2 * ni_scale
+            injected_bps = sum(
+                bps for (s, __), bps in flow_rates.items() if s == core
+            )
+            ejected_bps = sum(
+                bps for (__, d), bps in flow_rates.items() if d == core
+            )
+            power_components.append(
+                self.power_model.ni_power(
+                    core, flit_width, (injected_bps + ejected_bps) / flit_width
+                )
+            )
+
+        # -- links: length from floorplan, pipelining for timing -----------
+        for (src, dst), load in link_loads_bps.items():
+            length = self._link_length(topology, floorplan, src, dst)
+            power_components.append(
+                self.power_model.link_power(
+                    f"{src}->{dst}", length, flit_width, load / flit_width
+                )
+            )
+        report = self.power_model.aggregate(power_components)
+
+        # -- latency: bandwidth-weighted zero-load packet latency ----------
+        total_bw = sum(flow_rates.values())
+        weighted_cycles = 0.0
+        flow_cycles: Dict[Tuple[str, str], float] = {}
+        for key, bps in flow_rates.items():
+            route = routing_table.route(*key)
+            cycles = packet_size_flits  # serialization
+            for src, dst in route.links():
+                length = self._link_length(topology, floorplan, src, dst)
+                stages = required_pipeline_stages(length, frequency_hz, self.tech)
+                cycles += 1 + stages  # link traversal
+            cycles += route.num_switches  # one cycle per switch
+            flow_cycles[key] = cycles
+            weighted_cycles += cycles * (bps / total_bw if total_bw else 0.0)
+        latency_ns = weighted_cycles / frequency_hz * 1e9
+
+        # -- per-flow latency constraints ("average latency constraints",
+        # Section 6 tool-flow inputs) -------------------------------------
+        latency_violations = []
+        for flow in spec.flows:
+            if flow.latency_constraint_ns is None:
+                continue
+            cycles = flow_cycles[(flow.source, flow.destination)]
+            flow_ns = cycles / frequency_hz * 1e9
+            if flow_ns > flow.latency_constraint_ns:
+                latency_violations.append(
+                    f"{flow.source}->{flow.destination}: {flow_ns:.1f} ns "
+                    f"exceeds the {flow.latency_constraint_ns:.1f} ns bound"
+                )
+
+        feasible = (
+            max_load <= 1.0
+            and min_fmax >= frequency_hz
+            and not latency_violations
+        )
+        if max_load > 1.0:
+            notes.append(f"worst link at {max_load:.0%} of capacity")
+        if min_fmax < frequency_hz:
+            notes.append(
+                f"slowest switch tops out at {min_fmax / 1e6:.0f} MHz "
+                f"(requested {frequency_hz / 1e6:.0f} MHz)"
+            )
+        notes.extend(latency_violations)
+
+        return DesignPoint(
+            name=name,
+            num_switches=len(topology.switches),
+            flit_width=flit_width,
+            frequency_hz=frequency_hz,
+            max_frequency_hz=min_fmax if min_fmax != math.inf else frequency_hz,
+            power_mw=report.total_mw,
+            area_mm2=area,
+            avg_latency_cycles=weighted_cycles,
+            avg_latency_ns=latency_ns,
+            max_link_load=max_load,
+            feasible=feasible,
+            topology=topology,
+            routing_table=routing_table,
+            floorplan=floorplan,
+            notes=notes,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _link_length(
+        topology: Topology, floorplan: Optional[Floorplan], src: str, dst: str
+    ) -> float:
+        attrs = topology.link_attrs(src, dst)
+        if attrs.length_mm > 0:
+            return attrs.length_mm
+        if floorplan is not None and src in floorplan and dst in floorplan:
+            return floorplan.distance_mm(src, dst)
+        return 1.0  # nominal 1 mm when nothing better is known
+
+
+def default_evaluator(node: TechNode = TechNode.NM_65) -> DesignEvaluator:
+    return DesignEvaluator(TechnologyLibrary.for_node(node))

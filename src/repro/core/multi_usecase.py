@@ -1,0 +1,124 @@
+"""Multi-use-case synthesis: one NoC, several applications.
+
+The SoCs of the paper's introduction run many applications ("a mobile
+phone SoC nowadays comprises several tens to hundreds of components"),
+and the tool flow must support "varied application Quality-of-Service
+constraints" (Section 1).  The SunFloor family's published extension
+synthesizes a *single* topology that satisfies every use case (video
+call, playback, browsing...) — each a communication spec over the same
+cores — by constructing the worst-case envelope spec:
+
+* per core pair, the envelope bandwidth is the **maximum** over use
+  cases (use cases are mutually exclusive in time, so they do not add);
+* per core pair, the envelope latency constraint is the **minimum**
+  (tightest) over use cases.
+
+The synthesized design is then re-verified against every individual
+use case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.evaluate import DesignPoint
+from repro.core.spec import CommunicationSpec, CoreSpec, FlowSpec
+from repro.core.synthesis import SynthesisResult, TopologySynthesizer
+from repro.core.verification import VerificationReport, verify_design
+from repro.physical.floorplan import Floorplan
+from repro.physical.technology import TechnologyLibrary
+
+
+def envelope_spec(
+    use_cases: Sequence[CommunicationSpec],
+    name: str = "envelope",
+) -> CommunicationSpec:
+    """The worst-case merge of several use cases over the same cores."""
+    if not use_cases:
+        raise ValueError("need at least one use case")
+    core_names = set(use_cases[0].core_names)
+    for uc in use_cases[1:]:
+        if set(uc.core_names) != core_names:
+            raise ValueError(
+                f"use case {uc.name!r} has a different core set; "
+                "multi-use-case synthesis requires one platform"
+            )
+    # Core specs must agree (same physical cores); take the first.
+    cores: List[CoreSpec] = list(use_cases[0].cores.values())
+
+    bandwidth: Dict[Tuple[str, str], float] = {}
+    latency: Dict[Tuple[str, str], Optional[float]] = {}
+    realtime: Dict[Tuple[str, str], bool] = {}
+    for uc in use_cases:
+        per_pair: Dict[Tuple[str, str], float] = {}
+        for flow in uc.flows:
+            key = (flow.source, flow.destination)
+            per_pair[key] = per_pair.get(key, 0.0) + flow.bandwidth_mbps
+            if flow.latency_constraint_ns is not None:
+                current = latency.get(key)
+                latency[key] = (
+                    flow.latency_constraint_ns
+                    if current is None
+                    else min(current, flow.latency_constraint_ns)
+                )
+            if flow.is_hard_realtime:
+                realtime[key] = True
+        for key, bw in per_pair.items():
+            bandwidth[key] = max(bandwidth.get(key, 0.0), bw)
+
+    flows = [
+        FlowSpec(
+            source=src,
+            destination=dst,
+            bandwidth_mbps=bw,
+            latency_constraint_ns=latency.get((src, dst)),
+            is_hard_realtime=realtime.get((src, dst), False),
+        )
+        for (src, dst), bw in sorted(bandwidth.items())
+    ]
+    return CommunicationSpec(cores, flows, name=name)
+
+
+@dataclass
+class MultiUseCaseResult:
+    """The shared design plus its per-use-case verification."""
+
+    design: DesignPoint
+    envelope: CommunicationSpec
+    synthesis: SynthesisResult
+    verifications: Dict[str, VerificationReport]
+
+    @property
+    def all_use_cases_pass(self) -> bool:
+        return all(report.passed for report in self.verifications.values())
+
+
+def synthesize_multi_usecase(
+    use_cases: Sequence[CommunicationSpec],
+    num_switches: int,
+    frequency_hz: float = 600e6,
+    flit_width: int = 32,
+    tech: Optional[TechnologyLibrary] = None,
+    floorplan: Optional[Floorplan] = None,
+    verify_cycles: int = 1500,
+) -> MultiUseCaseResult:
+    """Synthesize for the envelope, verify each use case on the result."""
+    envelope = envelope_spec(use_cases)
+    synthesizer = TopologySynthesizer(envelope, tech, floorplan)
+    synthesis = synthesizer.synthesize(
+        num_switches, frequency_hz=frequency_hz, flit_width=flit_width
+    )
+    design = synthesis.design
+
+    verifications: Dict[str, VerificationReport] = {}
+    for uc in use_cases:
+        verifications[uc.name] = verify_design(
+            design, uc, sim_cycles=verify_cycles
+        )
+    return MultiUseCaseResult(
+        design=design,
+        envelope=envelope,
+        synthesis=synthesis,
+        verifications=verifications,
+    )

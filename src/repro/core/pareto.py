@@ -1,0 +1,75 @@
+"""Pareto-front selection over design points.
+
+"From the set of all Pareto optimal points, the designer can then
+choose a NoC instance." (Section 6) — the tool's output is not one
+design but the power/performance frontier.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.evaluate import DesignPoint
+
+Objectives = Tuple[str, ...]
+DEFAULT_OBJECTIVES: Objectives = ("power_mw", "avg_latency_ns")
+
+
+def _values(point: DesignPoint, objectives: Objectives) -> Tuple[float, ...]:
+    out = []
+    for name in objectives:
+        if not hasattr(point, name):
+            raise AttributeError(f"design point has no objective {name!r}")
+        out.append(float(getattr(point, name)))
+    return tuple(out)
+
+
+def dominates(a: DesignPoint, b: DesignPoint,
+              objectives: Objectives = DEFAULT_OBJECTIVES) -> bool:
+    """True if ``a`` is at least as good everywhere and better somewhere
+    (all objectives minimized)."""
+    va, vb = _values(a, objectives), _values(b, objectives)
+    return all(x <= y for x, y in zip(va, vb)) and any(
+        x < y for x, y in zip(va, vb)
+    )
+
+
+def pareto_front(
+    points: Sequence[DesignPoint],
+    objectives: Objectives = DEFAULT_OBJECTIVES,
+    feasible_only: bool = True,
+) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by the first objective.
+
+    Infeasible points (capacity or timing violations) are excluded by
+    default: the flow only offers the designer implementable instances.
+    """
+    candidates = [p for p in points if p.feasible] if feasible_only else list(points)
+    front = [
+        p
+        for p in candidates
+        if not any(dominates(q, p, objectives) for q in candidates if q is not p)
+    ]
+    front.sort(key=lambda p: _values(p, objectives))
+    return front
+
+
+def knee_point(front: Sequence[DesignPoint],
+               objectives: Objectives = DEFAULT_OBJECTIVES) -> DesignPoint:
+    """The balanced choice: minimal normalized distance to the utopia
+    point (the coordinate-wise minimum of the front)."""
+    if not front:
+        raise ValueError("empty Pareto front")
+    matrix = [_values(p, objectives) for p in front]
+    lows = [min(col) for col in zip(*matrix)]
+    highs = [max(col) for col in zip(*matrix)]
+
+    def score(values):
+        total = 0.0
+        for v, lo, hi in zip(values, lows, highs):
+            span = hi - lo
+            total += ((v - lo) / span) ** 2 if span > 0 else 0.0
+        return total
+
+    best = min(range(len(front)), key=lambda i: (score(matrix[i]), i))
+    return front[best]

@@ -1,0 +1,97 @@
+"""Spec serialization: the tool flow's file interface.
+
+The commercial flows the paper describes consume designer-authored
+input files ("the application architecture and application constraints
+as inputs", Section 6).  This module round-trips
+:class:`repro.core.spec.CommunicationSpec` through a plain JSON schema::
+
+    {
+      "name": "vopd",
+      "cores": [
+        {"name": "vld", "is_master": true, "is_slave": true,
+         "protocol": "OCP", "width_mm": 1.0, "height_mm": 1.0},
+        ...
+      ],
+      "flows": [
+        {"source": "vld", "destination": "run_le_dec",
+         "bandwidth_mbps": 70.0,
+         "latency_constraint_ns": null, "is_hard_realtime": false},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.spec import CommunicationSpec, CoreSpec, FlowSpec
+
+
+def spec_to_dict(spec: CommunicationSpec) -> dict:
+    """Serialize a spec to plain data."""
+    return {
+        "name": spec.name,
+        "cores": [
+            {
+                "name": core.name,
+                "is_master": core.is_master,
+                "is_slave": core.is_slave,
+                "protocol": core.protocol,
+                "width_mm": core.width_mm,
+                "height_mm": core.height_mm,
+            }
+            for core in spec.cores.values()
+        ],
+        "flows": [
+            {
+                "source": flow.source,
+                "destination": flow.destination,
+                "bandwidth_mbps": flow.bandwidth_mbps,
+                "latency_constraint_ns": flow.latency_constraint_ns,
+                "is_hard_realtime": flow.is_hard_realtime,
+            }
+            for flow in spec.flows
+        ],
+    }
+
+
+def spec_from_dict(data: dict) -> CommunicationSpec:
+    """Deserialize; validation happens in the spec constructors."""
+    try:
+        cores = [
+            CoreSpec(
+                name=entry["name"],
+                is_master=entry.get("is_master", True),
+                is_slave=entry.get("is_slave", True),
+                protocol=entry.get("protocol", "OCP"),
+                width_mm=entry.get("width_mm", 1.0),
+                height_mm=entry.get("height_mm", 1.0),
+            )
+            for entry in data["cores"]
+        ]
+        flows = [
+            FlowSpec(
+                source=entry["source"],
+                destination=entry["destination"],
+                bandwidth_mbps=entry["bandwidth_mbps"],
+                latency_constraint_ns=entry.get("latency_constraint_ns"),
+                is_hard_realtime=entry.get("is_hard_realtime", False),
+            )
+            for entry in data["flows"]
+        ]
+    except KeyError as exc:
+        raise ValueError(f"spec file missing required field: {exc}") from None
+    return CommunicationSpec(cores, flows, name=data.get("name", "soc"))
+
+
+def save_spec(spec: CommunicationSpec, path: Union[str, Path]) -> None:
+    """Write a spec as JSON."""
+    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=2) + "\n")
+
+
+def load_spec(path: Union[str, Path]) -> CommunicationSpec:
+    """Read a spec from JSON."""
+    return spec_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,362 @@
+"""Application-specific topology synthesis — the SunFloor engine [11].
+
+Given a communication spec, a switch count and an operating point,
+produce a *custom* topology: cores clustered onto switches (min-cut
+mapping), inter-switch links opened only where traffic justifies them,
+and every flow routed deadlock-free with wire power/delay taken from
+the (incremental) floorplan — "this approach captures accurately wire
+delays and power values of the NoC during topology synthesis".
+
+Path allocation is the greedy power-aware scheme of the SunFloor family:
+
+1. flows are allocated in decreasing bandwidth order;
+2. each flow takes the min-marginal-power path over the complete switch
+   graph (Dijkstra), where using an already-open link is cheap, opening
+   a new one pays its leakage/area amortization, and exceeding link
+   capacity is forbidden;
+3. a channel-dependency graph is maintained incrementally; a path that
+   would close a cycle is rejected and re-searched with the offending
+   links penalized, falling back to the (provably acyclic) spanning-tree
+   path through the mapping's cluster order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.evaluate import DesignEvaluator, DesignPoint
+from repro.core.mapping import Mapping, map_cores
+from repro.core.spec import CommunicationSpec
+from repro.physical.floorplan import Block, Floorplan, IncrementalFloorplanner
+from repro.physical.technology import TechNode, TechnologyLibrary
+from repro.physical.wire import required_pipeline_stages
+from repro.topology.graph import Route, RoutingTable, Topology
+
+# Amortized cost (dimensionless, in the Dijkstra metric) of opening a new
+# inter-switch link: trades fewer links (power/area) against shorter paths.
+_LINK_OPEN_COST = 1.0
+# Weight of wire length in the path metric (per mm) relative to a hop.
+_WIRE_COST_PER_MM = 0.35
+# Retry budget for deadlock-driven re-search before the tree fallback.
+_DEADLOCK_RETRIES = 4
+
+
+def switch_name(index: int) -> str:
+    return f"sw{index}"
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized custom topology plus its evaluation."""
+
+    design: DesignPoint
+    mapping: Mapping
+    opened_links: List[Tuple[int, int]]
+
+
+class TopologySynthesizer:
+    """The SunFloor-style synthesis engine over one spec."""
+
+    def __init__(
+        self,
+        spec: CommunicationSpec,
+        tech: TechnologyLibrary = None,
+        floorplan: Optional[Floorplan] = None,
+    ):
+        self.spec = spec
+        self.tech = tech or TechnologyLibrary.for_node(TechNode.NM_65)
+        self.evaluator = DesignEvaluator(self.tech)
+        self.input_floorplan = floorplan or self._default_floorplan()
+        for core in spec.core_names:
+            if core not in self.input_floorplan:
+                raise ValueError(f"floorplan lacks a block for core {core!r}")
+
+    def _default_floorplan(self) -> Floorplan:
+        fp = Floorplan()
+        names = self.spec.core_names
+        cols = max(1, math.ceil(math.sqrt(len(names))))
+        for i, name in enumerate(names):
+            core = self.spec.cores[name]
+            row, col = divmod(i, cols)
+            fp.add(
+                Block(
+                    name,
+                    core.width_mm,
+                    core.height_mm,
+                    x_mm=col * (core.width_mm + 0.2),
+                    y_mm=row * (core.height_mm + 0.2),
+                )
+            )
+        return fp
+
+    # ------------------------------------------------------------------
+    def synthesize(
+        self,
+        num_switches: int,
+        frequency_hz: float = 800e6,
+        flit_width: int = 32,
+        packet_size_flits: int = 4,
+    ) -> SynthesisResult:
+        """Produce one design point at the given operating point."""
+        core_positions = {
+            name: self.input_floorplan.block(name).center
+            for name in self.spec.core_names
+        }
+        mapping = map_cores(self.spec, num_switches, positions=core_positions)
+        floorplan = self._place_switches(mapping)
+        positions = {
+            switch_name(i): floorplan.block(switch_name(i)).center
+            for i in range(num_switches)
+        }
+
+        capacity_bps = flit_width * frequency_hz
+        routes, opened = self._allocate_paths(
+            mapping, positions, capacity_bps
+        )
+
+        topology = self._build_topology(
+            mapping, opened, routes, floorplan, frequency_hz, flit_width
+        )
+        table = RoutingTable(topology)
+        for (src, dst), switch_path in routes.items():
+            table.set_route(Route(tuple([src, *switch_path, dst])))
+
+        design = self.evaluator.evaluate(
+            name=f"{self.spec.name}-custom-k{num_switches}",
+            spec=self.spec,
+            topology=topology,
+            routing_table=table,
+            frequency_hz=frequency_hz,
+            flit_width=flit_width,
+            floorplan=floorplan,
+            packet_size_flits=packet_size_flits,
+        )
+        return SynthesisResult(design=design, mapping=mapping, opened_links=sorted(opened))
+
+    # ------------------------------------------------------------------
+    def _place_switches(self, mapping: Mapping) -> Floorplan:
+        """Incremental floorplanning: insert switches near their cores."""
+        planner = IncrementalFloorplanner(self.input_floorplan)
+        for idx, cluster in enumerate(mapping.clusters):
+            attached = []
+            for core in cluster:
+                weight = sum(
+                    f.bandwidth_mbps
+                    for f in self.spec.flows
+                    if core in (f.source, f.destination)
+                )
+                attached.append((core, max(weight, 1.0)))
+            planner.insert(switch_name(idx), 0.3, 0.3, attached)
+        return planner.place()
+
+    # ------------------------------------------------------------------
+    def _allocate_paths(
+        self,
+        mapping: Mapping,
+        positions: Dict[str, Tuple[float, float]],
+        capacity_bps: float,
+    ) -> Tuple[Dict[Tuple[str, str], List[str]], set]:
+        """Power-aware, deadlock-free path allocation for every flow."""
+        k = mapping.num_switches
+        names = [switch_name(i) for i in range(k)]
+
+        def dist(a: str, b: str) -> float:
+            (ax, ay), (bx, by) = positions[a], positions[b]
+            return abs(ax - bx) + abs(ay - by)
+
+        opened: set = set()  # undirected (i, j) pairs, i < j
+        link_load: Dict[Tuple[str, str], float] = {}  # directed, bits/s
+        cdg = nx.DiGraph()  # nodes: directed (src node, dst node) links
+
+        # Aggregate flows per core pair, largest first.
+        pair_bw: Dict[Tuple[str, str], float] = {}
+        for flow in self.spec.flows:
+            key = (flow.source, flow.destination)
+            pair_bw[key] = pair_bw.get(key, 0.0) + flow.bandwidth_mbps * 8e6
+        order = sorted(pair_bw.items(), key=lambda kv: (-kv[1], kv[0]))
+
+        routes: Dict[Tuple[str, str], List[str]] = {}
+
+        def tree_path(a: int, b: int) -> List[str]:
+            """Spanning-chain path sw_a .. sw_b over consecutive indices
+            (the deterministic deadlock-free fallback: a chain is a tree,
+            and index-monotone routes on a chain cannot close CDG cycles)."""
+            step = 1 if b > a else -1
+            return [switch_name(i) for i in range(a, b + step, step)]
+
+        def full_links(src_core: str, path: List[str], dst_core: str):
+            nodes = [src_core, *path, dst_core]
+            return list(zip(nodes, nodes[1:]))
+
+        def would_deadlock(links) -> bool:
+            added_nodes = [l for l in links if l not in cdg]
+            added_edges = [
+                (a, b) for a, b in zip(links, links[1:])
+                if not cdg.has_edge(a, b)
+            ]
+            cdg.add_edges_from(added_edges)
+            for l in links:
+                cdg.add_node(l)
+            try:
+                nx.find_cycle(cdg)
+                cyclic = True
+            except nx.NetworkXNoCycle:
+                cyclic = False
+            if cyclic:  # roll back
+                cdg.remove_edges_from(added_edges)
+                cdg.remove_nodes_from(
+                    [n for n in added_nodes if cdg.degree(n) == 0]
+                )
+            return cyclic
+
+        def commit(key: Tuple[str, str], path: List[str], bw: float) -> None:
+            routes[key] = path
+            for a, b in zip(path, path[1:]):
+                i, j = int(a[2:]), int(b[2:])
+                opened.add((min(i, j), max(i, j)))
+                link_load[(a, b)] = link_load.get((a, b), 0.0) + bw
+
+        for key, bw in order:
+            src_sw = switch_name(mapping.switch_of(key[0]))
+            dst_sw = switch_name(mapping.switch_of(key[1]))
+            if src_sw == dst_sw:
+                path = [src_sw]
+                if not would_deadlock(full_links(key[0], path, key[1])):
+                    commit(key, path, bw)
+                    continue
+                # Same-switch flows only add NI links; cycles impossible.
+                commit(key, path, bw)
+                continue
+
+            penalties: Dict[Tuple[str, str], float] = {}
+            path = None
+            for attempt in range(_DEADLOCK_RETRIES + 1):
+                candidate = self._dijkstra(
+                    names, src_sw, dst_sw, dist, opened, link_load,
+                    capacity_bps, bw, penalties,
+                )
+                if candidate is None:
+                    break
+                links = full_links(key[0], candidate, key[1])
+                if not would_deadlock(links):
+                    path = candidate
+                    break
+                for a, b in zip(candidate, candidate[1:]):
+                    penalties[(a, b)] = penalties.get((a, b), 0.0) + 10.0
+            if path is None:
+                fallback = tree_path(int(src_sw[2:]), int(dst_sw[2:]))
+                links = full_links(key[0], fallback, key[1])
+                if would_deadlock(links):
+                    raise RuntimeError(
+                        f"cannot route flow {key} deadlock-free even on the "
+                        "fallback tree; design is over-constrained"
+                    )
+                path = fallback
+            commit(key, path, bw)
+
+        # Any-to-any reachability: flows may leave switch clusters
+        # unconnected, but a NoC must still physically reach every core
+        # (test access, configuration, late traffic).  Chain disconnected
+        # components along the index order — index-monotone chain links
+        # keep the up*/down*-style acyclicity of the fallback tree.
+        if k > 1:
+            component = list(range(k))
+
+            def find(i: int) -> int:
+                while component[i] != i:
+                    component[i] = component[component[i]]
+                    i = component[i]
+                return i
+
+            for i, j in opened:
+                component[find(i)] = find(j)
+            for i in range(k - 1):
+                if find(i) != find(i + 1):
+                    opened.add((i, i + 1))
+                    component[find(i)] = find(i + 1)
+
+        return routes, opened
+
+    def _dijkstra(
+        self,
+        names: Sequence[str],
+        src: str,
+        dst: str,
+        dist,
+        opened: set,
+        link_load: Dict[Tuple[str, str], float],
+        capacity_bps: float,
+        bw: float,
+        penalties: Dict[Tuple[str, str], float],
+    ) -> Optional[List[str]]:
+        """Min-marginal-cost path over the complete switch graph."""
+        import heapq
+
+        best: Dict[str, float] = {src: 0.0}
+        parent: Dict[str, str] = {}
+        heap = [(0.0, src)]
+        visited = set()
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(parent[path[-1]])
+                return list(reversed(path))
+            for nxt in names:
+                if nxt == node or nxt in visited:
+                    continue
+                load = link_load.get((node, nxt), 0.0)
+                if load + bw > capacity_bps:
+                    continue  # capacity exceeded: forbidden
+                i, j = int(node[2:]), int(nxt[2:])
+                edge_cost = 1.0 + _WIRE_COST_PER_MM * dist(node, nxt)
+                if (min(i, j), max(i, j)) not in opened:
+                    edge_cost += _LINK_OPEN_COST
+                edge_cost += penalties.get((node, nxt), 0.0)
+                total = cost + edge_cost
+                if total < best.get(nxt, math.inf):
+                    best[nxt] = total
+                    parent[nxt] = node
+                    heapq.heappush(heap, (total, nxt))
+        return None
+
+    # ------------------------------------------------------------------
+    def _build_topology(
+        self,
+        mapping: Mapping,
+        opened: set,
+        routes: Dict[Tuple[str, str], List[str]],
+        floorplan: Floorplan,
+        frequency_hz: float,
+        flit_width: int,
+    ) -> Topology:
+        topo = Topology(
+            name=f"{self.spec.name}-custom-k{mapping.num_switches}",
+            flit_width=flit_width,
+        )
+        for idx in range(mapping.num_switches):
+            pos = floorplan.block(switch_name(idx)).center
+            topo.add_switch(switch_name(idx), pos=pos)
+        for idx, cluster in enumerate(mapping.clusters):
+            for core in cluster:
+                topo.add_core(core)
+                length = floorplan.distance_mm(core, switch_name(idx))
+                stages = required_pipeline_stages(length, frequency_hz, self.tech)
+                topo.add_link(
+                    core, switch_name(idx),
+                    length_mm=length, pipeline_stages=stages,
+                )
+        for i, j in sorted(opened):
+            a, b = switch_name(i), switch_name(j)
+            length = floorplan.distance_mm(a, b)
+            stages = required_pipeline_stages(length, frequency_hz, self.tech)
+            topo.add_link(a, b, length_mm=length, pipeline_stages=stages)
+        return topo

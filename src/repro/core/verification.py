@@ -1,0 +1,121 @@
+"""Design verification: the sign-off checks of the tool flow.
+
+Section 2 sets the requirement — "the synthesized topologies should be
+free of routing and message-dependent deadlocks" — and Section 6 adds
+run-time validation via generated simulation models.  The verifier runs:
+
+1. **structural** — the topology connects every communicating pair and
+   every flow has a route;
+2. **deadlock** — the channel-dependency check over the actual routes;
+3. **capacity** — no link loaded beyond its bandwidth, the switch
+   frequency target is achievable;
+4. **dynamic** — the generated simulation model replays the spec's
+   flows and must deliver the offered bandwidth with a stable network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.arch.parameters import NocParameters
+from repro.core.evaluate import DesignPoint
+from repro.core.simgen import generate_simulation_model
+from repro.core.spec import CommunicationSpec
+from repro.topology.deadlock import check_routing_deadlock
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of all verification stages."""
+
+    passed: bool
+    failures: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    simulated_cycles: int = 0
+    delivered_flits: int = 0
+    offered_flits: int = 0
+    measured_avg_latency: Optional[float] = None
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+def verify_design(
+    design: DesignPoint,
+    spec: CommunicationSpec,
+    params: Optional[NocParameters] = None,
+    sim_cycles: int = 3000,
+    packet_size_flits: int = 4,
+) -> VerificationReport:
+    """Run every verification stage on one design point."""
+    failures: List[str] = []
+    warnings: List[str] = []
+
+    # 1. structural --------------------------------------------------------
+    for flow in spec.flows:
+        if not design.routing_table.has_route(flow.source, flow.destination):
+            failures.append(f"flow {flow.source}->{flow.destination} unrouted")
+    try:
+        design.topology.validate()
+    except ValueError as exc:
+        failures.append(f"topology: {exc}")
+
+    # 2. deadlock ----------------------------------------------------------
+    report = check_routing_deadlock(design.topology, design.routing_table)
+    if not report.is_deadlock_free:
+        failures.append(
+            f"routing deadlock: witness cycle through {report.cycle[:4]}..."
+        )
+
+    # 3. capacity / timing ---------------------------------------------------
+    if design.max_link_load > 1.0:
+        failures.append(
+            f"worst link loaded at {design.max_link_load:.0%} of capacity"
+        )
+    elif design.max_link_load > 0.8:
+        warnings.append(
+            f"worst link at {design.max_link_load:.0%} — little headroom"
+        )
+    if design.max_frequency_hz < design.frequency_hz:
+        failures.append(
+            f"switches top out at {design.max_frequency_hz / 1e6:.0f} MHz, "
+            f"below the {design.frequency_hz / 1e6:.0f} MHz target"
+        )
+    failures.extend(
+        f"latency constraint violated: {note}"
+        for note in design.notes
+        if "exceeds the" in note
+    )
+
+    # 4. dynamic -------------------------------------------------------------
+    delivered = offered = cycles = 0
+    measured_latency: Optional[float] = None
+    if not failures:
+        model = generate_simulation_model(
+            design, spec, params, packet_size_flits=packet_size_flits
+        )
+        try:
+            stats = model.run(sim_cycles, drain=True)
+        except RuntimeError as exc:
+            failures.append(f"simulation: {exc}")
+        else:
+            cycles = sim_cycles
+            delivered = stats.flits_delivered
+            offered = model.traffic.packets_offered * packet_size_flits
+            if stats.packets_delivered:
+                measured_latency = stats.latency().mean
+            if delivered < offered:
+                failures.append(
+                    f"simulation delivered {delivered} of {offered} flits"
+                )
+
+    return VerificationReport(
+        passed=not failures,
+        failures=failures,
+        warnings=warnings,
+        simulated_cycles=cycles,
+        delivered_flits=delivered,
+        offered_flits=offered,
+        measured_avg_latency=measured_latency,
+    )

@@ -1,0 +1,35 @@
+"""GALS synchronization and voltage-frequency islands (Section 4.3)."""
+
+from repro.gals.clocking import (
+    ClockDomain,
+    ClockingComparison,
+    GalsPartition,
+    SynchronizerKind,
+    SynchronizerModel,
+    clock_tree_power_mw,
+    compare_clocking,
+)
+from repro.gals.vfi import (
+    DEFAULT_LADDER,
+    OperatingPoint,
+    VoltageFrequencyIsland,
+    assign_operating_points,
+    island_power_mw,
+    vfi_savings,
+)
+
+__all__ = [
+    "ClockDomain",
+    "ClockingComparison",
+    "GalsPartition",
+    "SynchronizerKind",
+    "SynchronizerModel",
+    "clock_tree_power_mw",
+    "compare_clocking",
+    "DEFAULT_LADDER",
+    "OperatingPoint",
+    "VoltageFrequencyIsland",
+    "assign_operating_points",
+    "island_power_mw",
+    "vfi_savings",
+]

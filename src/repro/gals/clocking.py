@@ -1,0 +1,247 @@
+"""GALS synchronization schemes over the NoC backbone.
+
+Section 4.3: "a variety of Globally Asynchronous Locally Synchronous
+(GALS) chip design paradigms have been proposed.  NoCs offer a natural
+backbone for the implementation of such approaches ... Among others,
+fully asynchronous communication [35] and pausible clocking [24] have
+been proposed and demonstrated."
+
+We model the three standard clock-domain-crossing adapters with their
+latency/area/energy penalties, a clock-domain partition over a
+topology, and the chip-level clock-power comparison (a global clock
+tree spanning the die versus small per-island trees) that motivates
+GALS at scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.physical.technology import TechnologyLibrary
+from repro.topology.graph import NodeKind, RoutingTable, Topology
+
+
+class SynchronizerKind(Enum):
+    """Clock-domain-crossing adapter styles (Section 4.3)."""
+
+    MESOCHRONOUS = "mesochronous"   # same frequency, unknown phase
+    PAUSIBLE = "pausible"           # locally stoppable clocks [24]
+    ASYNC_FIFO = "async_fifo"       # fully asynchronous handshake [35]
+
+
+@dataclass(frozen=True)
+class SynchronizerModel:
+    """Penalties of one adapter style."""
+
+    kind: SynchronizerKind
+    latency_cycles: float        # added per crossing (average)
+    area_gates: float            # gate-equivalents per link adapter
+    energy_fj_per_flit: float    # per flit crossing
+
+    @staticmethod
+    def of(kind: SynchronizerKind) -> "SynchronizerModel":
+        return _SYNCHRONIZERS[kind]
+
+
+_SYNCHRONIZERS = {
+    SynchronizerKind.MESOCHRONOUS: SynchronizerModel(
+        SynchronizerKind.MESOCHRONOUS,
+        latency_cycles=1.5, area_gates=420.0, energy_fj_per_flit=350.0,
+    ),
+    SynchronizerKind.PAUSIBLE: SynchronizerModel(
+        SynchronizerKind.PAUSIBLE,
+        latency_cycles=2.0, area_gates=560.0, energy_fj_per_flit=300.0,
+    ),
+    SynchronizerKind.ASYNC_FIFO: SynchronizerModel(
+        SynchronizerKind.ASYNC_FIFO,
+        latency_cycles=2.5, area_gates=900.0, energy_fj_per_flit=500.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """One synchronous island."""
+
+    name: str
+    frequency_hz: float
+    members: Tuple[str, ...]  # switch/core names in this domain
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if not self.members:
+            raise ValueError(f"domain {self.name!r} has no members")
+
+
+class GalsPartition:
+    """Assignment of every topology node to a clock domain."""
+
+    def __init__(self, topology: Topology, domains: Sequence[ClockDomain],
+                 synchronizer: SynchronizerKind = SynchronizerKind.MESOCHRONOUS):
+        self.topology = topology
+        self.domains = list(domains)
+        self.synchronizer = SynchronizerModel.of(synchronizer)
+        self._domain_of: Dict[str, str] = {}
+        for domain in domains:
+            for member in domain.members:
+                if member not in topology:
+                    raise KeyError(f"domain member {member!r} not in topology")
+                if member in self._domain_of:
+                    raise ValueError(f"{member!r} assigned to two domains")
+                self._domain_of[member] = domain.name
+        missing = [
+            n for n in (topology.switches + topology.cores)
+            if n not in self._domain_of
+        ]
+        if missing:
+            raise ValueError(f"nodes without a clock domain: {missing[:4]}...")
+
+    # ------------------------------------------------------------------
+    def domain_of(self, node: str) -> str:
+        return self._domain_of[node]
+
+    def crossing_links(self) -> List[Tuple[str, str]]:
+        """Links whose endpoints live in different domains."""
+        return [
+            (src, dst)
+            for src, dst in self.topology.links
+            if self._domain_of[src] != self._domain_of[dst]
+        ]
+
+    def crossings_on_route(self, table: RoutingTable, src: str, dst: str) -> int:
+        route = table.route(src, dst)
+        return sum(
+            1
+            for a, b in route.links()
+            if self._domain_of[a] != self._domain_of[b]
+        )
+
+    def added_latency_cycles(self, table: RoutingTable, src: str, dst: str) -> float:
+        """Synchronizer latency a packet pays on this route."""
+        return self.crossings_on_route(table, src, dst) * self.synchronizer.latency_cycles
+
+    def adapter_area_gates(self) -> float:
+        return len(self.crossing_links()) * self.synchronizer.area_gates
+
+    def annotate_topology(self) -> Topology:
+        """A copy of the topology with synchronizer latency built in.
+
+        Every domain-crossing link gains pipeline stages covering the
+        adapter's latency, so the cycle-accurate simulator prices the
+        crossings without knowing about clock domains — the "timing
+        adaptation features natively in the on-chip communication
+        framework" of Section 4.3.
+        """
+        import math
+
+        extra = math.ceil(self.synchronizer.latency_cycles)
+        out = Topology(f"{self.topology.name}-gals", flit_width=self.topology.flit_width)
+        for sw in self.topology.switches:
+            out.add_switch(sw, **{
+                k: v for k, v in self.topology.node_attrs(sw).items()
+                if k != "kind"
+            })
+        for core in self.topology.cores:
+            out.add_core(core, **{
+                k: v for k, v in self.topology.node_attrs(core).items()
+                if k != "kind"
+            })
+        for src, dst in self.topology.links:
+            attrs = self.topology.link_attrs(src, dst)
+            stages = attrs.pipeline_stages
+            if self._domain_of[src] != self._domain_of[dst]:
+                stages += extra
+            out.add_link(
+                src, dst,
+                length_mm=attrs.length_mm,
+                pipeline_stages=stages,
+                width_bits=attrs.width_bits,
+                bidirectional=False,
+            )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Chip-level clock distribution power
+# ----------------------------------------------------------------------
+# Clock tree wiring capacitance scales with the spanned area; sinks add
+# their own load.  Constants calibrated to put a ~100 mm^2 65 nm global
+# clock in the multi-watt range, consistent with the "power cost ...
+# of global clock distribution in large chips" motivating GALS.
+_CLOCK_WIRE_FF_PER_MM2 = 900.0
+_CLOCK_SINK_FF = 1.3
+
+
+def clock_tree_power_mw(
+    area_mm2: float,
+    num_sinks: int,
+    frequency_hz: float,
+    tech: TechnologyLibrary,
+) -> float:
+    """Dynamic power of one clock tree spanning ``area_mm2``."""
+    if area_mm2 < 0 or num_sinks < 0:
+        raise ValueError("area and sinks must be non-negative")
+    cap_ff = _CLOCK_WIRE_FF_PER_MM2 * area_mm2 + _CLOCK_SINK_FF * num_sinks
+    return cap_ff * 1e-15 * tech.vdd**2 * frequency_hz * 1e3
+
+
+@dataclass
+class ClockingComparison:
+    """Global-synchronous vs GALS clock power."""
+
+    global_clock_mw: float
+    gals_clock_mw: float
+    adapter_overhead_mw: float
+
+    @property
+    def gals_total_mw(self) -> float:
+        return self.gals_clock_mw + self.adapter_overhead_mw
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.global_clock_mw == 0:
+            return 0.0
+        return 1.0 - self.gals_total_mw / self.global_clock_mw
+
+
+def compare_clocking(
+    die_area_mm2: float,
+    island_areas_mm2: Sequence[float],
+    island_frequencies_hz: Sequence[float],
+    sinks_per_island: Sequence[int],
+    crossing_flits_per_s: float,
+    synchronizer: SynchronizerKind,
+    tech: TechnologyLibrary,
+    global_frequency_hz: Optional[float] = None,
+) -> ClockingComparison:
+    """The GALS trade: small island trees + adapters vs one global tree.
+
+    The global-synchronous reference clocks the whole die at the fastest
+    island's frequency (it must serve the most demanding block); GALS
+    clocks each island at its own rate and pays synchronizer energy on
+    the crossing traffic.
+    """
+    if len(island_areas_mm2) != len(island_frequencies_hz) or len(
+        island_areas_mm2
+    ) != len(sinks_per_island):
+        raise ValueError("island vectors must have equal length")
+    if not island_areas_mm2:
+        raise ValueError("need at least one island")
+    f_global = global_frequency_hz or max(island_frequencies_hz)
+    total_sinks = sum(sinks_per_island)
+    global_mw = clock_tree_power_mw(die_area_mm2, total_sinks, f_global, tech)
+    gals_mw = sum(
+        clock_tree_power_mw(a, s, f, tech)
+        for a, s, f in zip(island_areas_mm2, sinks_per_island, island_frequencies_hz)
+    )
+    sync = SynchronizerModel.of(synchronizer)
+    adapters_mw = crossing_flits_per_s * sync.energy_fj_per_flit * 1e-12
+    return ClockingComparison(
+        global_clock_mw=global_mw,
+        gals_clock_mw=gals_mw,
+        adapter_overhead_mw=adapters_mw,
+    )

@@ -1,0 +1,134 @@
+"""Voltage-frequency islands and DVFS over the NoC.
+
+Section 6 lists VFI support as a tool-flow feature: "cores in an island
+operate at the same frequency and voltage, while cores in different
+islands can operate at different frequencies and voltages"; [24]
+demonstrated "dynamic voltage and frequency scaling architecture for
+units integration with a GALS NoC".
+
+The model: each island picks an operating point from a discrete ladder;
+dynamic power scales as C * V^2 * f and leakage roughly linearly with V.
+Given per-island throughput requirements (as a fraction of the peak
+frequency), :func:`assign_operating_points` picks the lowest-power
+point meeting each requirement, and :func:`island_power_mw` aggregates
+the comparison against running everything at the top point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (voltage, frequency) pair of the DVFS ladder."""
+
+    vdd: float
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0 or self.frequency_hz <= 0:
+            raise ValueError("operating point must be positive")
+
+
+# A 65 nm-flavoured ladder: frequency roughly linear in voltage here.
+DEFAULT_LADDER: Tuple[OperatingPoint, ...] = (
+    OperatingPoint(0.8, 400e6),
+    OperatingPoint(0.9, 600e6),
+    OperatingPoint(1.0, 800e6),
+    OperatingPoint(1.1, 1000e6),
+)
+
+
+@dataclass(frozen=True)
+class VoltageFrequencyIsland:
+    """One island: its members and power coefficients."""
+
+    name: str
+    members: Tuple[str, ...]
+    switched_cap_nf: float     # total switched capacitance at full activity
+    leakage_mw_at_nominal: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError(f"island {self.name!r} has no members")
+        if self.switched_cap_nf <= 0:
+            raise ValueError("switched capacitance must be positive")
+
+    def power_mw(self, point: OperatingPoint, activity: float = 1.0) -> float:
+        """P = a * C * V^2 * f + leakage(V)."""
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        dynamic = (
+            activity
+            * self.switched_cap_nf
+            * 1e-9
+            * point.vdd**2
+            * point.frequency_hz
+            * 1e3
+        )
+        leakage = self.leakage_mw_at_nominal * (point.vdd / 1.0) ** 2
+        return dynamic + leakage
+
+
+def assign_operating_points(
+    islands: Sequence[VoltageFrequencyIsland],
+    required_frequency_hz: Dict[str, float],
+    ladder: Sequence[OperatingPoint] = DEFAULT_LADDER,
+) -> Dict[str, OperatingPoint]:
+    """Lowest-power ladder point meeting each island's requirement."""
+    if not ladder:
+        raise ValueError("empty operating-point ladder")
+    ordered = sorted(ladder, key=lambda p: p.frequency_hz)
+    out: Dict[str, OperatingPoint] = {}
+    for island in islands:
+        need = required_frequency_hz.get(island.name)
+        if need is None:
+            raise KeyError(f"no requirement for island {island.name!r}")
+        chosen = None
+        for point in ordered:
+            if point.frequency_hz >= need:
+                chosen = point
+                break
+        if chosen is None:
+            raise ValueError(
+                f"island {island.name!r} needs {need / 1e6:.0f} MHz, above "
+                f"the ladder maximum "
+                f"{ordered[-1].frequency_hz / 1e6:.0f} MHz"
+            )
+        out[island.name] = chosen
+    return out
+
+
+def island_power_mw(
+    islands: Sequence[VoltageFrequencyIsland],
+    assignment: Dict[str, OperatingPoint],
+    activity: float = 1.0,
+) -> float:
+    """Total power under a given operating-point assignment."""
+    return sum(
+        island.power_mw(assignment[island.name], activity) for island in islands
+    )
+
+
+def vfi_savings(
+    islands: Sequence[VoltageFrequencyIsland],
+    required_frequency_hz: Dict[str, float],
+    ladder: Sequence[OperatingPoint] = DEFAULT_LADDER,
+    activity: float = 1.0,
+) -> Tuple[float, float, float]:
+    """(single-domain mW, per-island mW, savings fraction).
+
+    The single-domain reference runs every island at the point required
+    by the *most demanding* island — the cost VFI eliminates.
+    """
+    per_island = assign_operating_points(islands, required_frequency_hz, ladder)
+    vfi_mw = island_power_mw(islands, per_island, activity)
+    top_need = max(required_frequency_hz[i.name] for i in islands)
+    global_assignment = assign_operating_points(
+        islands, {i.name: top_need for i in islands}, ladder
+    )
+    single_mw = island_power_mw(islands, global_assignment, activity)
+    savings = 1.0 - vfi_mw / single_mw if single_mw > 0 else 0.0
+    return single_mw, vfi_mw, savings

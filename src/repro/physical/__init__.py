@@ -1,0 +1,38 @@
+"""Physical-implementation models.
+
+Technology-calibrated analytical models standing in for the 65 nm
+place-and-route studies the paper reports (Fig. 2, Section 4, [43]):
+switch area and maximum frequency versus radix, wire delay and power with
+repeaters and pipelining, routability / row-utilization bands, and a
+block-level floorplanner with incremental NoC-component insertion.
+"""
+
+from repro.physical.technology import TechnologyLibrary, TechNode
+from repro.physical.switch_model import SwitchPhysicalModel, SwitchEstimate
+from repro.physical.wire import WireModel, WireEstimate, required_pipeline_stages
+from repro.physical.power import PowerModel, ComponentPower, NocPowerReport
+from repro.physical.routability import (
+    RoutabilityModel,
+    RoutabilityVerdict,
+    RoutabilityClass,
+)
+from repro.physical.floorplan import Block, Floorplan, IncrementalFloorplanner
+
+__all__ = [
+    "TechnologyLibrary",
+    "TechNode",
+    "SwitchPhysicalModel",
+    "SwitchEstimate",
+    "WireModel",
+    "WireEstimate",
+    "required_pipeline_stages",
+    "PowerModel",
+    "ComponentPower",
+    "NocPowerReport",
+    "RoutabilityModel",
+    "RoutabilityVerdict",
+    "RoutabilityClass",
+    "Block",
+    "Floorplan",
+    "IncrementalFloorplanner",
+]

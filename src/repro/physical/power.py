@@ -1,0 +1,170 @@
+"""Power models for NoC components.
+
+Activity-based dynamic power plus leakage, in the style the paper's tool
+flow requires ("the NoC components are characterized with the target
+technology library to compute the area, power and maximum operating
+frequency of the routers, NIs and links", Section 6).
+
+Energy accounting is per *flit event*:
+
+* a flit traversing a switch pays buffer write/read plus crossbar and
+  allocator switching, proportional to the switch's gate count share;
+* a flit traversing a link pays repeated-wire switching energy
+  proportional to length and width;
+* NIs pay (de)packetization energy per flit.
+
+Leakage is proportional to gate-equivalents and always on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.physical.switch_model import SwitchEstimate, SwitchPhysicalModel
+from repro.physical.technology import TechnologyLibrary
+from repro.physical.wire import WireModel
+
+# Fraction of a switch's gate-equivalents that toggle when one flit
+# traverses it (buffer write+read, crossbar, allocator).  Calibrated so a
+# 65 nm 5x5 32-bit switch costs ~15-20 pJ/flit, matching Orion-class
+# published numbers and keeping the switch-vs-wire energy ratio that the
+# SunFloor comparisons [11] rest on.
+_SWITCH_ACTIVITY_SHARE = 0.35
+# FIFO energy per bit per access (write + read = two accesses per flit),
+# fJ.  Buffering is roughly half a wormhole router's per-flit energy in
+# published 65 nm characterizations; together with the logic share above
+# this puts a 5x5 32-bit switch at ~10-15 pJ/flit.
+_BUFFER_ACCESS_FJ_PER_BIT = 75.0
+# Gate-equivalents toggled in an NI per flit (packetization datapath).
+_NI_GATES_PER_FLIT_PER_BIT = 1.6
+# NI static gate count (LUTs, FSMs) per bit of flit width.
+_NI_GATES_PER_BIT = 110.0
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """Power of one component at a given activity level."""
+
+    name: str
+    dynamic_mw: float
+    leakage_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.leakage_mw
+
+
+@dataclass
+class NocPowerReport:
+    """Aggregated NoC power breakdown."""
+
+    components: Dict[str, ComponentPower] = field(default_factory=dict)
+
+    def add(self, component: ComponentPower) -> None:
+        if component.name in self.components:
+            raise ValueError(f"duplicate component {component.name!r}")
+        self.components[component.name] = component
+
+    @property
+    def dynamic_mw(self) -> float:
+        return sum(c.dynamic_mw for c in self.components.values())
+
+    @property
+    def leakage_mw(self) -> float:
+        return sum(c.leakage_mw for c in self.components.values())
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.leakage_mw
+
+    def by_kind(self) -> Dict[str, float]:
+        """Total power grouped by the component-name prefix (switch/ni/link)."""
+        groups: Dict[str, float] = {}
+        for name, comp in self.components.items():
+            kind = name.split(":", 1)[0]
+            groups[kind] = groups.get(kind, 0.0) + comp.total_mw
+        return groups
+
+
+class PowerModel:
+    """Energy/power characterization over a technology library."""
+
+    def __init__(self, tech: TechnologyLibrary):
+        self.tech = tech
+        self.switch_model = SwitchPhysicalModel(tech)
+        self.wire_model = WireModel(tech)
+
+    # ------------------------------------------------------------------
+    # Per-event energies
+    # ------------------------------------------------------------------
+    def switch_energy_pj_per_flit(self, estimate: SwitchEstimate) -> float:
+        """Dynamic energy of one flit traversing a switch, pJ.
+
+        Logic switching (crossbar + allocator share) plus one FIFO write
+        and one read of the flit.
+        """
+        toggled = estimate.gate_equivalents * _SWITCH_ACTIVITY_SHARE
+        logic = toggled * self.tech.energy_per_gate_fj * 1e-3
+        buffers = 2 * estimate.flit_width * _BUFFER_ACCESS_FJ_PER_BIT * 1e-3
+        return logic + buffers
+
+    def ni_energy_pj_per_flit(self, flit_width: int) -> float:
+        """Dynamic energy of one flit through an NI (pack or unpack), pJ."""
+        if flit_width < 1:
+            raise ValueError("flit width must be >= 1")
+        return flit_width * _NI_GATES_PER_FLIT_PER_BIT * self.tech.energy_per_gate_fj * 1e-3
+
+    def link_energy_pj_per_flit(self, length_mm: float, flit_width: int) -> float:
+        """Dynamic energy of one flit over a link of ``length_mm``, pJ."""
+        return self.tech.wire_energy_pj_per_mm(flit_width) * length_mm
+
+    # ------------------------------------------------------------------
+    # Leakage
+    # ------------------------------------------------------------------
+    def switch_leakage_mw(self, estimate: SwitchEstimate) -> float:
+        return estimate.gate_equivalents * self.tech.leakage_nw_per_gate * 1e-6
+
+    def ni_leakage_mw(self, flit_width: int) -> float:
+        return flit_width * _NI_GATES_PER_BIT * self.tech.leakage_nw_per_gate * 1e-6
+
+    # ------------------------------------------------------------------
+    # Component power at an activity level
+    # ------------------------------------------------------------------
+    def switch_power(
+        self, name: str, estimate: SwitchEstimate, flits_per_second: float
+    ) -> ComponentPower:
+        """Switch power at a given flit rate."""
+        if flits_per_second < 0:
+            raise ValueError("flit rate must be non-negative")
+        dynamic = self.switch_energy_pj_per_flit(estimate) * flits_per_second * 1e-9
+        return ComponentPower(
+            name=f"switch:{name}",
+            dynamic_mw=dynamic,
+            leakage_mw=self.switch_leakage_mw(estimate),
+        )
+
+    def ni_power(self, name: str, flit_width: int, flits_per_second: float) -> ComponentPower:
+        if flits_per_second < 0:
+            raise ValueError("flit rate must be non-negative")
+        dynamic = self.ni_energy_pj_per_flit(flit_width) * flits_per_second * 1e-9
+        return ComponentPower(
+            name=f"ni:{name}",
+            dynamic_mw=dynamic,
+            leakage_mw=self.ni_leakage_mw(flit_width),
+        )
+
+    def link_power(
+        self, name: str, length_mm: float, flit_width: int, flits_per_second: float
+    ) -> ComponentPower:
+        if flits_per_second < 0:
+            raise ValueError("flit rate must be non-negative")
+        dynamic = self.link_energy_pj_per_flit(length_mm, flit_width) * flits_per_second * 1e-9
+        return ComponentPower(name=f"link:{name}", dynamic_mw=dynamic, leakage_mw=0.0)
+
+    # ------------------------------------------------------------------
+    def aggregate(self, components: Iterable[ComponentPower]) -> NocPowerReport:
+        report = NocPowerReport()
+        for comp in components:
+            report.add(comp)
+        return report

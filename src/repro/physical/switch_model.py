@@ -1,0 +1,148 @@
+"""Switch area / frequency characterization versus radix.
+
+Reproduces the model behind Fig. 2 of the paper ("Study on 65nm, 32-bit
+switch scalability", based on [43]): a wormhole switch of radix NxN with
+flit width W is characterized for
+
+* **cell area** — buffer storage (linear in N), crossbar (quadratic in
+  N*W), and allocator/arbiter logic (quadratic in N with a log factor);
+* **maximum operating frequency** — limited by the allocator critical
+  path (grows with log2 N) plus intra-switch wire delay (grows with the
+  linear dimension of the switch, i.e. sqrt(area)).
+
+Calibration anchors (65 nm, 32-bit, per [43]): a 5x5 switch is of the
+order of 0.05 mm^2 and runs around 1 GHz; 10x10 switches remain efficient
+("85% row utilization or more" in Fig. 2), while very large radices pay a
+steep area and frequency cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.physical.technology import TechnologyLibrary, TechNode
+
+# Gate-equivalents per component, calibrated at 65 nm / 32-bit.
+_GATES_PER_BUFFER_BIT = 1.0          # flop + mux overhead folded into sram_bit area
+_GATES_PER_XBAR_CROSSPOINT_BIT = 0.6  # mux tree share per crosspoint bit
+_GATES_ALLOCATOR_PER_PORT_PAIR = 28.0  # request/grant matrix logic
+_GATES_CONTROL_PER_PORT = 340.0       # FSMs, routing field handling
+
+# Critical-path calibration: FO4 depths.
+_FO4_BASE = 28.0         # flop-to-flop logic depth of a minimal 2x2 switch
+_FO4_PER_LOG2_RADIX = 7.5  # arbitration tree depth growth
+
+
+@dataclass(frozen=True)
+class SwitchEstimate:
+    """Physical characterization of one switch configuration."""
+
+    radix_in: int
+    radix_out: int
+    flit_width: int
+    buffer_depth: int
+    area_mm2: float
+    max_frequency_hz: float
+    gate_equivalents: float
+
+    @property
+    def side_mm(self) -> float:
+        """Linear dimension assuming a square layout."""
+        return math.sqrt(self.area_mm2)
+
+
+class SwitchPhysicalModel:
+    """Analytical area/frequency model of a wormhole switch.
+
+    Parameters
+    ----------
+    tech:
+        Technology library providing cell/bit areas and gate delay.
+    """
+
+    def __init__(self, tech: TechnologyLibrary):
+        self.tech = tech
+
+    # ------------------------------------------------------------------
+    def gate_equivalents(
+        self,
+        radix_in: int,
+        radix_out: int,
+        flit_width: int = 32,
+        buffer_depth: int = 4,
+        output_buffer_depth: int = 0,
+    ) -> float:
+        """Logic gate-equivalents (excluding FIFO storage bits)."""
+        self._validate(radix_in, radix_out, flit_width, buffer_depth)
+        crosspoints = radix_in * radix_out * flit_width
+        allocator = radix_in * radix_out * _GATES_ALLOCATOR_PER_PORT_PAIR
+        control = (radix_in + radix_out) * _GATES_CONTROL_PER_PORT
+        return (
+            crosspoints * _GATES_PER_XBAR_CROSSPOINT_BIT
+            + allocator * max(1.0, math.log2(radix_out))
+            + control
+        )
+
+    def estimate(
+        self,
+        radix_in: int,
+        radix_out: int,
+        flit_width: int = 32,
+        buffer_depth: int = 4,
+        output_buffer_depth: int = 0,
+    ) -> SwitchEstimate:
+        """Characterize one switch configuration.
+
+        ``output_buffer_depth`` models the extra output FIFOs required by
+        ACK/NACK flow control (Section 3 of the paper: "If ACK/NACK flow
+        control is used then output buffers are required").
+        """
+        self._validate(radix_in, radix_out, flit_width, buffer_depth)
+        if output_buffer_depth < 0:
+            raise ValueError("output_buffer_depth must be >= 0")
+
+        storage_bits = flit_width * (
+            radix_in * buffer_depth + radix_out * output_buffer_depth
+        )
+        gates = self.gate_equivalents(radix_in, radix_out, flit_width, buffer_depth)
+        area_um2 = (
+            storage_bits * self.tech.sram_bit_area_um2 * _GATES_PER_BUFFER_BIT
+            + gates * self.tech.cell_area_um2
+        )
+        # Placed area: utilization below 100% (routing overhead grows with
+        # radix; the routability model refines this, here we take the
+        # baseline 85% of Fig. 2's small-switch band).
+        area_mm2 = area_um2 / 0.85 * 1e-6
+
+        logic_ps = self.tech.gate_delay_ps * (
+            _FO4_BASE + _FO4_PER_LOG2_RADIX * math.log2(max(radix_in, radix_out))
+        )
+        # Intra-switch wire: the critical net crosses roughly one switch side.
+        wire_ps = self.tech.wire_delay_ps_per_mm * math.sqrt(area_mm2)
+        max_frequency_hz = 1e12 / (logic_ps + wire_ps)
+
+        return SwitchEstimate(
+            radix_in=radix_in,
+            radix_out=radix_out,
+            flit_width=flit_width,
+            buffer_depth=buffer_depth,
+            area_mm2=area_mm2,
+            max_frequency_hz=max_frequency_hz,
+            gate_equivalents=gates + storage_bits,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(radix_in: int, radix_out: int, flit_width: int, buffer_depth: int) -> None:
+        if radix_in < 1 or radix_out < 1:
+            raise ValueError("switch radix must be >= 1 on both sides")
+        if flit_width < 1:
+            raise ValueError("flit width must be >= 1")
+        if buffer_depth < 1:
+            raise ValueError("buffer depth must be >= 1 (wormhole needs storage)")
+
+
+def default_switch_model(node: TechNode = TechNode.NM_65) -> SwitchPhysicalModel:
+    """Convenience constructor used throughout the tool flow."""
+    return SwitchPhysicalModel(TechnologyLibrary.for_node(node))

@@ -1,0 +1,170 @@
+"""Technology library: per-node constants used by all physical models.
+
+The paper's tool flow (Section 6) characterizes NoC components "with the
+target technology library to compute the area, power and maximum operating
+frequency of the routers, NIs and links".  We reproduce that
+characterization step with analytical models whose constants are calibrated
+against published numbers:
+
+* the 65 nm xpipes implementation study [43] (Pullini et al., "Bringing
+  NoCs to 65 nm", IEEE Micro 2007): ~1 GHz switches, 32-bit flits,
+  5x5 switch of the order of 0.05 mm^2;
+* ITRS-class wire parameters for the 130/90/65/45 nm nodes.
+
+Constants here are *calibrated, not fabricated*: each captures an
+order-of-magnitude published value, and every model using them reproduces
+trends (scaling shape, crossover points), never absolute silicon numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class TechNode(Enum):
+    """Supported technology nodes (feature size in nm)."""
+
+    NM_130 = 130
+    NM_90 = 90
+    NM_65 = 65
+    NM_45 = 45
+
+    @property
+    def nanometers(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TechnologyLibrary:
+    """Per-node physical constants.
+
+    Attributes
+    ----------
+    node:
+        The technology node.
+    gate_delay_ps:
+        Delay of a fanout-of-4 inverter, picoseconds.  Scales ~linearly
+        with feature size (gate delay improves with scaling; wires do not
+        -- the core argument of the paper's introduction).
+    wire_delay_ps_per_mm:
+        Delay of an optimally-repeated global wire, ps/mm.  Roughly flat
+        across nodes (slightly worsening), reproducing "gate delays
+        decrease while global wire delays do not".
+    wire_cap_ff_per_mm:
+        Repeated-wire switching capacitance, fF/mm.
+    vdd:
+        Supply voltage, volts.
+    cell_area_um2:
+        Area of a reference NAND2-equivalent cell, um^2 (used as the unit
+        of logic area).
+    sram_bit_area_um2:
+        Area of one bit of register-file/FIFO storage, um^2.
+    leakage_nw_per_gate:
+        Leakage per gate equivalent, nW.
+    energy_per_gate_fj:
+        Dynamic switching energy per gate equivalent per activation, fJ.
+    routing_tracks_per_um:
+        Effective routing-track density available to switch-internal
+        nets, tracks per um of die width summed across usable metal
+        layers and derated for blockages (used by the routability model;
+        calibrated at 65 nm so the Fig. 2 utilization bands land on the
+        published radix boundaries).
+    """
+
+    node: TechNode
+    gate_delay_ps: float
+    wire_delay_ps_per_mm: float
+    wire_cap_ff_per_mm: float
+    vdd: float
+    cell_area_um2: float
+    sram_bit_area_um2: float
+    leakage_nw_per_gate: float
+    energy_per_gate_fj: float
+    routing_tracks_per_um: float = field(default=6.66)
+
+    @staticmethod
+    def for_node(node: TechNode) -> "TechnologyLibrary":
+        """Return the calibrated library for ``node``."""
+        try:
+            return _LIBRARIES[node]
+        except KeyError:  # pragma: no cover - all enum members present
+            raise ValueError(f"no technology library for {node!r}")
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def max_wire_mm_at(self, frequency_hz: float, timing_fraction: float = 0.8) -> float:
+        """Longest single-cycle wire at ``frequency_hz``.
+
+        ``timing_fraction`` is the share of the cycle available to the
+        wire after flop setup/clock-to-q overhead.  This is the quantity
+        the paper's "structured wiring" section exploits: NoC links longer
+        than this must be pipelined (link pipelining, Section 3/4.1).
+        """
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        cycle_ps = 1e12 / frequency_hz
+        return timing_fraction * cycle_ps / self.wire_delay_ps_per_mm
+
+    def wire_energy_pj_per_mm(self, bits: int = 1) -> float:
+        """Dynamic energy to switch ``bits`` parallel wires over 1 mm, pJ.
+
+        Uses E = C * Vdd^2 with an activity factor of 0.5 folded into the
+        capacitance calibration.
+        """
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return self.wire_cap_ff_per_mm * 1e-3 * self.vdd**2 * 0.5 * bits
+
+
+_LIBRARIES = {
+    TechNode.NM_130: TechnologyLibrary(
+        node=TechNode.NM_130,
+        gate_delay_ps=50.0,
+        wire_delay_ps_per_mm=95.0,
+        wire_cap_ff_per_mm=250.0,
+        vdd=1.2,
+        cell_area_um2=5.1,
+        sram_bit_area_um2=2.4,
+        leakage_nw_per_gate=0.5,
+        energy_per_gate_fj=9.0,
+        routing_tracks_per_um=3.3,
+    ),
+    TechNode.NM_90: TechnologyLibrary(
+        node=TechNode.NM_90,
+        gate_delay_ps=35.0,
+        wire_delay_ps_per_mm=100.0,
+        wire_cap_ff_per_mm=230.0,
+        vdd=1.1,
+        cell_area_um2=2.5,
+        sram_bit_area_um2=1.2,
+        leakage_nw_per_gate=1.5,
+        energy_per_gate_fj=5.0,
+        routing_tracks_per_um=4.8,
+    ),
+    TechNode.NM_65: TechnologyLibrary(
+        node=TechNode.NM_65,
+        gate_delay_ps=25.0,
+        wire_delay_ps_per_mm=105.0,
+        wire_cap_ff_per_mm=210.0,
+        vdd=1.0,
+        cell_area_um2=1.3,
+        sram_bit_area_um2=0.62,
+        leakage_nw_per_gate=3.0,
+        energy_per_gate_fj=2.6,
+        routing_tracks_per_um=6.66,
+    ),
+    TechNode.NM_45: TechnologyLibrary(
+        node=TechNode.NM_45,
+        gate_delay_ps=17.0,
+        wire_delay_ps_per_mm=115.0,
+        wire_cap_ff_per_mm=195.0,
+        vdd=0.9,
+        cell_area_um2=0.65,
+        sram_bit_area_um2=0.30,
+        leakage_nw_per_gate=6.0,
+        energy_per_gate_fj=1.4,
+        routing_tracks_per_um=9.6,
+    ),
+}

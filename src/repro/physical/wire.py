@@ -1,0 +1,131 @@
+"""Wire and link physical models: delay, pipelining, serialization.
+
+Implements the "structured wiring" story of Section 4.1:
+
+* NoC links are point-to-point, so their length is known and bounded by
+  topology synthesis; a link longer than one clock cycle of wire is
+  **pipelined** by inserting relay stations (Section 3: "Links can
+  represent more than just physical wires as they can provide pipelining
+  in order to achieve the required timing").
+* Packetization enables **serialization**: a transaction that a bus
+  carries on 100-200 parallel wires is split over multiple cycles in
+  flits, so the designer chooses the wire count / latency trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.physical.technology import TechnologyLibrary
+
+# Control wires accompanying a flit link: flow control (ack/stall or
+# credits), head/tail framing, valid.
+CONTROL_WIRES = 6
+
+# A classic bus reference for the serialization comparison (Section 4.1:
+# "a typical on-chip bus requires around 100 to 200 wires").
+BUS_REFERENCE_WIRES = {
+    "32-bit bus": 32 + 32 + 32 + 12,   # write data + read data + address + control
+    "64-bit bus": 64 + 64 + 32 + 14,
+}
+
+
+def required_pipeline_stages(
+    length_mm: float,
+    frequency_hz: float,
+    tech: TechnologyLibrary,
+    timing_fraction: float = 0.8,
+) -> int:
+    """Number of pipeline stages a link of ``length_mm`` needs.
+
+    0 means the link is traversed combinationally within the cycle;
+    k >= 1 means k relay flops are inserted, adding k cycles of latency.
+    """
+    if length_mm < 0:
+        raise ValueError("length must be non-negative")
+    if length_mm == 0:
+        return 0
+    max_mm = tech.max_wire_mm_at(frequency_hz, timing_fraction)
+    return max(0, math.ceil(length_mm / max_mm) - 1)
+
+
+@dataclass(frozen=True)
+class WireEstimate:
+    """Characterization of one link at a given length/width/frequency."""
+
+    length_mm: float
+    flit_width: int
+    frequency_hz: float
+    pipeline_stages: int
+    wire_count: int
+    delay_cycles: int
+    energy_pj_per_flit: float
+    bandwidth_bits_per_s: float
+
+
+class WireModel:
+    """Link characterization over a technology library."""
+
+    def __init__(self, tech: TechnologyLibrary):
+        self.tech = tech
+
+    def estimate(
+        self,
+        length_mm: float,
+        flit_width: int,
+        frequency_hz: float,
+        timing_fraction: float = 0.8,
+    ) -> WireEstimate:
+        """Characterize one unidirectional link."""
+        if flit_width < 1:
+            raise ValueError("flit width must be >= 1")
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        stages = required_pipeline_stages(length_mm, frequency_hz, self.tech, timing_fraction)
+        energy = self.tech.wire_energy_pj_per_mm(flit_width) * length_mm
+        # Relay flops add clocked energy: one gate-equivalent per bit per stage.
+        energy += stages * flit_width * self.tech.energy_per_gate_fj * 1e-3
+        return WireEstimate(
+            length_mm=length_mm,
+            flit_width=flit_width,
+            frequency_hz=frequency_hz,
+            pipeline_stages=stages,
+            wire_count=flit_width + CONTROL_WIRES,
+            delay_cycles=1 + stages,
+            energy_pj_per_flit=energy,
+            bandwidth_bits_per_s=flit_width * frequency_hz,
+        )
+
+    # ------------------------------------------------------------------
+    def serialization_tradeoff(
+        self,
+        payload_bits: int,
+        flit_widths: "list[int]",
+        length_mm: float,
+        frequency_hz: float,
+    ) -> "list[dict]":
+        """Sweep flit width for a fixed payload (SER experiment).
+
+        For each candidate width, report wires deployed, cycles to
+        transfer the payload, and energy — the designer-facing
+        performance/wiring trade-off of Section 4.1.
+        """
+        if payload_bits < 1:
+            raise ValueError("payload must be >= 1 bit")
+        rows = []
+        for width in flit_widths:
+            est = self.estimate(length_mm, width, frequency_hz)
+            flits = math.ceil(payload_bits / width)
+            rows.append(
+                {
+                    "flit_width": width,
+                    "wire_count": est.wire_count,
+                    "flits_per_payload": flits,
+                    "serialization_cycles": flits,
+                    "link_traversal_cycles": est.delay_cycles,
+                    "energy_pj_per_payload": est.energy_pj_per_flit * flits,
+                    "bandwidth_bits_per_s": est.bandwidth_bits_per_s,
+                }
+            )
+        return rows

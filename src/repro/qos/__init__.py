@@ -1,0 +1,25 @@
+"""Aethereal-style quality of service: TDMA slots, GT connections."""
+
+from repro.qos.tdma import SlotTable, required_slots, route_slot_shifts
+from repro.qos.connections import (
+    AdmissionError,
+    AdmittedConnection,
+    ConnectionManager,
+    GT_VC,
+    GtConnection,
+)
+from repro.qos.analysis import GtGuarantee, analyze, guaranteed_bandwidth_bps
+
+__all__ = [
+    "SlotTable",
+    "required_slots",
+    "route_slot_shifts",
+    "AdmissionError",
+    "AdmittedConnection",
+    "ConnectionManager",
+    "GT_VC",
+    "GtConnection",
+    "GtGuarantee",
+    "analyze",
+    "guaranteed_bandwidth_bps",
+]

@@ -1,0 +1,52 @@
+"""Reliability: error control, fault recovery, component redundancy.
+
+The introduction's reliability claims made executable: run-time error
+correction on links, transparent recovery from hard faults via routing
+reconfiguration, and spare-component yield engineering.
+"""
+
+from repro.reliability.errors import (
+    CRC_BITS,
+    ECC_BITS,
+    ErrorControlPoint,
+    WireErrorModel,
+    ecc_point,
+    preferred_scheme,
+    retransmission_point,
+    sweep_error_control,
+)
+from repro.reliability.faults import (
+    DegradationReport,
+    FaultScenario,
+    UnrecoverableFaultError,
+    degradation,
+    reconfigure_routing,
+    surviving_topology,
+)
+from repro.reliability.redundancy import (
+    RedundancyPoint,
+    component_yield,
+    redundancy_sweep,
+    yield_with_spares,
+)
+
+__all__ = [
+    "CRC_BITS",
+    "ECC_BITS",
+    "ErrorControlPoint",
+    "WireErrorModel",
+    "ecc_point",
+    "preferred_scheme",
+    "retransmission_point",
+    "sweep_error_control",
+    "DegradationReport",
+    "FaultScenario",
+    "UnrecoverableFaultError",
+    "degradation",
+    "reconfigure_routing",
+    "surviving_topology",
+    "RedundancyPoint",
+    "component_yield",
+    "redundancy_sweep",
+    "yield_with_spares",
+]

@@ -1,0 +1,154 @@
+"""Link-level error models and error-control trade-offs.
+
+The paper's introduction claims: "the distributed nature of NoC
+infrastructures can be effectively leveraged to enhance system-level
+reliability.  For example, NoCs can locally handle at run-time the
+correction of timing failures induced by variability and/or other
+signal integrity issues."
+
+The mechanism in the xpipes family is link-level error control: flits
+carry a CRC; a corrupted flit is NACKed and retransmitted (the ACK/NACK
+machinery of :mod:`repro.arch.link`), or corrected in place with an ECC
+at a wider-codec cost.  This module provides:
+
+* a bit-error-rate model mapping wire length/voltage margins to
+  per-flit error probability;
+* the retransmission-vs-ECC trade-off: effective latency/bandwidth and
+  energy per delivered flit for both schemes, as a function of BER —
+  reproducing the standard result that retransmission wins at low BER
+  and short links, correction at high BER.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+# CRC check bits per flit (detection-only scheme).
+CRC_BITS = 8
+# Hamming SEC-DED overhead for a 32-bit payload.
+ECC_BITS = 7
+# Relative codec energy (encoder+decoder) per flit, in units of one
+# 1 mm of 32-bit wire energy.
+_CRC_CODEC_COST = 0.10
+_ECC_CODEC_COST = 0.45
+
+
+@dataclass(frozen=True)
+class WireErrorModel:
+    """Per-wire, per-cycle bit error probability.
+
+    ``base_ber`` is the error floor at nominal margins; lowering the
+    voltage margin (aggressive DVFS) or lengthening the wire raises it
+    exponentially/linearly — the "timing failures induced by
+    variability" of the paper.
+    """
+
+    base_ber: float = 1e-12
+    margin_exponent: float = 12.0   # sensitivity to margin reduction
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_ber < 1.0:
+            raise ValueError("base BER must be in [0, 1)")
+        if self.margin_exponent <= 0:
+            raise ValueError("margin exponent must be positive")
+
+    def bit_error_rate(self, length_mm: float, voltage_margin: float = 1.0) -> float:
+        """BER of one wire over ``length_mm`` at a given margin.
+
+        ``voltage_margin`` of 1.0 is nominal; 0.8 means running 20 %
+        into the guard band.
+        """
+        if length_mm < 0:
+            raise ValueError("length must be non-negative")
+        if not 0.0 < voltage_margin <= 1.5:
+            raise ValueError("voltage margin must be in (0, 1.5]")
+        scale = math.exp(self.margin_exponent * (1.0 - voltage_margin))
+        return min(1.0, self.base_ber * max(length_mm, 1e-3) * scale)
+
+    def flit_error_probability(
+        self, length_mm: float, flit_width: int, voltage_margin: float = 1.0
+    ) -> float:
+        """Probability at least one bit of a flit is corrupted."""
+        if flit_width < 1:
+            raise ValueError("flit width must be >= 1")
+        ber = self.bit_error_rate(length_mm, voltage_margin)
+        return 1.0 - (1.0 - ber) ** flit_width
+
+
+@dataclass(frozen=True)
+class ErrorControlPoint:
+    """Characterization of one error-control scheme at one BER."""
+
+    scheme: str               # "retransmission" | "ecc"
+    flit_error_probability: float
+    effective_latency_cycles: float   # expected per-flit link latency
+    effective_bandwidth_fraction: float
+    extra_wires: int
+    energy_overhead_fraction: float
+
+
+def retransmission_point(
+    p_err: float, link_delay_cycles: int = 1
+) -> ErrorControlPoint:
+    """CRC + ACK/NACK go-back-1 expectation at flit error rate ``p_err``.
+
+    Expected transmissions per delivered flit = 1 / (1 - p).  Each retry
+    costs a NACK round trip plus the retransmission.
+    """
+    if not 0.0 <= p_err < 1.0:
+        raise ValueError("error probability must be in [0, 1)")
+    expected_tries = 1.0 / (1.0 - p_err)
+    retry_cost = 2 * link_delay_cycles + 1  # NACK return + resend
+    latency = link_delay_cycles + (expected_tries - 1.0) * retry_cost
+    return ErrorControlPoint(
+        scheme="retransmission",
+        flit_error_probability=p_err,
+        effective_latency_cycles=latency,
+        effective_bandwidth_fraction=1.0 / expected_tries,
+        extra_wires=CRC_BITS,
+        energy_overhead_fraction=_CRC_CODEC_COST + (expected_tries - 1.0),
+    )
+
+
+def ecc_point(p_err: float, link_delay_cycles: int = 1) -> ErrorControlPoint:
+    """SEC-DED forward correction: fixed codec latency, no retries for
+    single-bit errors (the dominant case at these BERs)."""
+    if not 0.0 <= p_err < 1.0:
+        raise ValueError("error probability must be in [0, 1)")
+    return ErrorControlPoint(
+        scheme="ecc",
+        flit_error_probability=p_err,
+        effective_latency_cycles=link_delay_cycles + 1.0,  # codec stage
+        effective_bandwidth_fraction=1.0,
+        extra_wires=ECC_BITS,
+        energy_overhead_fraction=_ECC_CODEC_COST,
+    )
+
+
+def preferred_scheme(p_err: float, link_delay_cycles: int = 1) -> str:
+    """Latency-optimal scheme at a given flit error rate.
+
+    Retransmission's expected latency crosses ECC's fixed +1 cycle once
+    errors stop being rare — the classic energy/latency crossover of
+    NoC error-control studies.
+    """
+    retx = retransmission_point(p_err, link_delay_cycles)
+    ecc = ecc_point(p_err, link_delay_cycles)
+    return (
+        "retransmission"
+        if retx.effective_latency_cycles <= ecc.effective_latency_cycles
+        else "ecc"
+    )
+
+
+def sweep_error_control(
+    p_errs: List[float], link_delay_cycles: int = 1
+) -> List[ErrorControlPoint]:
+    """Both schemes across a BER sweep (for the reliability bench)."""
+    out: List[ErrorControlPoint] = []
+    for p in p_errs:
+        out.append(retransmission_point(p, link_delay_cycles))
+        out.append(ecc_point(p, link_delay_cycles))
+    return out

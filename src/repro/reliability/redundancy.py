@@ -1,0 +1,85 @@
+"""Component redundancy: spares and the yield they buy.
+
+"Reconfigurable NoCs can support component redundancy in a transparent
+fashion" (Section 1): a design provisions spare switches/links; at
+test time, failed components are mapped out and a spare mapped in by
+rewriting the routing tables — no software change.
+
+The model: components fail independently at test with probability
+derived from their area (defect density model); a design with ``s``
+spares survives up to ``s`` switch failures.  :func:`yield_with_spares`
+gives the binomial survival probability, reproducing the standard
+redundancy-vs-yield curve that motivates the technique for
+"highly-dependable systems".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+def component_yield(area_mm2: float, defects_per_mm2: float = 0.002) -> float:
+    """Poisson defect model: P(no defect) = exp(-D * A)."""
+    if area_mm2 < 0 or defects_per_mm2 < 0:
+        raise ValueError("area and defect density must be non-negative")
+    return math.exp(-defects_per_mm2 * area_mm2)
+
+
+def yield_with_spares(
+    num_components: int,
+    component_yield_each: float,
+    num_spares: int,
+) -> float:
+    """P(at most ``num_spares`` of ``num_components + num_spares`` fail).
+
+    All instances (working set + spares) are fabricated; the design
+    survives if the number of defective instances does not exceed the
+    spare count.
+    """
+    if num_components < 1:
+        raise ValueError("need at least one component")
+    if num_spares < 0:
+        raise ValueError("spares must be non-negative")
+    if not 0.0 < component_yield_each <= 1.0:
+        raise ValueError("component yield must be in (0, 1]")
+    total = num_components + num_spares
+    p_fail = 1.0 - component_yield_each
+    prob = 0.0
+    for k in range(num_spares + 1):
+        prob += (
+            math.comb(total, k) * p_fail**k * component_yield_each ** (total - k)
+        )
+    return prob
+
+
+@dataclass(frozen=True)
+class RedundancyPoint:
+    """One spare-count choice and what it costs/buys."""
+
+    num_spares: int
+    design_yield: float
+    area_overhead_fraction: float
+
+
+def redundancy_sweep(
+    num_switches: int,
+    switch_area_mm2: float,
+    defects_per_mm2: float = 0.02,
+    max_spares: int = 4,
+) -> List[RedundancyPoint]:
+    """The spare-count trade: yield gained vs area paid."""
+    if max_spares < 0:
+        raise ValueError("max spares must be non-negative")
+    each = component_yield(switch_area_mm2, defects_per_mm2)
+    out: List[RedundancyPoint] = []
+    for spares in range(max_spares + 1):
+        out.append(
+            RedundancyPoint(
+                num_spares=spares,
+                design_yield=yield_with_spares(num_switches, each, spares),
+                area_overhead_fraction=spares / num_switches,
+            )
+        )
+    return out

@@ -1,0 +1,217 @@
+"""Text and CSV reporting of design artifacts.
+
+The tool-flow outputs designers actually look at: a topology summary, a
+Pareto/design-point table, a link-load report, and CSV export for
+external plotting.  Everything is plain text — no plotting
+dependencies — so reports drop into logs and papers alike.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.evaluate import DesignPoint
+from repro.topology.graph import NodeKind, RoutingTable, Topology
+
+
+def topology_summary(topology: Topology) -> str:
+    """Human-readable structural overview of one topology."""
+    lines = [f"Topology {topology.name!r}"]
+    switches = topology.switches
+    cores = topology.cores
+    sw_links = sum(
+        1
+        for a, b in topology.links
+        if topology.kind(a) is NodeKind.SWITCH
+        and topology.kind(b) is NodeKind.SWITCH
+    )
+    lines.append(
+        f"  {len(switches)} switches, {len(cores)} cores, "
+        f"{sw_links} inter-switch links (unidirectional)"
+    )
+    radices = sorted(topology.radix(sw)[0] for sw in switches)
+    if radices:
+        lines.append(
+            f"  radix min/median/max: {radices[0]}/"
+            f"{radices[len(radices) // 2]}/{radices[-1]}"
+        )
+    lengths = [
+        topology.link_attrs(a, b).length_mm
+        for a, b in topology.links
+        if topology.link_attrs(a, b).length_mm > 0
+    ]
+    if lengths:
+        lines.append(
+            f"  link lengths: {min(lengths):.2f}..{max(lengths):.2f} mm "
+            f"(mean {sum(lengths) / len(lengths):.2f})"
+        )
+    per_switch: Dict[str, int] = {}
+    for core in cores:
+        for sw in topology.attached_switches(core):
+            per_switch[sw] = per_switch.get(sw, 0) + 1
+    if per_switch:
+        lines.append(
+            f"  cores per switch: up to {max(per_switch.values())}"
+        )
+    return "\n".join(lines)
+
+
+_DESIGN_COLUMNS = (
+    ("name", "{:<26}"),
+    ("num_switches", "{:>3}"),
+    ("power_mw", "{:>8.1f}"),
+    ("avg_latency_cycles", "{:>7.1f}"),
+    ("avg_latency_ns", "{:>8.1f}"),
+    ("area_mm2", "{:>8.3f}"),
+    ("max_link_load", "{:>6.2f}"),
+    ("feasible", "{!s:>8}"),
+)
+
+
+def design_table(points: Sequence[DesignPoint], marker: Optional[DesignPoint] = None) -> str:
+    """Fixed-width table of design points (the Pareto-front printout)."""
+    if not points:
+        return "(no design points)"
+    header = (
+        f"{'name':<26} {'k':>3} {'mW':>8} {'cycles':>7} {'ns':>8} "
+        f"{'mm2':>8} {'load':>6} {'feasible':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for point in points:
+        cells = " ".join(
+            fmt.format(getattr(point, attr)) for attr, fmt in _DESIGN_COLUMNS
+        )
+        if marker is not None and point is marker:
+            cells += "   <-"
+        lines.append(cells)
+    return "\n".join(lines)
+
+
+def design_points_csv(points: Sequence[DesignPoint]) -> str:
+    """CSV export of design points for external plotting."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "name", "num_switches", "flit_width", "frequency_mhz",
+            "max_frequency_mhz", "power_mw", "area_mm2",
+            "avg_latency_cycles", "avg_latency_ns", "max_link_load",
+            "feasible",
+        ]
+    )
+    for p in points:
+        writer.writerow(
+            [
+                p.name, p.num_switches, p.flit_width,
+                round(p.frequency_hz / 1e6, 1),
+                round(p.max_frequency_hz / 1e6, 1),
+                round(p.power_mw, 3), round(p.area_mm2, 4),
+                round(p.avg_latency_cycles, 2),
+                round(p.avg_latency_ns, 2),
+                round(p.max_link_load, 4), p.feasible,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def link_load_report(
+    topology: Topology,
+    routing_table: RoutingTable,
+    flow_rates: Optional[Dict[Tuple[str, str], float]] = None,
+    top: int = 10,
+) -> str:
+    """The hottest links, as synthesis sees them."""
+    loads = routing_table.link_loads(flow_rates)
+    if not loads:
+        return "(no routed traffic)"
+    ranked = sorted(loads.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    width = max(len(f"{a}->{b}") for (a, b), __ in ranked)
+    lines = [f"Top {len(ranked)} loaded links:"]
+    for (a, b), load in ranked:
+        lines.append(f"  {f'{a}->{b}':<{width}}  {load:,.1f}")
+    return "\n".join(lines)
+
+
+def mesh_heatmap(
+    topology: Topology,
+    link_values: Dict[Tuple[str, str], float],
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+) -> str:
+    """ASCII heat map of a mesh's horizontal/vertical link loads.
+
+    Each inter-switch link is drawn as a digit 0-9 (its value scaled to
+    the maximum).  Both directions of a connection are summed.  Only
+    meshes (switches with x/y attributes) are supported.
+    """
+    coords = {}
+    for sw in topology.switches:
+        attrs = topology.node_attrs(sw)
+        if "x" not in attrs or "y" not in attrs:
+            raise ValueError("heat map needs mesh coordinates on switches")
+        coords[sw] = (attrs["x"], attrs["y"])
+    if not coords:
+        raise ValueError("topology has no switches")
+    w = width or max(x for x, __ in coords.values()) + 1
+    h = height or max(y for __, y in coords.values()) + 1
+    by_coord = {pos: name for name, pos in coords.items()}
+
+    def load(a: str, b: str) -> float:
+        return link_values.get((a, b), 0.0) + link_values.get((b, a), 0.0)
+
+    peak = max(
+        (
+            load(a, b)
+            for a, b in link_values
+            if a in coords and b in coords
+        ),
+        default=0.0,
+    )
+
+    def digit(value: float) -> str:
+        if peak <= 0:
+            return "."
+        level = round(9 * value / peak)
+        return str(level) if level > 0 else "."
+
+    lines = []
+    for y in range(h - 1, -1, -1):
+        row = []
+        for x in range(w):
+            row.append("#")
+            if x + 1 < w:
+                a, b = by_coord.get((x, y)), by_coord.get((x + 1, y))
+                row.append(digit(load(a, b)) * 3 if a and b else "   ")
+        lines.append("".join(row))
+        if y > 0:
+            vert = []
+            for x in range(w):
+                a, b = by_coord.get((x, y)), by_coord.get((x, y - 1))
+                vert.append(digit(load(a, b)) if a and b else " ")
+                if x + 1 < w:
+                    vert.append("   ")
+            lines.append("".join(vert))
+    return "\n".join(lines)
+
+
+def latency_csv(records, bucket_cycles: int = 100) -> str:
+    """CSV of latency vs injection time (saturation visualization)."""
+    if bucket_cycles < 1:
+        raise ValueError("bucket must be >= 1 cycle")
+    buckets: Dict[int, List[int]] = {}
+    for record in records:
+        buckets.setdefault(
+            record.injection_cycle // bucket_cycles, []
+        ).append(record.latency)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["cycle_bucket_start", "packets", "mean_latency"])
+    for bucket in sorted(buckets):
+        samples = buckets[bucket]
+        writer.writerow(
+            [bucket * bucket_cycles, len(samples),
+             round(sum(samples) / len(samples), 2)]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,39 @@
+"""Cycle-accurate flit-level NoC simulation."""
+
+from repro.sim.simulator import NocSimulator
+from repro.sim.experiments import (
+    LoadPoint,
+    load_latency_curve,
+    saturation_throughput,
+)
+from repro.sim.stats import LatencySummary, PacketRecord, StatsCollector
+from repro.sim.tracing import FlitEvent, TraceEventKind, TraceRecorder
+from repro.sim.traffic import (
+    CompositeTraffic,
+    RequestResponseTraffic,
+    Flow,
+    FlowGraphTraffic,
+    SyntheticTraffic,
+    TraceEvent,
+    TraceTraffic,
+)
+
+__all__ = [
+    "NocSimulator",
+    "LoadPoint",
+    "load_latency_curve",
+    "saturation_throughput",
+    "LatencySummary",
+    "PacketRecord",
+    "StatsCollector",
+    "FlitEvent",
+    "TraceEventKind",
+    "TraceRecorder",
+    "CompositeTraffic",
+    "RequestResponseTraffic",
+    "Flow",
+    "FlowGraphTraffic",
+    "SyntheticTraffic",
+    "TraceEvent",
+    "TraceTraffic",
+]

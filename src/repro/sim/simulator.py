@@ -1,0 +1,356 @@
+"""The cycle-accurate NoC simulator.
+
+Builds the component models of :mod:`repro.arch` from a
+:class:`repro.topology.Topology` plus a routing table, then advances
+them cycle by cycle with a deterministic two-phase schedule:
+
+1. switches arbitrate and forward (at most one flit per output link);
+2. initiator NIs inject (one flit per NI);
+3. links deliver flits whose traversal completes, and sample buffer
+   state for ON/OFF backpressure;
+4. target NIs drain, complete packets, and issue responses.
+
+Every send at cycle ``c`` lands no earlier than ``c + link delay``, so a
+flit advances at most one hop per cycle — the standard wormhole timing
+the paper's components implement.
+
+This simulator is the stand-in for the authors' RTL/SystemC models (see
+DESIGN.md): slower but behaviourally equivalent at flit granularity,
+which is the level all the reproduced claims live at.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.link import AckNackLink, Link, make_link
+from repro.arch.network_interface import InitiatorNI, RoutingLut, TargetNI
+from repro.arch.packet import MessageClass, Packet
+from repro.arch.parameters import DEFAULT_PARAMETERS, NocParameters
+from repro.arch.switch import SwitchModel
+from repro.topology.graph import NodeKind, RoutingTable, Topology
+from repro.sim.stats import StatsCollector
+
+
+class NocSimulator:
+    """Instantiate and drive one NoC configuration.
+
+    Parameters
+    ----------
+    topology:
+        The network structure (with per-link pipeline annotations).
+    routing_table:
+        Source routes for every communicating core pair.
+    params:
+        Architectural parameters (flit width, buffers, flow control...).
+    vc_assignment:
+        Optional per-route VC indices (rings/tori), as produced by
+        :func:`repro.topology.routing.dateline_vc_assignment`.
+    warmup_cycles:
+        Packets injected before this cycle are excluded from statistics.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing_table: RoutingTable,
+        params: NocParameters = DEFAULT_PARAMETERS,
+        vc_assignment: Optional[Dict[Tuple[str, str], Sequence[int]]] = None,
+        warmup_cycles: int = 0,
+        link_error_probability: float = 0.0,
+    ):
+        self.topology = topology
+        self.routing_table = routing_table
+        self.params = params
+        self.link_error_probability = link_error_probability
+        self.cycle = 0
+        self.stats = StatsCollector(warmup_cycles=warmup_cycles)
+
+        self.switches: Dict[str, SwitchModel] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self.initiators: Dict[str, InitiatorNI] = {}
+        self.targets: Dict[str, TargetNI] = {}
+
+        self._build(vc_assignment)
+        self._switch_order = sorted(self.switches)
+        self._initiator_order = sorted(self.initiators)
+        self._target_order = sorted(self.targets)
+        self._link_order = sorted(self.links)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, vc_assignment) -> None:
+        topo = self.topology
+        for sw in topo.switches:
+            self.switches[sw] = SwitchModel(sw, self.params)
+        for core in topo.cores:
+            lut = RoutingLut()
+            for dst in topo.cores:
+                if dst == core or not self.routing_table.has_route(core, dst):
+                    continue
+                route = self.routing_table.route(core, dst)
+                vcs = None
+                if vc_assignment is not None:
+                    raw = vc_assignment.get((core, dst))
+                    vcs = tuple(raw) if raw is not None else None
+                lut.set(dst, route.path, vcs)
+            self.initiators[core] = InitiatorNI(core, self.params, lut)
+            self.targets[core] = TargetNI(core, self.params)
+            self.targets[core].response_ni = self.initiators[core]
+
+        for src, dst in topo.links:
+            delay = topo.link_attrs(src, dst).delay_cycles
+            link = make_link(
+                f"{src}->{dst}", delay, self.params,
+                flit_error_probability=self.link_error_probability,
+            )
+            self.links[(src, dst)] = link
+            if topo.kind(dst) is NodeKind.SWITCH:
+                port = self.switches[dst].add_input(src, link)
+                link.connect(port)
+            else:
+                link.connect(self.targets[dst])
+                self.targets[dst].register_ejection_link(src, link)
+            if topo.kind(src) is NodeKind.SWITCH:
+                self.switches[src].add_output(dst, link)
+            else:
+                # Core-side injection: first (or only) attachment wins; a
+                # multi-homed core injects on the link its route starts with.
+                self.initiators[src].connect(link)
+
+        # Multi-attached cores: routes may start on different links; give
+        # the initiator a dispatcher that picks the right one per flit.
+        for core in topo.cores:
+            out_links = [
+                self.links[(core, sw)]
+                for sw in topo.attached_switches(core)
+                if (core, sw) in self.links
+            ]
+            if len(out_links) > 1:
+                self.initiators[core].connect(_MultiHomedLink(core, out_links))
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def inject(
+        self,
+        source: str,
+        destination: str,
+        size_flits: int,
+        cycle: Optional[int] = None,
+        message_class: MessageClass = MessageClass.BEST_EFFORT,
+        connection_id: Optional[int] = None,
+        payload: Optional[object] = None,
+    ) -> Packet:
+        """Queue one packet at the source NI (at the current cycle)."""
+        ni = self.initiators.get(source)
+        if ni is None:
+            raise KeyError(f"unknown source core {source!r}")
+        packet = ni.send(
+            destination,
+            size_flits,
+            self.cycle if cycle is None else cycle,
+            message_class=message_class,
+            connection_id=connection_id,
+            payload=payload,
+        )
+        self.stats.flits_injected += size_flits
+        return packet
+
+    def enable_tracing(self, recorder) -> None:
+        """Attach a :class:`repro.sim.tracing.TraceRecorder`.
+
+        Every injection, switch forwarding, and delivery event is logged
+        (up to the recorder's cap) for path reconstruction and debug.
+        """
+        from repro.sim.tracing import TraceEventKind
+
+        for name, ni in self.initiators.items():
+            ni.trace = (
+                lambda cycle, flit, _n=name: recorder.record(
+                    cycle, TraceEventKind.INJECT, _n, flit
+                )
+            )
+        for name, sw in self.switches.items():
+            sw.trace = (
+                lambda cycle, flit, _n=name: recorder.record(
+                    cycle, TraceEventKind.FORWARD, _n, flit
+                )
+            )
+        for name, target in self.targets.items():
+            target.trace = (
+                lambda cycle, flit, _n=name: recorder.record(
+                    cycle, TraceEventKind.DELIVER, _n, flit
+                )
+            )
+
+    def attach_memory(
+        self,
+        core: str,
+        service_cycles: int = 4,
+        default_response_flits: int = 4,
+    ) -> None:
+        """Turn ``core`` into a memory/slave model.
+
+        Arriving REQUEST packets produce RESPONSE packets back to the
+        requester after ``service_cycles`` of access latency.  OCP
+        transactions (packets whose payload is an
+        :class:`repro.arch.ocp.OcpTransaction`) size their responses per
+        the protocol (reads return the burst, writes an ack); other
+        requests get ``default_response_flits``.
+        """
+        target = self.targets.get(core)
+        if target is None:
+            raise KeyError(f"unknown core {core!r}")
+        ni = self.initiators[core]
+
+        def responder(request: Packet, cycle: int) -> Optional[Packet]:
+            from repro.arch.ocp import OcpTransaction, make_response_packet
+
+            route, vc_path = ni.lut.lookup(request.source)
+            if isinstance(request.payload, OcpTransaction):
+                response = make_response_packet(
+                    request, route, self.params, cycle, vc_path
+                )
+            else:
+                response = Packet(
+                    source=core,
+                    destination=request.source,
+                    size_flits=default_response_flits,
+                    route=route,
+                    injection_cycle=cycle,
+                    message_class=MessageClass.RESPONSE,
+                    vc_path=vc_path,
+                    payload=request.payload,
+                )
+            self.stats.flits_injected += response.size_flits
+            return response
+
+        target.set_responder(responder, service_cycles=service_cycles)
+
+    def step(self) -> None:
+        """Advance one clock cycle."""
+        c = self.cycle
+        for name in self._switch_order:
+            self.switches[name].tick(c)
+        for name in self._initiator_order:
+            self.initiators[name].tick(c)
+        for key in self._link_order:
+            self.links[key].tick(c)
+        for name in self._target_order:
+            target = self.targets[name]
+            before = len(target.packets_received)
+            target.tick(c)
+            for packet, arrival in target.packets_received[before:]:
+                self.stats.record_packet(packet, arrival)
+        self.cycle += 1
+
+    def run(
+        self,
+        cycles: int,
+        traffic=None,
+        drain: bool = False,
+        max_drain_cycles: int = 50_000,
+    ) -> StatsCollector:
+        """Run ``cycles`` cycles, then optionally drain in-flight traffic."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        for __ in range(cycles):
+            if traffic is not None:
+                traffic.tick(self.cycle, self)
+            self.step()
+        if drain:
+            drained = 0
+            while not self.idle and drained < max_drain_cycles:
+                self.step()
+                drained += 1
+            if not self.idle:
+                raise RuntimeError(
+                    f"network failed to drain within {max_drain_cycles} cycles "
+                    "(possible deadlock — check the routing table with "
+                    "repro.topology.deadlock)"
+                )
+        return self.stats
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """No traffic anywhere in the network."""
+        return (
+            all(ni.backlog == 0 for ni in self.initiators.values())
+            and all(not link.busy for link in self.links.values())
+            and all(sw.occupancy == 0 for sw in self.switches.values())
+            and all(len(t._buffer) == 0 for t in self.targets.values())
+            and all(
+                len(t._pending_responses) == 0 for t in self.targets.values()
+            )
+        )
+
+    def link_utilization(self) -> Dict[Tuple[str, str], float]:
+        """Fraction of cycles each link carried a flit (lifetime)."""
+        if self.cycle == 0:
+            return {key: 0.0 for key in self.links}
+        return {
+            key: link.flits_carried / self.cycle for key, link in self.links.items()
+        }
+
+    def total_retransmissions(self) -> int:
+        """ACK/NACK retransmission count across all links."""
+        return sum(
+            link.retransmissions
+            for link in self.links.values()
+            if isinstance(link, AckNackLink)
+        )
+
+    def peak_buffer_occupancy(self) -> Dict[Tuple[str, str], int]:
+        """Deepest single-VC FIFO fill per (switch, upstream) port.
+
+        The empirical counterpart of
+        :func:`repro.core.buffer_sizing.size_buffers`: a sized design
+        should show peaks at or under the recommended depths.
+        """
+        return {
+            (sw_name, upstream): port.peak_occupancy
+            for sw_name, sw in self.switches.items()
+            for upstream, port in sw.inputs.items()
+        }
+
+    def total_corrupted_flits(self) -> int:
+        """Injected transmission errors caught by the link-level CRC."""
+        return sum(
+            link.flits_corrupted
+            for link in self.links.values()
+            if isinstance(link, AckNackLink)
+        )
+
+
+class _MultiHomedLink:
+    """Injection dispatcher for cores attached to several switches.
+
+    Presents the single-link interface the initiator NI expects and
+    forwards each flit onto the physical link its route starts with.
+    """
+
+    def __init__(self, core: str, links: List[Link]):
+        self.core = core
+        self._by_target: Dict[str, Link] = {}
+        for link in links:
+            target = link.name.split("->", 1)[1]
+            self._by_target[target] = link
+
+    def _pick(self, flit) -> Link:
+        first_switch = flit.packet.route[1]
+        try:
+            return self._by_target[first_switch]
+        except KeyError:
+            raise RuntimeError(
+                f"core {self.core!r}: route enters via {first_switch!r} but no "
+                "injection link reaches it"
+            ) from None
+
+    def can_send_flit(self, flit, cycle: int) -> bool:
+        return self._pick(flit).can_send(flit.vc, cycle)
+
+    def send(self, flit, cycle: int) -> None:
+        self._pick(flit).send(flit, cycle)

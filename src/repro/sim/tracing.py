@@ -1,0 +1,103 @@
+"""Flit-event tracing: the simulator's observability surface.
+
+"The tools also generate simulation models ... that can be used to
+validate the run-time behavior of the system" (Section 6) — validation
+needs visibility.  A :class:`TraceRecorder` attached via
+:meth:`repro.sim.NocSimulator.enable_tracing` logs injection, per-switch
+forwarding, and delivery events for every packet (up to a cap), and can
+reconstruct the observed path of any packet for comparison against its
+programmed source route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class TraceEventKind(Enum):
+    INJECT = "inject"
+    FORWARD = "forward"
+    DELIVER = "deliver"
+
+
+@dataclass(frozen=True)
+class FlitEvent:
+    """One observed flit movement."""
+
+    cycle: int
+    kind: TraceEventKind
+    location: str       # NI core name or switch name
+    packet_id: int
+    flit_index: int
+    source: str
+    destination: str
+
+
+class TraceRecorder:
+    """Bounded in-memory event log."""
+
+    def __init__(self, max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError("need room for at least one event")
+        self.max_events = max_events
+        self.events: List[FlitEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def record(self, cycle: int, kind: TraceEventKind, location: str,
+               flit) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        packet = flit.packet
+        self.events.append(
+            FlitEvent(
+                cycle=cycle,
+                kind=kind,
+                location=location,
+                packet_id=packet.packet_id,
+                flit_index=flit.index,
+                source=packet.source,
+                destination=packet.destination,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def events_for_packet(self, packet_id: int) -> List[FlitEvent]:
+        return [e for e in self.events if e.packet_id == packet_id]
+
+    def observed_path(self, packet_id: int) -> List[str]:
+        """The node sequence the packet's head flit actually visited."""
+        head_events = [
+            e
+            for e in self.events
+            if e.packet_id == packet_id and e.flit_index == 0
+        ]
+        head_events.sort(key=lambda e: (e.cycle, e.kind.value))
+        return [e.location for e in head_events]
+
+    def packet_latency(self, packet_id: int) -> Optional[int]:
+        events = self.events_for_packet(packet_id)
+        injections = [e.cycle for e in events if e.kind is TraceEventKind.INJECT]
+        deliveries = [e.cycle for e in events if e.kind is TraceEventKind.DELIVER]
+        if not injections or not deliveries:
+            return None
+        return max(deliveries) - min(injections)
+
+    def to_text(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump (one line per event)."""
+        lines = []
+        for event in self.events[: limit or len(self.events)]:
+            lines.append(
+                f"cycle {event.cycle:>6}  {event.kind.value:<8} "
+                f"{event.location:<12} p{event.packet_id}#{event.flit_index} "
+                f"({event.source} -> {event.destination})"
+            )
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (cap reached)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,306 @@
+"""Traffic generation: synthetic patterns, flow graphs, traces.
+
+Section 2 of the paper: "The communication between the various cores can
+be statically analyzed for many SoCs, so that the NoC can be tailored
+for the particular application behavior."  Two regimes follow:
+
+* CMP-style *synthetic* patterns (uniform random, transpose,
+  bit-complement, neighbour, hotspot, shuffle) exercised at a given
+  injection rate — used for the Teraflops/Tilera-class experiments;
+* SoC-style *flow-graph* traffic: a fixed set of (source, destination,
+  bandwidth) flows from an application communication graph — the input
+  the iNoCs tool flow profiles ("the average bandwidth of communication
+  between the different cores").
+
+All generators are deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.arch.packet import MessageClass
+
+
+class TrafficSource(Protocol):
+    """Per-cycle injection callback used by the simulator."""
+
+    def tick(self, cycle: int, simulator) -> None: ...
+
+
+def _core_index_maps(cores: Sequence[str]):
+    ordered = sorted(cores)
+    return ordered, {c: i for i, c in enumerate(ordered)}
+
+
+class SyntheticTraffic:
+    """Rate-driven synthetic pattern over all cores.
+
+    ``injection_rate`` is in flits/cycle/core (the standard NoC load
+    axis); each core flips a Bernoulli coin of p = rate / packet_size
+    each cycle, so offered load in flits matches the requested rate.
+    """
+
+    PATTERNS = (
+        "uniform",
+        "transpose",
+        "bit-complement",
+        "neighbor",
+        "hotspot",
+        "shuffle",
+    )
+
+    def __init__(
+        self,
+        pattern: str,
+        injection_rate: float,
+        packet_size_flits: int = 4,
+        seed: int = 1,
+        hotspot_core: Optional[str] = None,
+        hotspot_fraction: float = 0.5,
+    ):
+        if pattern not in self.PATTERNS:
+            raise ValueError(f"unknown pattern {pattern!r}; choose from {self.PATTERNS}")
+        if not 0.0 <= injection_rate <= 1.0:
+            raise ValueError("injection rate must be in [0, 1] flits/cycle/core")
+        if packet_size_flits < 1:
+            raise ValueError("packet size must be >= 1 flit")
+        if not 0.0 < hotspot_fraction <= 1.0:
+            raise ValueError("hotspot fraction must be in (0, 1]")
+        self.pattern = pattern
+        self.injection_rate = injection_rate
+        self.packet_size_flits = packet_size_flits
+        self.seed = seed
+        self.hotspot_core = hotspot_core
+        self.hotspot_fraction = hotspot_fraction
+        self._rng = random.Random(seed)
+        self.packets_offered = 0
+
+    # ------------------------------------------------------------------
+    def _destination(self, src: str, cores: List[str], index: Dict[str, int],
+                     topo) -> Optional[str]:
+        n = len(cores)
+        i = index[src]
+        if self.pattern == "uniform":
+            j = self._rng.randrange(n - 1)
+            if j >= i:
+                j += 1
+            return cores[j]
+        if self.pattern == "bit-complement":
+            j = (n - 1) - i
+            return cores[j] if j != i else None
+        if self.pattern == "shuffle":
+            bits = max(1, (n - 1).bit_length())
+            j = ((i << 1) | (i >> (bits - 1))) & ((1 << bits) - 1)
+            j %= n
+            return cores[j] if j != i else None
+        if self.pattern == "hotspot":
+            hot = self.hotspot_core or cores[n // 2]
+            if self._rng.random() < self.hotspot_fraction and src != hot:
+                return hot
+            j = self._rng.randrange(n - 1)
+            if j >= i:
+                j += 1
+            return cores[j]
+        # Coordinate-based patterns need mesh attributes.
+        attrs = topo.node_attrs(src)
+        if "x" not in attrs or "y" not in attrs:
+            raise ValueError(
+                f"pattern {self.pattern!r} needs mesh coordinates on cores"
+            )
+        x, y = attrs["x"], attrs["y"]
+        xs = sorted({topo.node_attrs(c)["x"] for c in cores})
+        ys = sorted({topo.node_attrs(c)["y"] for c in cores})
+        if self.pattern == "transpose":
+            tx, ty = y, x
+            if tx not in xs or ty not in ys:
+                return None
+        elif self.pattern == "neighbor":
+            tx, ty = (x + 1) % (max(xs) + 1), y
+        else:  # pragma: no cover
+            raise AssertionError(self.pattern)
+        for c in cores:
+            a = topo.node_attrs(c)
+            if a["x"] == tx and a["y"] == ty and c != src:
+                return c
+        return None
+
+    def tick(self, cycle: int, simulator) -> None:
+        cores, index = _core_index_maps(simulator.topology.cores)
+        p = self.injection_rate / self.packet_size_flits
+        for src in cores:
+            if self._rng.random() >= p:
+                continue
+            dst = self._destination(src, cores, index, simulator.topology)
+            if dst is None:
+                continue
+            simulator.inject(src, dst, self.packet_size_flits, cycle)
+            self.packets_offered += 1
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One application flow: src -> dst at a sustained bandwidth."""
+
+    source: str
+    destination: str
+    flits_per_cycle: float
+    packet_size_flits: int = 4
+    message_class: MessageClass = MessageClass.BEST_EFFORT
+    connection_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.flits_per_cycle < 0:
+            raise ValueError("flow bandwidth must be non-negative")
+        if self.packet_size_flits < 1:
+            raise ValueError("packet size must be >= 1")
+
+
+class FlowGraphTraffic:
+    """Deterministic rate-based injection from a flow list.
+
+    Each flow accumulates ``flits_per_cycle`` of credit per cycle and
+    emits a packet whenever a full packet's worth is available — a
+    jitter-free model of streaming SoC traffic (video pipelines, modem
+    chains) matching the tool-flow input spec.
+    """
+
+    def __init__(self, flows: Sequence[Flow]):
+        self.flows = list(flows)
+        self._credit = [0.0] * len(self.flows)
+        self.packets_offered = 0
+
+    def tick(self, cycle: int, simulator) -> None:
+        for i, flow in enumerate(self.flows):
+            self._credit[i] += flow.flits_per_cycle
+            while self._credit[i] >= flow.packet_size_flits:
+                self._credit[i] -= flow.packet_size_flits
+                simulator.inject(
+                    flow.source,
+                    flow.destination,
+                    flow.packet_size_flits,
+                    cycle,
+                    message_class=flow.message_class,
+                    connection_id=flow.connection_id,
+                )
+                self.packets_offered += 1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    source: str
+    destination: str
+    size_flits: int
+
+
+class TraceTraffic:
+    """Replay an explicit event list (must be sorted by cycle)."""
+
+    def __init__(self, events: Sequence[TraceEvent]):
+        self.events = sorted(events, key=lambda e: e.cycle)
+        self._next = 0
+        self.packets_offered = 0
+
+    def tick(self, cycle: int, simulator) -> None:
+        while self._next < len(self.events) and self.events[self._next].cycle <= cycle:
+            ev = self.events[self._next]
+            simulator.inject(ev.source, ev.destination, ev.size_flits, cycle)
+            self.packets_offered += 1
+            self._next += 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self.events)
+
+
+class RequestResponseTraffic:
+    """Masters issuing OCP transactions to shared slaves.
+
+    The master/slave traffic regime of the paper's SoCs: processors
+    read and write memory controllers, and every request produces a
+    response (sized by the OCP layer).  The destination slaves must be
+    armed with :meth:`repro.sim.NocSimulator.attach_memory` so responses
+    flow back.  Deterministic under the seed.
+    """
+
+    def __init__(
+        self,
+        masters: Sequence[str],
+        slaves: Sequence[str],
+        request_rate: float,
+        burst_bytes: int = 32,
+        read_fraction: float = 0.7,
+        seed: int = 1,
+    ):
+        if not masters or not slaves:
+            raise ValueError("need at least one master and one slave")
+        if not 0.0 <= request_rate <= 1.0:
+            raise ValueError("request rate must be in [0, 1] per master/cycle")
+        if burst_bytes < 1:
+            raise ValueError("burst must be at least one byte")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read fraction must be in [0, 1]")
+        self.masters = list(masters)
+        self.slaves = list(slaves)
+        self.request_rate = request_rate
+        self.burst_bytes = burst_bytes
+        self.read_fraction = read_fraction
+        self._rng = random.Random(seed)
+        self._txn_ids = 0
+        self.requests_offered = 0
+
+    def tick(self, cycle: int, simulator) -> None:
+        from repro.arch.ocp import (
+            OcpCommand,
+            OcpTransaction,
+            request_packet_flits,
+            split_transaction,
+        )
+
+        for master in self.masters:
+            if self._rng.random() >= self.request_rate:
+                continue
+            slave = self.slaves[self._rng.randrange(len(self.slaves))]
+            command = (
+                OcpCommand.READ
+                if self._rng.random() < self.read_fraction
+                else OcpCommand.WRITE
+            )
+            txn = OcpTransaction(
+                command=command,
+                master=master,
+                slave=slave,
+                address=self._txn_ids * self.burst_bytes,
+                burst_bytes=self.burst_bytes,
+                transaction_id=self._txn_ids,
+            )
+            self._txn_ids += 1
+            # Bursts beyond the packet-size cap travel as several
+            # maximum-length packets (no silent truncation).
+            for sub in split_transaction(txn, simulator.params):
+                size = request_packet_flits(sub, simulator.params)
+                simulator.inject(
+                    master,
+                    slave,
+                    size,
+                    cycle,
+                    message_class=MessageClass.REQUEST,
+                    payload=sub,
+                )
+                self.requests_offered += 1
+
+
+class CompositeTraffic:
+    """Drive several traffic sources together (e.g. GT flows + BE noise)."""
+
+    def __init__(self, sources: Sequence[TrafficSource]):
+        if not sources:
+            raise ValueError("need at least one source")
+        self.sources = list(sources)
+
+    def tick(self, cycle: int, simulator) -> None:
+        for source in self.sources:
+            source.tick(cycle, simulator)

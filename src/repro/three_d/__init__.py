@@ -1,0 +1,42 @@
+"""3D-IC extensions: TSVs, stacked topologies, 3D synthesis, link test."""
+
+from repro.three_d.tsv import (
+    TsvTechnology,
+    VerticalLinkDesign,
+    design_vertical_link,
+    optimize_serialization,
+    stack_yield,
+)
+from repro.three_d.topology3d import (
+    VERTICAL_HOP_MM,
+    mesh3d,
+    routes_2d_only,
+    total_wire_mm,
+    vertical_links,
+    xyz_routing,
+)
+from repro.three_d.link_test import (
+    LinkTestReport,
+    reroute_around_failures,
+    run_link_test,
+)
+from repro.three_d.synthesis3d import Stack3dResult, Stack3dSynthesizer
+
+__all__ = [
+    "TsvTechnology",
+    "VerticalLinkDesign",
+    "design_vertical_link",
+    "optimize_serialization",
+    "stack_yield",
+    "VERTICAL_HOP_MM",
+    "mesh3d",
+    "routes_2d_only",
+    "total_wire_mm",
+    "vertical_links",
+    "xyz_routing",
+    "LinkTestReport",
+    "reroute_around_failures",
+    "run_link_test",
+    "Stack3dResult",
+    "Stack3dSynthesizer",
+]

@@ -1,0 +1,132 @@
+"""Through-silicon-via (TSV) models and vertical-link serialization.
+
+Section 4.4: "3D integration still has to solve some shortcomings, such
+as the yield of vertical connections, the area overhead ... area and
+yield have been optimized by suitably serializing vertical links, to
+minimize the number of required vertical vias."
+
+A vertical link of ``width`` bits serialized by factor ``f`` needs
+``ceil(width / f) + control`` TSVs: fewer vias means less area and a
+higher link yield (each via fails independently), at the cost of ``f``
+cycles of serialization latency and ``1/f`` of the bandwidth.
+:func:`optimize_serialization` picks the factor that minimizes a
+weighted cost subject to a bandwidth floor — the optimization the
+iNoCs 3D flow performs (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+# Control TSVs per vertical link (clock/valid/flow control).
+_CONTROL_TSVS = 4
+
+
+@dataclass(frozen=True)
+class TsvTechnology:
+    """Vertical-interconnect process parameters."""
+
+    pitch_um: float = 10.0           # TSV pitch (keep-out included)
+    yield_per_tsv: float = 0.9999    # probability one TSV works
+    delay_ps: float = 25.0           # via traversal delay
+
+    def __post_init__(self) -> None:
+        if self.pitch_um <= 0:
+            raise ValueError("pitch must be positive")
+        if not 0.0 < self.yield_per_tsv <= 1.0:
+            raise ValueError("yield must be in (0, 1]")
+        if self.delay_ps < 0:
+            raise ValueError("delay must be non-negative")
+
+    @property
+    def area_per_tsv_mm2(self) -> float:
+        return (self.pitch_um * 1e-3) ** 2
+
+
+@dataclass(frozen=True)
+class VerticalLinkDesign:
+    """One serialized vertical link configuration."""
+
+    width_bits: int
+    serialization: int       # flits are split into this many phits
+    tsv_count: int
+    area_mm2: float
+    link_yield: float
+    extra_latency_cycles: int
+    bandwidth_fraction: float  # of an unserialized link
+
+    def __repr__(self) -> str:
+        return (
+            f"VerticalLinkDesign(width={self.width_bits}, f={self.serialization}, "
+            f"tsvs={self.tsv_count}, yield={self.link_yield:.4f})"
+        )
+
+
+def design_vertical_link(
+    width_bits: int,
+    serialization: int,
+    tech: Optional[TsvTechnology] = None,
+) -> VerticalLinkDesign:
+    """Characterize one (width, serialization factor) choice."""
+    tech = tech or TsvTechnology()
+    if width_bits < 1:
+        raise ValueError("width must be >= 1")
+    if serialization < 1 or serialization > width_bits:
+        raise ValueError("serialization factor must be in [1, width]")
+    data_tsvs = math.ceil(width_bits / serialization)
+    tsvs = data_tsvs + _CONTROL_TSVS
+    return VerticalLinkDesign(
+        width_bits=width_bits,
+        serialization=serialization,
+        tsv_count=tsvs,
+        area_mm2=tsvs * tech.area_per_tsv_mm2,
+        link_yield=tech.yield_per_tsv**tsvs,
+        extra_latency_cycles=serialization - 1,
+        bandwidth_fraction=1.0 / serialization,
+    )
+
+
+def optimize_serialization(
+    width_bits: int,
+    required_bandwidth_fraction: float,
+    tech: Optional[TsvTechnology] = None,
+    area_weight: float = 1.0,
+    yield_weight: float = 1.0,
+    latency_weight: float = 0.02,
+) -> VerticalLinkDesign:
+    """Pick the serialization factor minimizing a weighted cost.
+
+    The feasible set is every factor whose residual bandwidth meets
+    ``required_bandwidth_fraction``; among those, cost = normalized
+    area + failure probability + weighted latency.
+    """
+    if not 0.0 < required_bandwidth_fraction <= 1.0:
+        raise ValueError("bandwidth requirement must be in (0, 1]")
+    tech = tech or TsvTechnology()
+    full = design_vertical_link(width_bits, 1, tech)
+    best: Optional[VerticalLinkDesign] = None
+    best_cost = math.inf
+    for f in range(1, width_bits + 1):
+        candidate = design_vertical_link(width_bits, f, tech)
+        if candidate.bandwidth_fraction < required_bandwidth_fraction:
+            break  # factors only get worse from here
+        cost = (
+            area_weight * candidate.area_mm2 / full.area_mm2
+            + yield_weight * (1.0 - candidate.link_yield)
+            + latency_weight * candidate.extra_latency_cycles
+        )
+        if cost < best_cost:
+            best, best_cost = candidate, cost
+    if best is None:  # pragma: no cover - f=1 always feasible
+        raise RuntimeError("no feasible serialization factor")
+    return best
+
+
+def stack_yield(per_link: List[VerticalLinkDesign]) -> float:
+    """Probability every vertical link in the stack works."""
+    out = 1.0
+    for link in per_link:
+        out *= link.link_yield
+    return out

@@ -1,0 +1,84 @@
+"""Topologies: graph model, generators, routing, deadlock analysis."""
+
+from repro.topology.graph import (
+    LinkAttrs,
+    NodeKind,
+    Route,
+    RoutingTable,
+    Topology,
+)
+from repro.topology.mesh import mesh, quasi_mesh, torus
+from repro.topology.ring import ring, spidergon
+from repro.topology.star import bone_style, hierarchical_star, star
+from repro.topology.fattree import fat_tree
+from repro.topology.irregular import random_irregular
+from repro.topology.serialize import (
+    load_design,
+    routing_table_from_dict,
+    routing_table_to_dict,
+    save_design,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.topology.routing import (
+    dateline_vc_assignment,
+    fat_tree_routing,
+    odd_even_routing,
+    route_all,
+    shortest_path_routing,
+    spidergon_routing,
+    torus_xy_routing,
+    turn_model_routing,
+    up_down_routing,
+    xy_routing,
+    yx_routing,
+)
+from repro.topology.deadlock import (
+    DeadlockReport,
+    MessageClassReport,
+    channel_dependency_graph,
+    check_message_dependent_deadlock,
+    check_routing_deadlock,
+    minimum_vcs_required,
+)
+
+__all__ = [
+    "LinkAttrs",
+    "NodeKind",
+    "Route",
+    "RoutingTable",
+    "Topology",
+    "mesh",
+    "quasi_mesh",
+    "torus",
+    "ring",
+    "spidergon",
+    "star",
+    "hierarchical_star",
+    "bone_style",
+    "fat_tree",
+    "random_irregular",
+    "load_design",
+    "routing_table_from_dict",
+    "routing_table_to_dict",
+    "save_design",
+    "topology_from_dict",
+    "topology_to_dict",
+    "xy_routing",
+    "yx_routing",
+    "turn_model_routing",
+    "odd_even_routing",
+    "shortest_path_routing",
+    "up_down_routing",
+    "fat_tree_routing",
+    "spidergon_routing",
+    "torus_xy_routing",
+    "route_all",
+    "dateline_vc_assignment",
+    "channel_dependency_graph",
+    "check_routing_deadlock",
+    "check_message_dependent_deadlock",
+    "minimum_vcs_required",
+    "DeadlockReport",
+    "MessageClassReport",
+]

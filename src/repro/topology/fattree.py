@@ -1,0 +1,77 @@
+"""k-ary n-tree (fat tree) generator — the SPIN topology.
+
+SPIN [3], the earliest NoC architecture the paper credits, used "a
+regular, fat-tree-based network".  We implement the standard k-ary
+n-tree construction (Petrini & Vanneschi):
+
+* n switch levels; level 0 is the leaf level, level n-1 the root level;
+* each level has k^(n-1) switches, identified by ``(level, w)`` with
+  ``w`` a word of n-1 digits base k;
+* switch ``(l, w)`` connects upward to ``(l+1, w')`` iff ``w`` and
+  ``w'`` agree on every digit except (possibly) digit ``l``;
+* processing node ``p = (p_0 ... p_{n-1})`` attaches to the level-0
+  switch ``(0, (p_0 ... p_{n-2}))``.
+
+Up*/down* routing on this structure is deadlock-free: every route
+ascends to the least common ancestor level, then descends (see
+:func:`repro.topology.routing.fat_tree_routing`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+from repro.topology.graph import Topology
+
+
+def switch_name(level: int, w: Tuple[int, ...]) -> str:
+    return f"s_{level}_" + "".join(str(d) for d in w)
+
+
+def core_name(p: Tuple[int, ...]) -> str:
+    return "c_" + "".join(str(d) for d in p)
+
+
+def fat_tree(
+    arity: int,
+    levels: int,
+    flit_width: int = 32,
+    link_length_mm: float = 1.0,
+    name: Optional[str] = None,
+) -> Topology:
+    """Build a ``arity``-ary ``levels``-tree with ``arity**levels`` cores.
+
+    Link lengths double per level, reflecting the physical span of upper
+    tree levels on-chip.
+    """
+    if arity < 2:
+        raise ValueError("arity must be >= 2")
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    if arity**levels > 4096:
+        raise ValueError("fat tree too large (arity**levels > 4096 cores)")
+
+    k, n = arity, levels
+    topo = Topology(name or f"fattree_k{k}_n{n}", flit_width=flit_width)
+    words = list(itertools.product(range(k), repeat=n - 1))
+    for level in range(n):
+        for w in words:
+            topo.add_switch(switch_name(level, w), level=level, w=w)
+    # Cores attach below level 0.
+    for p in itertools.product(range(k), repeat=n):
+        cname = core_name(p)
+        topo.add_core(cname, address=p)
+        topo.add_link(cname, switch_name(0, p[: n - 1]), length_mm=link_length_mm / 2)
+    # Inter-level links.
+    for level in range(n - 1):
+        length = link_length_mm * (2**level)
+        for w in words:
+            for digit in range(k):
+                w_up = w[:level] + (digit,) + w[level + 1:]
+                topo.add_link(
+                    switch_name(level, w),
+                    switch_name(level + 1, w_up),
+                    length_mm=length,
+                )
+    return topo

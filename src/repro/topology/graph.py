@@ -1,0 +1,319 @@
+"""Topology graph: switches, cores (via NIs) and unidirectional links.
+
+The modular NoC architecture of Section 3 has three basic elements —
+Network Interfaces, switches and links.  At the topology level we model
+switches and cores as nodes (each core's NI is the attachment point) and
+links as directed edges; a bidirectional connection is a pair of opposed
+unidirectional links, matching the point-to-point wiring of Section 4.1.
+
+Link attributes carry the physical annotations the tool flow needs:
+length in mm (from the floorplan) and pipeline stage count (from the wire
+model), so the same object serves synthesis, simulation and power
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+
+class NodeKind(Enum):
+    SWITCH = "switch"
+    CORE = "core"
+
+
+@dataclass
+class LinkAttrs:
+    """Physical annotations of one unidirectional link."""
+
+    length_mm: float = 0.0
+    pipeline_stages: int = 0
+    width_bits: Optional[int] = None  # None = topology default
+
+    def __post_init__(self) -> None:
+        if self.length_mm < 0:
+            raise ValueError("link length must be non-negative")
+        if self.pipeline_stages < 0:
+            raise ValueError("pipeline stages must be non-negative")
+        if self.width_bits is not None and self.width_bits < 1:
+            raise ValueError("link width must be >= 1 bit")
+
+    @property
+    def delay_cycles(self) -> int:
+        """Cycles a flit spends on this link (1 + relay stations)."""
+        return 1 + self.pipeline_stages
+
+
+class Topology:
+    """A NoC topology: named switches and cores, directed links.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"mesh4x4"``).
+    flit_width:
+        Default link width in bits; individual links may override.
+    """
+
+    def __init__(self, name: str = "noc", flit_width: int = 32):
+        if flit_width < 1:
+            raise ValueError("flit width must be >= 1")
+        self.name = name
+        self.flit_width = flit_width
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_switch(self, name: str, **attrs) -> None:
+        self._add_node(name, NodeKind.SWITCH, **attrs)
+
+    def add_core(self, name: str, **attrs) -> None:
+        self._add_node(name, NodeKind.CORE, **attrs)
+
+    def _add_node(self, name: str, kind: NodeKind, **attrs) -> None:
+        if name in self._graph:
+            raise ValueError(f"duplicate node {name!r}")
+        self._graph.add_node(name, kind=kind, **attrs)
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        length_mm: float = 0.0,
+        pipeline_stages: int = 0,
+        width_bits: Optional[int] = None,
+        bidirectional: bool = True,
+    ) -> None:
+        """Add a link; by default also adds the opposing direction."""
+        for node in (src, dst):
+            if node not in self._graph:
+                raise KeyError(f"unknown node {node!r}")
+        if src == dst:
+            raise ValueError(f"self-link on {src!r}")
+        if self.kind(src) is NodeKind.CORE and self.kind(dst) is NodeKind.CORE:
+            raise ValueError("cores cannot connect directly; route through a switch")
+        if self._graph.has_edge(src, dst):
+            raise ValueError(f"duplicate link {src!r}->{dst!r}")
+        attrs = LinkAttrs(length_mm, pipeline_stages, width_bits)
+        self._graph.add_edge(src, dst, attrs=attrs)
+        if bidirectional:
+            if self._graph.has_edge(dst, src):
+                raise ValueError(f"duplicate link {dst!r}->{src!r}")
+            self._graph.add_edge(
+                dst, src, attrs=LinkAttrs(length_mm, pipeline_stages, width_bits)
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def kind(self, name: str) -> NodeKind:
+        try:
+            return self._graph.nodes[name]["kind"]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def node_attrs(self, name: str) -> dict:
+        if name not in self._graph:
+            raise KeyError(f"unknown node {name!r}")
+        return dict(self._graph.nodes[name])
+
+    @property
+    def switches(self) -> List[str]:
+        return [n for n, d in self._graph.nodes(data=True) if d["kind"] is NodeKind.SWITCH]
+
+    @property
+    def cores(self) -> List[str]:
+        return [n for n, d in self._graph.nodes(data=True) if d["kind"] is NodeKind.CORE]
+
+    @property
+    def links(self) -> List[Tuple[str, str]]:
+        return list(self._graph.edges())
+
+    def link_attrs(self, src: str, dst: str) -> LinkAttrs:
+        try:
+            return self._graph.edges[src, dst]["attrs"]
+        except KeyError:
+            raise KeyError(f"no link {src!r}->{dst!r}") from None
+
+    def has_link(self, src: str, dst: str) -> bool:
+        return self._graph.has_edge(src, dst)
+
+    def link_width(self, src: str, dst: str) -> int:
+        attrs = self.link_attrs(src, dst)
+        return attrs.width_bits if attrs.width_bits is not None else self.flit_width
+
+    def successors(self, name: str) -> List[str]:
+        if name not in self._graph:
+            raise KeyError(f"unknown node {name!r}")
+        return list(self._graph.successors(name))
+
+    def predecessors(self, name: str) -> List[str]:
+        if name not in self._graph:
+            raise KeyError(f"unknown node {name!r}")
+        return list(self._graph.predecessors(name))
+
+    def radix(self, switch: str) -> Tuple[int, int]:
+        """(input ports, output ports) of a switch, cores included."""
+        if self.kind(switch) is not NodeKind.SWITCH:
+            raise ValueError(f"{switch!r} is not a switch")
+        return (self._graph.in_degree(switch), self._graph.out_degree(switch))
+
+    def attached_switches(self, core: str) -> List[str]:
+        """Switches this core's NI connects to."""
+        if self.kind(core) is not NodeKind.CORE:
+            raise ValueError(f"{core!r} is not a core")
+        out = set(self._graph.successors(core)) | set(self._graph.predecessors(core))
+        return sorted(out)
+
+    def switch_subgraph(self) -> nx.DiGraph:
+        """The switch-to-switch fabric (cores stripped)."""
+        return self._graph.subgraph(self.switches).copy()
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying directed graph (treat as read-only)."""
+        return self._graph
+
+    def is_connected(self) -> bool:
+        """Every core can reach every other core."""
+        cores = self.cores
+        if len(cores) < 2:
+            return True
+        for src in cores:
+            reachable = nx.descendants(self._graph, src)
+            if not all(dst in reachable for dst in cores if dst != src):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural design rules: raise ValueError on violation."""
+        problems: List[str] = []
+        for core in self.cores:
+            succ = list(self._graph.successors(core))
+            pred = list(self._graph.predecessors(core))
+            if not succ and not pred:
+                problems.append(f"core {core!r} is unconnected")
+        for switch in self.switches:
+            in_deg = self._graph.in_degree(switch)
+            out_deg = self._graph.out_degree(switch)
+            if in_deg == 0 or out_deg == 0:
+                problems.append(f"switch {switch!r} lacks input or output links")
+        if not self.is_connected():
+            problems.append("topology does not connect all core pairs")
+        if problems:
+            raise ValueError("; ".join(problems))
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.name!r}, switches={len(self.switches)}, "
+            f"cores={len(self.cores)}, links={len(self.links)})"
+        )
+
+
+@dataclass
+class Route:
+    """One source route: the full node path core -> switches -> core."""
+
+    path: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise ValueError("route needs at least source and destination")
+
+    @property
+    def source(self) -> str:
+        return self.path[0]
+
+    @property
+    def destination(self) -> str:
+        return self.path[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of links traversed (including NI links)."""
+        return len(self.path) - 1
+
+    @property
+    def num_switches(self) -> int:
+        """Number of switches traversed."""
+        return max(0, len(self.path) - 2)
+
+    @property
+    def switch_hops(self) -> int:
+        """Number of switch-to-switch links traversed."""
+        return max(0, len(self.path) - 3)
+
+    def links(self) -> List[Tuple[str, str]]:
+        return list(zip(self.path, self.path[1:]))
+
+
+class RoutingTable:
+    """Source-routing table: (src core, dst core) -> Route.
+
+    This is the design-time artifact stored in the NI Look-Up Tables
+    ("NI LUTs specify the path that packets will follow in the network to
+    reach their destination (source routing)", Section 3).
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._routes: Dict[Tuple[str, str], Route] = {}
+
+    def set_route(self, route: Route) -> None:
+        topo = self.topology
+        for node in route.path:
+            if node not in topo:
+                raise KeyError(f"route references unknown node {node!r}")
+        if topo.kind(route.source) is not NodeKind.CORE:
+            raise ValueError(f"route source {route.source!r} is not a core")
+        if topo.kind(route.destination) is not NodeKind.CORE:
+            raise ValueError(f"route destination {route.destination!r} is not a core")
+        for src, dst in route.links():
+            if not topo.has_link(src, dst):
+                raise ValueError(f"route uses missing link {src!r}->{dst!r}")
+        for mid in route.path[1:-1]:
+            if topo.kind(mid) is not NodeKind.SWITCH:
+                raise ValueError(f"route transits non-switch node {mid!r}")
+        self._routes[(route.source, route.destination)] = route
+
+    def route(self, src: str, dst: str) -> Route:
+        try:
+            return self._routes[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no route {src!r} -> {dst!r}") from None
+
+    def has_route(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._routes
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._routes.values())
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        return list(self._routes)
+
+    def link_loads(self, flow_rates: Optional[Dict[Tuple[str, str], float]] = None
+                   ) -> Dict[Tuple[str, str], float]:
+        """Aggregate load per link.
+
+        Without ``flow_rates``, each route counts 1.0; with rates (e.g.
+        bandwidth in bits/s per (src, dst)), loads are weighted — the
+        quantity synthesis compares against link capacity.
+        """
+        loads: Dict[Tuple[str, str], float] = {}
+        for (src, dst), route in self._routes.items():
+            weight = 1.0 if flow_rates is None else flow_rates.get((src, dst), 0.0)
+            for link in route.links():
+                loads[link] = loads.get(link, 0.0) + weight
+        return loads

@@ -1,0 +1,79 @@
+"""Random irregular topologies.
+
+"SoCs ... are usually heterogeneous in nature" (Section 2): real
+designs are neither meshes nor trees.  This generator produces random
+connected switch fabrics with configurable degree — the stress input
+for up*/down* routing, deadlock analysis, and fault-recovery testing.
+Deterministic under the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.topology.graph import Topology
+
+
+def random_irregular(
+    num_switches: int,
+    num_cores: int,
+    extra_links: int = 0,
+    seed: int = 1,
+    flit_width: int = 32,
+    max_link_mm: float = 4.0,
+    name: Optional[str] = None,
+) -> Topology:
+    """A random connected fabric.
+
+    Construction: a random spanning tree over the switches (guarantees
+    connectivity), plus ``extra_links`` random chords (creates the
+    cycles that make irregular routing interesting), plus cores assigned
+    to switches round-robin over a random order.  Link lengths are
+    uniform in (0.2, ``max_link_mm``).
+    """
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    if num_cores < 2:
+        raise ValueError("need at least two cores")
+    if extra_links < 0:
+        raise ValueError("extra links must be non-negative")
+    max_chords = num_switches * (num_switches - 1) // 2 - (num_switches - 1)
+    if extra_links > max_chords:
+        raise ValueError(
+            f"at most {max_chords} chords possible on {num_switches} switches"
+        )
+    rng = random.Random(seed)
+    topo = Topology(name or f"irregular{num_switches}s{num_cores}c_{seed}",
+                    flit_width=flit_width)
+
+    switches = [f"sw{i}" for i in range(num_switches)]
+    for sw in switches:
+        topo.add_switch(sw)
+
+    # Random spanning tree: attach each new switch to a random placed one.
+    order = switches[:]
+    rng.shuffle(order)
+    for i, sw in enumerate(order[1:], start=1):
+        other = order[rng.randrange(i)]
+        topo.add_link(sw, other, length_mm=round(rng.uniform(0.2, max_link_mm), 3))
+
+    # Random chords.
+    added = 0
+    attempts = 0
+    while added < extra_links and attempts < 50 * (extra_links + 1):
+        attempts += 1
+        a, b = rng.sample(switches, 2)
+        if topo.has_link(a, b):
+            continue
+        topo.add_link(a, b, length_mm=round(rng.uniform(0.2, max_link_mm), 3))
+        added += 1
+
+    # Cores round-robin over a shuffled switch order.
+    host_order = switches[:]
+    rng.shuffle(host_order)
+    for c in range(num_cores):
+        core = f"c{c}"
+        topo.add_core(core)
+        topo.add_link(core, host_order[c % num_switches], length_mm=0.3)
+    return topo

@@ -1,0 +1,142 @@
+"""Mesh-family topology generators: 2D mesh, torus, quasi-mesh.
+
+The 2D mesh is the workhorse of CMP NoCs in the paper's case studies
+(Intel Teraflops, Tilera TILE-Gx, RAW); the quasi-mesh variant — "some
+routers connect more than one core" — models the FAUST demonstrator.
+Switch nodes carry ``x``/``y`` grid attributes consumed by the
+dimension-ordered and turn-model routing functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.topology.graph import Topology
+
+
+def switch_name(x: int, y: int) -> str:
+    return f"s_{x}_{y}"
+
+
+def core_name(x: int, y: int, index: int = 0) -> str:
+    return f"c_{x}_{y}" if index == 0 else f"c_{x}_{y}_{index}"
+
+
+def mesh(
+    width: int,
+    height: int,
+    flit_width: int = 32,
+    tile_pitch_mm: float = 1.5,
+    cores_per_switch: int = 1,
+    name: Optional[str] = None,
+) -> Topology:
+    """Build a ``width`` x ``height`` 2D mesh.
+
+    One switch per tile; ``cores_per_switch`` cores attach to each
+    switch (1 for a Teraflops-style CMP; >1 gives a quasi-mesh).
+    ``tile_pitch_mm`` sets inter-switch link lengths for the physical
+    models.
+    """
+    _validate(width, height, cores_per_switch)
+    topo = Topology(name or f"mesh{width}x{height}", flit_width=flit_width)
+    for y in range(height):
+        for x in range(width):
+            topo.add_switch(switch_name(x, y), x=x, y=y)
+            for k in range(cores_per_switch):
+                cname = core_name(x, y, k)
+                topo.add_core(cname, x=x, y=y)
+                topo.add_link(cname, switch_name(x, y), length_mm=tile_pitch_mm / 4)
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                topo.add_link(
+                    switch_name(x, y), switch_name(x + 1, y), length_mm=tile_pitch_mm
+                )
+            if y + 1 < height:
+                topo.add_link(
+                    switch_name(x, y), switch_name(x, y + 1), length_mm=tile_pitch_mm
+                )
+    return topo
+
+
+def torus(
+    width: int,
+    height: int,
+    flit_width: int = 32,
+    tile_pitch_mm: float = 1.5,
+    name: Optional[str] = None,
+) -> Topology:
+    """Build a 2D torus (mesh plus wraparound links).
+
+    Wraparound channels create ring dependencies: deterministic minimal
+    routing on a torus needs two virtual channels with a dateline (the
+    deadlock checker in :mod:`repro.topology.deadlock` verifies this).
+    Wrap links are modelled at twice the tile pitch (folded torus).
+    """
+    _validate(width, height, 1)
+    if width < 3 or height < 3:
+        raise ValueError("torus needs at least 3x3 (wrap links duplicate otherwise)")
+    topo = mesh(width, height, flit_width, tile_pitch_mm, name=name or f"torus{width}x{height}")
+    for y in range(height):
+        topo.add_link(
+            switch_name(width - 1, y), switch_name(0, y), length_mm=2 * tile_pitch_mm
+        )
+    for x in range(width):
+        topo.add_link(
+            switch_name(x, height - 1), switch_name(x, 0), length_mm=2 * tile_pitch_mm
+        )
+    return topo
+
+
+def quasi_mesh(
+    width: int,
+    height: int,
+    cores_at: Sequence[int],
+    flit_width: int = 32,
+    tile_pitch_mm: float = 1.5,
+    name: Optional[str] = None,
+) -> Topology:
+    """Build a FAUST-style quasi-mesh.
+
+    ``cores_at[i]`` gives the number of cores attached to switch i (in
+    row-major order); the FAUST demonstrator attaches 2 cores to some
+    routers ("the implemented topology is a quasi-mesh as on some routers
+    connect more than one core").
+    """
+    _validate(width, height, 1)
+    if len(cores_at) != width * height:
+        raise ValueError(
+            f"cores_at must list {width * height} entries, got {len(cores_at)}"
+        )
+    if any(n < 0 for n in cores_at):
+        raise ValueError("core counts must be non-negative")
+    if sum(cores_at) == 0:
+        raise ValueError("quasi-mesh needs at least one core")
+    topo = Topology(name or f"quasimesh{width}x{height}", flit_width=flit_width)
+    for y in range(height):
+        for x in range(width):
+            topo.add_switch(switch_name(x, y), x=x, y=y)
+            for k in range(cores_at[y * width + x]):
+                cname = core_name(x, y, k)
+                topo.add_core(cname, x=x, y=y)
+                topo.add_link(cname, switch_name(x, y), length_mm=tile_pitch_mm / 4)
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                topo.add_link(
+                    switch_name(x, y), switch_name(x + 1, y), length_mm=tile_pitch_mm
+                )
+            if y + 1 < height:
+                topo.add_link(
+                    switch_name(x, y), switch_name(x, y + 1), length_mm=tile_pitch_mm
+                )
+    return topo
+
+
+def _validate(width: int, height: int, cores_per_switch: int) -> None:
+    if width < 1 or height < 1:
+        raise ValueError("mesh dimensions must be >= 1")
+    if width * height < 2:
+        raise ValueError("mesh needs at least 2 tiles")
+    if cores_per_switch < 1:
+        raise ValueError("cores_per_switch must be >= 1")

@@ -1,0 +1,64 @@
+"""Ring and Spidergon topology generators.
+
+Spidergon [22] (ST Microelectronics) is an even-size ring augmented with
+"across" links connecting each node to the diametrically opposite one;
+its routing scheme, Across-First, takes the cross link when the ring
+distance exceeds a quarter of the ring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.topology.graph import Topology
+
+
+def switch_name(i: int) -> str:
+    return f"s_{i}"
+
+
+def core_name(i: int) -> str:
+    return f"c_{i}"
+
+
+def ring(
+    num_nodes: int,
+    flit_width: int = 32,
+    hop_length_mm: float = 1.5,
+    name: Optional[str] = None,
+) -> Topology:
+    """Bidirectional ring with one core per switch."""
+    if num_nodes < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    topo = Topology(name or f"ring{num_nodes}", flit_width=flit_width)
+    for i in range(num_nodes):
+        topo.add_switch(switch_name(i), index=i)
+        topo.add_core(core_name(i), index=i)
+        topo.add_link(core_name(i), switch_name(i), length_mm=hop_length_mm / 4)
+    for i in range(num_nodes):
+        topo.add_link(
+            switch_name(i), switch_name((i + 1) % num_nodes), length_mm=hop_length_mm
+        )
+    return topo
+
+
+def spidergon(
+    num_nodes: int,
+    flit_width: int = 32,
+    hop_length_mm: float = 1.5,
+    name: Optional[str] = None,
+) -> Topology:
+    """Spidergon: even ring plus across links to the antipodal node.
+
+    The across link is modelled longer than a ring hop (it crosses the
+    layout) but shorter than num_nodes/2 ring hops — the reason the
+    topology wins on latency for medium-size SoCs.
+    """
+    if num_nodes < 4 or num_nodes % 2 != 0:
+        raise ValueError("spidergon needs an even node count >= 4")
+    topo = ring(num_nodes, flit_width, hop_length_mm, name=name or f"spidergon{num_nodes}")
+    half = num_nodes // 2
+    across_mm = hop_length_mm * max(2.0, num_nodes / 4.0)
+    for i in range(half):
+        topo.add_link(switch_name(i), switch_name(i + half), length_mm=across_mm)
+    return topo

@@ -1,0 +1,113 @@
+"""Topology and routing-table serialization.
+
+Synthesized topologies and their LUT contents are design artifacts the
+tool flow hands downstream (simulation, emulation, RTL); this module
+round-trips both through plain JSON-compatible dicts and files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.topology.graph import NodeKind, Route, RoutingTable, Topology
+
+
+def topology_to_dict(topology: Topology) -> dict:
+    """Serialize structure, node attributes and link annotations."""
+    nodes = []
+    for name in topology.switches + topology.cores:
+        attrs = {
+            k: v for k, v in topology.node_attrs(name).items() if k != "kind"
+        }
+        nodes.append(
+            {
+                "name": name,
+                "kind": topology.kind(name).value,
+                "attrs": attrs,
+            }
+        )
+    links = []
+    for src, dst in topology.links:
+        a = topology.link_attrs(src, dst)
+        links.append(
+            {
+                "src": src,
+                "dst": dst,
+                "length_mm": a.length_mm,
+                "pipeline_stages": a.pipeline_stages,
+                "width_bits": a.width_bits,
+            }
+        )
+    return {
+        "name": topology.name,
+        "flit_width": topology.flit_width,
+        "nodes": nodes,
+        "links": links,
+    }
+
+
+def topology_from_dict(data: dict) -> Topology:
+    try:
+        topo = Topology(data["name"], flit_width=data["flit_width"])
+        for node in data["nodes"]:
+            attrs = {
+                k: (tuple(v) if isinstance(v, list) else v)
+                for k, v in node.get("attrs", {}).items()
+            }
+            if node["kind"] == NodeKind.SWITCH.value:
+                topo.add_switch(node["name"], **attrs)
+            elif node["kind"] == NodeKind.CORE.value:
+                topo.add_core(node["name"], **attrs)
+            else:
+                raise ValueError(f"unknown node kind {node['kind']!r}")
+        for link in data["links"]:
+            topo.add_link(
+                link["src"],
+                link["dst"],
+                length_mm=link.get("length_mm", 0.0),
+                pipeline_stages=link.get("pipeline_stages", 0),
+                width_bits=link.get("width_bits"),
+                bidirectional=False,
+            )
+    except KeyError as exc:
+        raise ValueError(f"topology data missing field: {exc}") from None
+    return topo
+
+
+def routing_table_to_dict(table: RoutingTable) -> dict:
+    return {
+        "routes": [list(route.path) for route in table],
+    }
+
+
+def routing_table_from_dict(data: dict, topology: Topology) -> RoutingTable:
+    table = RoutingTable(topology)
+    try:
+        for path in data["routes"]:
+            table.set_route(Route(tuple(path)))
+    except KeyError as exc:
+        raise ValueError(f"routing data missing field: {exc}") from None
+    return table
+
+
+def save_design(
+    topology: Topology,
+    table: RoutingTable,
+    path: Union[str, Path],
+) -> None:
+    """Write topology + routes as one JSON file."""
+    blob = {
+        "topology": topology_to_dict(topology),
+        "routing": routing_table_to_dict(table),
+    }
+    Path(path).write_text(json.dumps(blob, indent=2) + "\n")
+
+
+def load_design(path: Union[str, Path]):
+    """Read (topology, routing table) back from :func:`save_design`."""
+    blob = json.loads(Path(path).read_text())
+    topo = topology_from_dict(blob["topology"])
+    table = routing_table_from_dict(blob["routing"], topo)
+    return topo, table

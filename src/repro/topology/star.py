@@ -1,0 +1,116 @@
+"""Star, crossbar and hierarchical-star topology generators.
+
+The hierarchical star models the BONE chips (Fig. 5): RISC processors
+and dual-port SRAM banks hang off crossbar switches ("the crossbars act
+as a non-blocking medium to connect the RISC processors and the SRAMs"),
+and the crossbars are joined through a hub — a "hierarchical star
+topology" that the paper reports outperforming a conventional 2D-mesh
+CMP for memory-centric traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.topology.graph import Topology
+
+
+def star(
+    num_cores: int,
+    flit_width: int = 32,
+    spoke_length_mm: float = 1.0,
+    name: Optional[str] = None,
+) -> Topology:
+    """Single central switch (a crossbar) with one core per port."""
+    if num_cores < 2:
+        raise ValueError("star needs at least 2 cores")
+    topo = Topology(name or f"star{num_cores}", flit_width=flit_width)
+    topo.add_switch("hub")
+    for i in range(num_cores):
+        cname = f"c_{i}"
+        topo.add_core(cname, index=i)
+        topo.add_link(cname, "hub", length_mm=spoke_length_mm)
+    return topo
+
+
+def hierarchical_star(
+    clusters: Sequence[Sequence[str]],
+    flit_width: int = 32,
+    spoke_length_mm: float = 0.8,
+    hub_length_mm: float = 2.0,
+    name: Optional[str] = None,
+) -> Topology:
+    """Two-level star: cores grouped into clusters, one crossbar each,
+    all crossbars joined through a central hub switch.
+
+    ``clusters`` is a list of core-name lists.  Core names must be
+    globally unique.
+    """
+    if len(clusters) < 1:
+        raise ValueError("need at least one cluster")
+    if any(len(c) == 0 for c in clusters):
+        raise ValueError("clusters must be non-empty")
+    total = sum(len(c) for c in clusters)
+    if total < 2:
+        raise ValueError("need at least 2 cores overall")
+    topo = Topology(name or f"hstar{len(clusters)}", flit_width=flit_width)
+    multi = len(clusters) > 1
+    if multi:
+        topo.add_switch("hub")
+    for ci, cluster in enumerate(clusters):
+        xbar = f"xbar_{ci}"
+        topo.add_switch(xbar, cluster=ci)
+        if multi:
+            topo.add_link(xbar, "hub", length_mm=hub_length_mm)
+        for cname in cluster:
+            topo.add_core(cname, cluster=ci)
+            topo.add_link(cname, xbar, length_mm=spoke_length_mm)
+    return topo
+
+
+def bone_style(
+    num_processors: int = 10,
+    num_memories: int = 8,
+    processors_per_cluster: int = 5,
+    flit_width: int = 32,
+    name: Optional[str] = None,
+) -> Topology:
+    """The Fig. 5 BONE configuration.
+
+    "The design consists of 8 dual port memories, crossbar switches and
+    ten RISC processors.  They are connected in a hierarchical star
+    topology."  Processors are split into clusters around crossbars;
+    dual-port SRAMs attach to *two* crossbars (one per port), so a
+    processor exchanges data with any SRAM through at most one hub hop
+    and SRAM banks can be "assigned dynamically to the RISC processors".
+    """
+    if num_processors < 2:
+        raise ValueError("need at least 2 processors")
+    if num_memories < 1:
+        raise ValueError("need at least 1 memory")
+    if processors_per_cluster < 1:
+        raise ValueError("processors_per_cluster must be >= 1")
+    num_clusters = -(-num_processors // processors_per_cluster)  # ceil
+    topo = Topology(name or "bone", flit_width=flit_width)
+    multi = num_clusters > 1
+    if multi:
+        topo.add_switch("hub")
+    for ci in range(num_clusters):
+        topo.add_switch(f"xbar_{ci}", cluster=ci)
+        if multi:
+            topo.add_link(f"xbar_{ci}", "hub", length_mm=1.5)
+    for p in range(num_processors):
+        ci = p // processors_per_cluster
+        pname = f"risc_{p}"
+        topo.add_core(pname, cluster=ci, role="processor")
+        topo.add_link(pname, f"xbar_{ci}", length_mm=0.6)
+    for m in range(num_memories):
+        mname = f"sram_{m}"
+        # Dual-port SRAM: each port reaches a different crossbar.
+        first = m % num_clusters
+        second = (m + 1) % num_clusters
+        topo.add_core(mname, role="memory")
+        topo.add_link(mname, f"xbar_{first}", length_mm=0.6)
+        if second != first:
+            topo.add_link(mname, f"xbar_{second}", length_mm=0.6)
+    return topo

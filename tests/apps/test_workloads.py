@@ -1,0 +1,89 @@
+"""Tests for the bundled application workloads."""
+
+import pytest
+
+from repro.apps import (
+    ALL_WORKLOADS,
+    ApplicationWorkload,
+    WorkloadFlow,
+    mpeg4_decoder,
+    synthetic_soc,
+    vopd,
+    workload,
+)
+
+
+class TestBundledWorkloads:
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_workloads_are_consistent(self, name):
+        wl = workload(name)
+        assert len(wl.cores) >= 2
+        assert len(wl.flows) >= 1
+        assert wl.total_mb_per_s > 0
+
+    def test_vopd_structure(self):
+        wl = vopd()
+        assert len(wl.cores) == 12
+        # The dominant pipeline edge is present.
+        matrix = wl.bandwidth_matrix()
+        assert matrix[("run_le_dec", "inv_scan")] == 362
+
+    def test_mpeg4_is_memory_centric(self):
+        """Most MPEG-4 traffic touches a shared memory — the workload
+        class where custom/star topologies beat meshes."""
+        wl = mpeg4_decoder()
+        mem = ("sdram", "sram1", "sram2")
+        mem_bw = sum(
+            f.mb_per_s for f in wl.flows
+            if f.source in mem or f.destination in mem
+        )
+        assert mem_bw > 0.8 * wl.total_mb_per_s
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            workload("quake")
+
+
+class TestValidation:
+    def test_flow_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadFlow("a", "b", 0)
+        with pytest.raises(ValueError):
+            WorkloadFlow("a", "a", 10)
+
+    def test_duplicate_cores_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationWorkload("x", ("a", "a"), ())
+
+    def test_dangling_flow_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationWorkload(
+                "x", ("a", "b"), (WorkloadFlow("a", "ghost", 10),)
+            )
+
+
+class TestSyntheticSoc:
+    def test_deterministic(self):
+        a = synthetic_soc(10, seed=3)
+        b = synthetic_soc(10, seed=3)
+        assert a.flows == b.flows
+
+    def test_seed_changes_graph(self):
+        a = synthetic_soc(10, seed=3)
+        b = synthetic_soc(10, seed=4)
+        assert a.flows != b.flows
+
+    def test_structure(self):
+        wl = synthetic_soc(8, num_memories=2)
+        assert len(wl.cores) == 10
+        # Pipeline edges exist between consecutive PEs.
+        matrix = wl.bandwidth_matrix()
+        assert ("pe_0", "pe_1") in matrix
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_soc(1)
+        with pytest.raises(ValueError):
+            synthetic_soc(4, num_memories=-1)
+        with pytest.raises(ValueError):
+            synthetic_soc(4, memory_fraction=2.0)

@@ -1,0 +1,88 @@
+"""Tests for the arbiters."""
+
+import pytest
+
+from repro.arch.arbiter import FixedPriorityArbiter, RoundRobinArbiter, TdmaArbiter
+
+
+class TestRoundRobin:
+    def test_grants_requester(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([False, True, False, False]) == 1
+
+    def test_no_request_no_grant(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([False] * 4) is None
+
+    def test_rotates_fairly(self):
+        arb = RoundRobinArbiter(3)
+        grants = [arb.grant([True, True, True]) for __ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_no_starvation(self):
+        """Every persistent requester is served within n grants."""
+        arb = RoundRobinArbiter(4)
+        served = set()
+        for __ in range(4):
+            served.add(arb.grant([True, True, True, True]))
+        assert served == {0, 1, 2, 3}
+
+    def test_pointer_skips_idle(self):
+        arb = RoundRobinArbiter(3)
+        arb.grant([True, False, False])  # pointer now at 1
+        assert arb.grant([True, False, True]) == 2
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+        arb = RoundRobinArbiter(2)
+        with pytest.raises(ValueError):
+            arb.grant([True])
+
+
+class TestFixedPriority:
+    def test_lowest_index_wins(self):
+        arb = FixedPriorityArbiter(4)
+        assert arb.grant([False, True, True, False]) == 1
+
+    def test_can_starve(self):
+        arb = FixedPriorityArbiter(2)
+        grants = [arb.grant([True, True]) for __ in range(5)]
+        assert grants == [0] * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPriorityArbiter(0)
+
+
+class TestTdma:
+    def test_slot_owner_wins_unconditionally(self):
+        # Slots: conn 7 owns slot 0, BE slot 1.
+        arb = TdmaArbiter([7, None], n=2)
+        # Cycle 0: requester 1 is conn 7, requester 0 is BE.
+        assert arb.grant(0, [True, True], [None, 7]) == 1
+
+    def test_be_gets_unowned_slots(self):
+        arb = TdmaArbiter([7, None], n=2)
+        assert arb.grant(1, [True, False], [None, None]) == 0
+
+    def test_idle_gt_slot_falls_back_to_be(self):
+        """GT slots are not wasted when the owner has nothing to send."""
+        arb = TdmaArbiter([7], n=2)
+        assert arb.grant(0, [True, False], [None, None]) == 0
+
+    def test_gt_cannot_use_foreign_slot(self):
+        arb = TdmaArbiter([7, 8], n=2)
+        # Cycle 0 belongs to conn 7; only a conn-8 GT packet requests.
+        assert arb.grant(0, [True, False], [8, None]) is None
+
+    def test_slot_table_wraps(self):
+        arb = TdmaArbiter([7, None], n=1)
+        assert arb.grant(2, [True], [7]) == 0  # cycle 2 -> slot 0 again
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TdmaArbiter([], n=2)
+        arb = TdmaArbiter([None], n=2)
+        with pytest.raises(ValueError):
+            arb.grant(0, [True], [None])

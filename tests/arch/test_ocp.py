@@ -1,0 +1,169 @@
+"""Tests for the OCP transaction layer."""
+
+import pytest
+
+from repro.arch.ocp import (
+    OcpCommand,
+    OcpTransaction,
+    make_request_packet,
+    make_response_packet,
+    request_packet_flits,
+    response_packet_flits,
+)
+from repro.arch.packet import MessageClass
+from repro.arch.parameters import NocParameters
+
+
+PARAMS = NocParameters()
+ROUTE = ("m", "s0", "sl")
+BACK = ("sl", "s0", "m")
+
+
+def read(burst=64):
+    return OcpTransaction(OcpCommand.READ, "m", "sl", 0x1000, burst)
+
+
+def write(burst=64):
+    return OcpTransaction(OcpCommand.WRITE, "m", "sl", 0x1000, burst)
+
+
+class TestTransaction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OcpTransaction(OcpCommand.READ, "m", "sl", 0, 0)
+        with pytest.raises(ValueError):
+            OcpTransaction(OcpCommand.READ, "m", "sl", -4, 8)
+
+    def test_is_read(self):
+        assert read().is_read
+        assert not write().is_read
+
+
+class TestPacketSizing:
+    def test_read_request_is_short(self):
+        """Read requests carry only command+address."""
+        assert request_packet_flits(read(burst=256), PARAMS) <= 3
+
+    def test_write_request_carries_payload(self):
+        assert request_packet_flits(write(64), PARAMS) > request_packet_flits(
+            read(64), PARAMS
+        )
+
+    def test_read_response_carries_payload(self):
+        assert response_packet_flits(read(64), PARAMS) > response_packet_flits(
+            write(64), PARAMS
+        )
+
+    def test_write_response_is_ack_sized(self):
+        assert response_packet_flits(write(256), PARAMS) == 1
+
+    def test_capped_at_max_packet(self):
+        params = NocParameters(max_packet_flits=4)
+        assert request_packet_flits(write(10_000), params) == 4
+
+    def test_request_and_response_conservation(self):
+        """A read moves its burst once: on the response, not the request."""
+        txn = read(128)
+        req = request_packet_flits(txn, PARAMS)
+        resp = response_packet_flits(txn, PARAMS)
+        # Response carries 128 bytes = 1024 bits over 32-bit flits.
+        assert resp >= 1024 // 32
+        assert req < resp
+
+
+class TestPacketBuilders:
+    def test_request_packet(self):
+        pkt = make_request_packet(write(16), ROUTE, PARAMS, cycle=7)
+        assert pkt.message_class is MessageClass.REQUEST
+        assert pkt.source == "m" and pkt.destination == "sl"
+        assert pkt.injection_cycle == 7
+        assert pkt.payload.command is OcpCommand.WRITE
+
+    def test_response_packet_round_trip(self):
+        req = make_request_packet(read(16), ROUTE, PARAMS, cycle=0)
+        resp = make_response_packet(req, BACK, PARAMS, cycle=9)
+        assert resp.message_class is MessageClass.RESPONSE
+        assert resp.source == "sl" and resp.destination == "m"
+        assert resp.payload is req.payload
+
+    def test_response_requires_ocp_payload(self):
+        from repro.arch.packet import Packet
+
+        bogus = Packet("m", "sl", 1, ROUTE, message_class=MessageClass.REQUEST)
+        with pytest.raises(TypeError):
+            make_response_packet(bogus, BACK, PARAMS, cycle=0)
+
+    def test_vc_path_passthrough(self):
+        pkt = make_request_packet(read(8), ROUTE, PARAMS, cycle=0, vc_path=(1, 1))
+        assert pkt.vc_path == (1, 1)
+
+
+class TestBurstSplitting:
+    def test_small_write_stays_single(self):
+        from repro.arch.ocp import split_transaction
+
+        assert len(split_transaction(write(16), PARAMS)) == 1
+
+    def test_reads_never_split(self):
+        """Read requests carry only the command, whatever the burst."""
+        from repro.arch.ocp import split_transaction
+
+        assert len(split_transaction(read(100_000), PARAMS)) == 1
+
+    def test_big_write_splits_conserving_bytes(self):
+        from repro.arch.ocp import split_transaction
+
+        params = NocParameters(max_packet_flits=8)
+        txn = write(4096)
+        subs = split_transaction(txn, params)
+        assert len(subs) > 1
+        assert sum(t.burst_bytes for t in subs) == 4096
+        # Every sub-burst fits the cap without truncation.
+        for sub in subs:
+            assert request_packet_flits(sub, params) <= 8
+        # Addresses tile the burst contiguously.
+        offsets = [t.address - txn.address for t in subs]
+        assert offsets[0] == 0
+        for prev, t in zip(subs, subs[1:]):
+            assert t.address == prev.address + prev.burst_bytes
+
+    def test_transaction_id_preserved(self):
+        from repro.arch.ocp import split_transaction
+
+        params = NocParameters(max_packet_flits=4)
+        txn = OcpTransaction(OcpCommand.WRITE, "m", "sl", 64, 2048,
+                             transaction_id=42)
+        assert all(
+            t.transaction_id == 42 for t in split_transaction(txn, params)
+        )
+
+    def test_tiny_packet_cap_rejected(self):
+        from repro.arch.ocp import split_transaction
+
+        params = NocParameters(max_packet_flits=1, header_bits=16)
+        with pytest.raises(ValueError, match="too small"):
+            split_transaction(write(1024), params)
+
+    def test_split_traffic_conserves_payload_in_simulation(self):
+        from repro.sim import NocSimulator, RequestResponseTraffic
+        from repro.topology import mesh, xy_routing
+
+        m = mesh(3, 3)
+        sim = NocSimulator(
+            m, xy_routing(m), NocParameters(max_packet_flits=4)
+        )
+        sim.attach_memory("c_1_1", service_cycles=1)
+        masters = [c for c in m.cores if c != "c_1_1"]
+        traffic = RequestResponseTraffic(
+            masters, ["c_1_1"], 0.005, burst_bytes=256, read_fraction=0.0,
+            seed=5,
+        )
+        sim.run(800, traffic, drain=True)
+        requests = [
+            r for r in sim.stats.records
+            if r.message_class is MessageClass.REQUEST
+        ]
+        # 256-byte writes over <=4-flit packets: several packets each.
+        assert len(requests) == traffic.requests_offered
+        assert traffic.requests_offered > 0
+        assert all(r.size_flits <= 4 for r in requests)

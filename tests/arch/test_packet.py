@@ -1,0 +1,135 @@
+"""Tests for packets, flits and packetization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.packet import (
+    Flit,
+    FlitType,
+    MessageClass,
+    Packet,
+    packet_size_flits,
+    reset_packet_ids,
+)
+
+
+ROUTE = ("c0", "s0", "s1", "c1")
+
+
+class TestPacket:
+    def test_flit_serialization_multi(self):
+        p = Packet("c0", "c1", 4, ROUTE)
+        flits = p.flits()
+        assert [f.flit_type for f in flits] == [
+            FlitType.HEAD, FlitType.BODY, FlitType.BODY, FlitType.TAIL
+        ]
+        assert [f.index for f in flits] == [0, 1, 2, 3]
+
+    def test_flit_serialization_single(self):
+        p = Packet("c0", "c1", 1, ROUTE)
+        (flit,) = p.flits()
+        assert flit.flit_type is FlitType.SINGLE
+        assert flit.is_head and flit.is_tail
+
+    def test_two_flit_packet_has_no_body(self):
+        p = Packet("c0", "c1", 2, ROUTE)
+        types = [f.flit_type for f in p.flits()]
+        assert types == [FlitType.HEAD, FlitType.TAIL]
+
+    def test_packet_ids_unique_and_resettable(self):
+        reset_packet_ids()
+        a = Packet("c0", "c1", 1, ROUTE)
+        b = Packet("c0", "c1", 1, ROUTE)
+        assert a.packet_id == 0 and b.packet_id == 1
+        reset_packet_ids()
+        c = Packet("c0", "c1", 1, ROUTE)
+        assert c.packet_id == 0
+
+    def test_route_endpoint_validation(self):
+        with pytest.raises(ValueError):
+            Packet("c9", "c1", 1, ROUTE)
+        with pytest.raises(ValueError):
+            Packet("c0", "c9", 1, ROUTE)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Packet("c0", "c1", 0, ROUTE)
+
+    def test_vc_path_length_validation(self):
+        with pytest.raises(ValueError):
+            Packet("c0", "c1", 1, ROUTE, vc_path=(0, 1))
+
+    def test_vc_on_link(self):
+        p = Packet("c0", "c1", 1, ROUTE, vc_path=(0, 1, 0))
+        assert p.vc_on_link(1) == 1
+        assert p.vc_on_link(2) == 0
+
+    def test_vc_on_link_defaults_to_zero(self):
+        p = Packet("c0", "c1", 1, ROUTE)
+        assert p.vc_on_link(0) == 0
+
+    def test_vc_on_link_bounds(self):
+        p = Packet("c0", "c1", 1, ROUTE)
+        with pytest.raises(IndexError):
+            p.vc_on_link(3)
+
+    def test_default_class_is_best_effort(self):
+        assert Packet("c0", "c1", 1, ROUTE).message_class is MessageClass.BEST_EFFORT
+
+
+class TestFlitNavigation:
+    def test_current_and_next_node(self):
+        p = Packet("c0", "c1", 1, ROUTE)
+        (flit,) = p.flits()
+        assert flit.current_node() == "c0"
+        assert flit.next_node() == "s0"
+        flit.hop = 3
+        assert flit.current_node() == "c1"
+        assert flit.next_node() is None
+
+    def test_repr_is_compact(self):
+        p = Packet("c0", "c1", 1, ROUTE)
+        (flit,) = p.flits()
+        assert "head" in repr(flit) or "single" in repr(flit)
+
+
+class TestPacketSizing:
+    def test_small_payload_fits_head_flit(self):
+        assert packet_size_flits(10, flit_width=32, header_bits=16) == 1
+
+    def test_header_consumes_head_flit_capacity(self):
+        # 32-bit flits, 16 header bits: head carries 16 payload bits.
+        assert packet_size_flits(17, 32, 16) == 2
+        assert packet_size_flits(16, 32, 16) == 1
+
+    def test_exact_boundary(self):
+        # 16 (head) + 32 (body) = 48 payload bits in 2 flits.
+        assert packet_size_flits(48, 32, 16) == 2
+        assert packet_size_flits(49, 32, 16) == 3
+
+    def test_zero_payload(self):
+        assert packet_size_flits(0, 32, 16) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packet_size_flits(-1, 32, 16)
+        with pytest.raises(ValueError):
+            packet_size_flits(10, 4, 2)
+        with pytest.raises(ValueError):
+            packet_size_flits(10, 32, 32)
+
+    @given(
+        payload=st.integers(0, 10_000),
+        width=st.sampled_from([16, 32, 64, 128]),
+        header=st.integers(1, 15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_invariant(self, payload, width, header):
+        """The computed flit count always carries the payload, and one
+        flit fewer never does."""
+        n = packet_size_flits(payload, width, header)
+        capacity = (width - header) + (n - 1) * width
+        assert capacity >= payload
+        if n > 1:
+            smaller = (width - header) + (n - 2) * width
+            assert smaller < payload

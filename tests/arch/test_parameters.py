@@ -1,0 +1,71 @@
+"""Tests for the NocParameters configuration space."""
+
+import pytest
+
+from repro.arch.parameters import (
+    ArbitrationKind,
+    DEFAULT_PARAMETERS,
+    FlowControlKind,
+    NocParameters,
+)
+
+
+class TestDefaults:
+    def test_default_is_xpipes_like(self):
+        p = DEFAULT_PARAMETERS
+        assert p.flit_width == 32
+        assert p.num_vcs == 1
+        assert p.flow_control is FlowControlKind.ON_OFF
+        assert p.arbitration is ArbitrationKind.ROUND_ROBIN
+
+    def test_with_returns_modified_copy(self):
+        p = DEFAULT_PARAMETERS.with_(flit_width=64)
+        assert p.flit_width == 64
+        assert DEFAULT_PARAMETERS.flit_width == 32
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_PARAMETERS.flit_width = 64
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"flit_width": 4},
+            {"buffer_depth": 0},
+            {"output_buffer_depth": -1},
+            {"num_vcs": 0},
+            {"header_bits": 0},
+            {"max_packet_flits": 0},
+            {"onoff_threshold": 0},
+            {"onoff_threshold": 10, "buffer_depth": 4},
+            {"ack_nack_window": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            NocParameters(**kwargs)
+
+    def test_ack_nack_requires_output_buffers(self):
+        """Section 3: 'If ACK/NACK flow control is used then output
+        buffers are required.'"""
+        with pytest.raises(ValueError, match="output buffers"):
+            NocParameters(
+                flow_control=FlowControlKind.ACK_NACK, output_buffer_depth=0
+            )
+
+    def test_ack_nack_with_buffers_accepted(self):
+        p = NocParameters(
+            flow_control=FlowControlKind.ACK_NACK,
+            output_buffer_depth=4,
+            ack_nack_window=4,
+        )
+        assert p.output_buffer_depth == 4
+
+    def test_on_off_allows_zero_output_buffers(self):
+        """Section 3: under ON/OFF, 'output buffers can be omitted'."""
+        p = NocParameters(
+            flow_control=FlowControlKind.ON_OFF, output_buffer_depth=0
+        )
+        assert p.output_buffer_depth == 0

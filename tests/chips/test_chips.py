@@ -1,0 +1,135 @@
+"""Tests for the Section 5 chip case studies."""
+
+import pytest
+
+from repro.chips import bone, faust, spin, teraflops, tile_gx
+from repro.sim import NocSimulator
+from repro.topology import check_routing_deadlock
+
+
+class TestTeraflops:
+    def test_80_cores_in_8x10_mesh(self):
+        chip = teraflops.build()
+        assert len(chip.topology.cores) == 80
+        assert len(chip.topology.switches) == 80
+
+    def test_five_port_routers(self):
+        """Fig. 4: 'a single core and a 5-port router'."""
+        chip = teraflops.build()
+        assert teraflops.router_ports(chip) == (5, 5)
+
+    def test_published_aggregate_bandwidth(self):
+        """'Around 1.62 Terabits/s' at 3.16 GHz."""
+        chip = teraflops.build()
+        agg = teraflops.aggregate_bisection_bandwidth_bps(chip)
+        assert agg == pytest.approx(teraflops.PUBLISHED_AGGREGATE_BPS, rel=0.01)
+
+    def test_deadlock_free(self):
+        chip = teraflops.build()
+        assert check_routing_deadlock(chip.topology, chip.routing_table)
+
+    def test_simulates(self):
+        chip = teraflops.build()
+        sim = NocSimulator(chip.topology, chip.routing_table, chip.params)
+        sim.inject("c_0_0", "c_7_9", 4)
+        sim.run(0, drain=True)
+        assert sim.stats.packets_delivered == 1
+
+
+class TestTileGx:
+    def test_100_cores(self):
+        chip = tile_gx.build()
+        assert len(chip.topology.cores) == 100
+
+    def test_multiple_networks_multiply_capacity(self):
+        chip = tile_gx.build()
+        agg = tile_gx.aggregate_bisection_bandwidth_bps(chip)
+        one_net = 2 * tile_gx.SIDE * tile_gx.FLIT_WIDTH * chip.frequency_hz
+        assert agg == pytest.approx(one_net * tile_gx.NUM_NETWORKS)
+
+    def test_deadlock_free(self):
+        chip = tile_gx.build()
+        assert check_routing_deadlock(chip.topology, chip.routing_table)
+
+
+class TestFaust:
+    def test_quasi_mesh_hosts_multiple_cores(self):
+        """'On some routers connect more than one core.'"""
+        chip = faust.build()
+        per_switch = {}
+        for core in chip.topology.cores:
+            (sw,) = chip.topology.attached_switches(core)
+            per_switch[sw] = per_switch.get(sw, 0) + 1
+        assert max(per_switch.values()) >= 2
+        assert len(chip.topology.switches) == 20
+
+    def test_receiver_matrix_is_ten_cores(self):
+        chip = faust.build()
+        assert len(chip.receiver_matrix) == 10
+
+    def test_rt_flows_sum_to_published_aggregate(self):
+        """'The aggregate required bandwidth is 10.6 Gbits/s.'"""
+        chip = faust.build()
+        flows = faust.receiver_matrix_flows(chip)
+        agg = faust.aggregate_rt_bandwidth_bps(flows, chip)
+        assert agg == pytest.approx(faust.AGGREGATE_RT_BPS, rel=0.01)
+
+    def test_per_flow_rate_fits_a_link(self):
+        chip = faust.build()
+        for flow in faust.receiver_matrix_flows(chip):
+            assert flow.flits_per_cycle < 1.0
+
+    def test_deadlock_free(self):
+        chip = faust.build()
+        assert check_routing_deadlock(chip.topology, chip.routing_table)
+
+
+class TestBone:
+    def test_star_configuration(self):
+        """Fig. 5: 10 RISC processors, 8 dual-port SRAMs, crossbars."""
+        chip = bone.build()
+        cores = chip.topology.cores
+        assert sum(1 for c in cores if c.startswith("risc")) == 10
+        assert sum(1 for c in cores if c.startswith("sram")) == 8
+
+    def test_mesh_reference_same_endpoints(self):
+        star = bone.build()
+        ref = bone.build_mesh_reference()
+        assert sorted(star.topology.cores) == sorted(ref.topology.cores)
+
+    def test_star_has_fewer_average_hops_for_memory_traffic(self):
+        star = bone.build()
+        ref = bone.build_mesh_reference()
+        flows = bone.memory_traffic()
+        star_hops = sum(
+            star.routing_table.route(f.source, f.destination).num_switches
+            for f in flows
+        )
+        mesh_hops = sum(
+            ref.routing_table.route(f.source, f.destination).num_switches
+            for f in flows
+        )
+        assert star_hops < mesh_hops
+
+    def test_traffic_validation(self):
+        with pytest.raises(ValueError):
+            bone.memory_traffic(total_flits_per_cycle=0)
+
+    def test_both_deadlock_free(self):
+        for chip in (bone.build(), bone.build_mesh_reference()):
+            assert check_routing_deadlock(chip.topology, chip.routing_table)
+
+
+class TestSpin:
+    def test_16_terminals(self):
+        chip = spin.build()
+        assert spin.num_terminals(chip) == 16
+
+    def test_fat_tree_structure(self):
+        chip = spin.build()
+        # 4-ary 2-tree: 2 levels x 4 switches.
+        assert len(chip.topology.switches) == 8
+
+    def test_deadlock_free(self):
+        chip = spin.build()
+        assert check_routing_deadlock(chip.topology, chip.routing_table)

@@ -1,0 +1,156 @@
+"""Direct unit tests for the design evaluator."""
+
+import pytest
+
+from repro.core import CommunicationSpec, CoreSpec, FlowSpec
+from repro.core.evaluate import DesignEvaluator, default_evaluator
+from repro.physical.floorplan import Block, Floorplan
+from repro.physical.technology import TechNode, TechnologyLibrary
+from repro.topology.graph import Route, RoutingTable, Topology
+
+
+@pytest.fixture
+def evaluator():
+    return default_evaluator()
+
+
+def tiny_design(link_length=1.0, annotate_lengths=True):
+    """Two cores, one switch; returns (spec, topo, table)."""
+    spec = CommunicationSpec(
+        cores=[CoreSpec("a"), CoreSpec("b")],
+        flows=[FlowSpec("a", "b", 100)],
+        name="tiny",
+    )
+    topo = Topology("tiny")
+    topo.add_switch("s")
+    topo.add_core("a")
+    topo.add_core("b")
+    length = link_length if annotate_lengths else 0.0
+    topo.add_link("a", "s", length_mm=length)
+    topo.add_link("b", "s", length_mm=length)
+    table = RoutingTable(topo)
+    table.set_route(Route(("a", "s", "b")))
+    return spec, topo, table
+
+
+class TestEvaluate:
+    def test_basic_metrics_positive(self, evaluator):
+        spec, topo, table = tiny_design()
+        point = evaluator.evaluate(
+            "t", spec, topo, table, frequency_hz=500e6, flit_width=32
+        )
+        assert point.power_mw > 0
+        assert point.area_mm2 > 0
+        assert point.avg_latency_cycles > 0
+        assert point.feasible
+
+    def test_latency_ns_consistent_with_cycles(self, evaluator):
+        spec, topo, table = tiny_design()
+        point = evaluator.evaluate(
+            "t", spec, topo, table, frequency_hz=500e6, flit_width=32
+        )
+        assert point.avg_latency_ns == pytest.approx(
+            point.avg_latency_cycles / 500e6 * 1e9
+        )
+
+    def test_unrouted_flow_rejected(self, evaluator):
+        spec, topo, __ = tiny_design()
+        empty = RoutingTable(topo)
+        with pytest.raises(ValueError, match="not routed"):
+            evaluator.evaluate(
+                "t", spec, topo, empty, frequency_hz=500e6, flit_width=32
+            )
+
+    def test_bad_frequency_rejected(self, evaluator):
+        spec, topo, table = tiny_design()
+        with pytest.raises(ValueError):
+            evaluator.evaluate("t", spec, topo, table, frequency_hz=0,
+                               flit_width=32)
+
+    def test_overloaded_link_flagged(self, evaluator):
+        spec = CommunicationSpec(
+            cores=[CoreSpec("a"), CoreSpec("b")],
+            # 100 GB/s over a 32-bit 500 MHz link (2 GB/s): 50x over.
+            flows=[FlowSpec("a", "b", 100_000)],
+        )
+        __, topo, table = tiny_design()
+        point = evaluator.evaluate(
+            "t", spec, topo, table, frequency_hz=500e6, flit_width=32
+        )
+        assert not point.feasible
+        assert point.max_link_load > 1.0
+        assert any("capacity" in note for note in point.notes)
+
+    def test_link_length_fallback_to_floorplan(self, evaluator):
+        """Unannotated links take their length from the floorplan."""
+        spec, topo, table = tiny_design(annotate_lengths=False)
+        near = Floorplan([
+            Block("a", 1, 1, 0, 0), Block("s", 0.2, 0.2, 1.2, 0.4),
+            Block("b", 1, 1, 2, 0),
+        ])
+        far = Floorplan([
+            Block("a", 1, 1, 0, 0), Block("s", 0.2, 0.2, 6.0, 0.4),
+            Block("b", 1, 1, 12, 0),
+        ])
+        p_near = evaluator.evaluate(
+            "near", spec, topo, table, 500e6, 32, floorplan=near
+        )
+        p_far = evaluator.evaluate(
+            "far", spec, topo, table, 500e6, 32, floorplan=far
+        )
+        assert p_far.power_mw > p_near.power_mw        # longer wires
+        assert p_far.avg_latency_cycles >= p_near.avg_latency_cycles
+
+    def test_link_length_fallback_default(self, evaluator):
+        """No annotation, no floorplan: the nominal 1 mm default."""
+        spec, topo, table = tiny_design(annotate_lengths=False)
+        point = evaluator.evaluate(
+            "t", spec, topo, table, frequency_hz=500e6, flit_width=32
+        )
+        assert point.power_mw > 0  # evaluates without a floorplan
+
+    def test_bigger_radix_lowers_fmax(self, evaluator):
+        spec_cores = [CoreSpec(f"c{i}") for i in range(9)]
+        spec = CommunicationSpec(
+            spec_cores, [FlowSpec("c0", "c1", 10)], name="radix"
+        )
+        topo = Topology("radix")
+        topo.add_switch("s")
+        for c in spec.core_names:
+            topo.add_core(c)
+            topo.add_link(c, "s")
+        table = RoutingTable(topo)
+        table.set_route(Route(("c0", "s", "c1")))
+        big = evaluator.evaluate("big", spec, topo, table, 500e6, 32)
+
+        spec2, topo2, table2 = tiny_design()
+        small = evaluator.evaluate("small", spec2, topo2, table2, 500e6, 32)
+        assert big.max_frequency_hz < small.max_frequency_hz
+
+    def test_other_technology_node(self):
+        evaluator45 = DesignEvaluator(
+            TechnologyLibrary.for_node(TechNode.NM_45)
+        )
+        spec, topo, table = tiny_design()
+        p45 = evaluator45.evaluate("t", spec, topo, table, 500e6, 32)
+        p65 = default_evaluator().evaluate("t", spec, topo, table, 500e6, 32)
+        assert p45.area_mm2 < p65.area_mm2  # smaller node, smaller cells
+
+
+class TestScaleStress:
+    def test_thirty_core_soc_through_the_flow(self):
+        """A 30-core SoC (the paper's 'several tens of components')
+        synthesizes, verifies and stays deadlock-free end to end."""
+        from repro.apps import synthetic_soc
+        from repro.core import TopologySynthesizer, verify_design
+        from repro.topology import check_routing_deadlock
+
+        spec = CommunicationSpec.from_workload(
+            synthetic_soc(26, num_memories=4, seed=21)
+        )
+        assert len(spec.core_names) == 30
+        synth = TopologySynthesizer(spec)
+        design = synth.synthesize(8, frequency_hz=500e6).design
+        assert check_routing_deadlock(design.topology, design.routing_table)
+        report = verify_design(design, spec, sim_cycles=600)
+        assert report.passed, report.failures

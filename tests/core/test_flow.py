@@ -1,0 +1,142 @@
+"""Tests for the end-to-end tool flow, netlist, simgen, verification."""
+
+import pytest
+
+from repro.apps import pip, vopd
+from repro.arch import NocParameters
+from repro.core import (
+    CommunicationSpec,
+    NocDesignFlow,
+    TopologySynthesizer,
+    generate_netlist,
+    generate_simulation_model,
+    to_verilog,
+    verify_design,
+)
+
+
+@pytest.fixture(scope="module")
+def pip_spec():
+    return CommunicationSpec.from_workload(pip())
+
+
+@pytest.fixture(scope="module")
+def pip_design(pip_spec):
+    return TopologySynthesizer(pip_spec).synthesize(3, frequency_hz=600e6).design
+
+
+class TestNetlist:
+    def test_instance_inventory(self, pip_design):
+        netlist = generate_netlist(pip_design.topology, pip_design.routing_table)
+        assert len(netlist.instances_of("switch")) == 3
+        # Every core has an initiator and a target NI.
+        assert len(netlist.instances_of("ni_initiator")) == 8
+        assert len(netlist.instances_of("ni_target")) == 8
+        assert len(netlist.instances_of("link")) == len(
+            pip_design.topology.links
+        )
+
+    def test_switch_parameters_match_radix(self, pip_design):
+        netlist = generate_netlist(pip_design.topology, pip_design.routing_table)
+        for inst in netlist.instances_of("switch"):
+            rin, rout = pip_design.topology.radix(inst.name)
+            assert inst.parameters["inputs"] == rin
+            assert inst.parameters["outputs"] == rout
+
+    def test_luts_capture_routes(self, pip_design, pip_spec):
+        netlist = generate_netlist(pip_design.topology, pip_design.routing_table)
+        for flow in pip_spec.flows:
+            assert flow.destination in netlist.luts[flow.source]
+
+    def test_to_dict_round_trip(self, pip_design):
+        netlist = generate_netlist(pip_design.topology, pip_design.routing_table)
+        blob = netlist.to_dict()
+        assert blob["name"] == pip_design.topology.name
+        assert len(blob["instances"]) == len(netlist.instances)
+
+    def test_verilog_emission(self, pip_design):
+        netlist = generate_netlist(pip_design.topology, pip_design.routing_table)
+        text = to_verilog(netlist)
+        assert text.startswith("// Structural NoC netlist")
+        assert "module" in text and "endmodule" in text
+        assert "xpipes_switch" in text
+        assert "xpipes_ni_initiator" in text
+        # Balanced instance count.
+        assert text.count("xpipes_switch #(") == 3
+
+
+class TestSimulationModel:
+    def test_model_runs_and_delivers(self, pip_design, pip_spec):
+        model = generate_simulation_model(pip_design, pip_spec)
+        stats = model.run(2000)
+        assert stats.packets_delivered == model.traffic.packets_offered
+        assert stats.packets_delivered > 0
+
+    def test_flit_width_mismatch_rejected(self, pip_design, pip_spec):
+        with pytest.raises(ValueError, match="flit width"):
+            generate_simulation_model(
+                pip_design, pip_spec, NocParameters(flit_width=64)
+            )
+
+    def test_load_scale_validation(self, pip_design, pip_spec):
+        with pytest.raises(ValueError):
+            generate_simulation_model(pip_design, pip_spec, load_scale=0)
+
+
+class TestVerification:
+    def test_good_design_passes(self, pip_design, pip_spec):
+        report = verify_design(pip_design, pip_spec, sim_cycles=1500)
+        assert report.passed, report.failures
+        assert report.delivered_flits == report.offered_flits
+        assert report.measured_avg_latency is not None
+
+    def test_infeasible_design_fails(self, pip_spec):
+        design = TopologySynthesizer(pip_spec).synthesize(
+            1, frequency_hz=950e6
+        ).design
+        report = verify_design(design, pip_spec, sim_cycles=200)
+        assert not report.passed
+        assert any("MHz" in f for f in report.failures)
+
+    def test_unrouted_flow_detected(self, pip_design, pip_spec):
+        from repro.core import CommunicationSpec, CoreSpec, FlowSpec
+
+        extended = CommunicationSpec(
+            cores=[CoreSpec(c) for c in pip_spec.core_names],
+            flows=list(pip_spec.flows) + [FlowSpec("out_mem", "inp_mem_a", 10)],
+        )
+        report = verify_design(pip_design, extended, sim_cycles=100)
+        assert not report.passed
+        assert any("unrouted" in f for f in report.failures)
+
+
+class TestFullFlow:
+    def test_fig6_pipeline(self):
+        spec = CommunicationSpec.from_workload(vopd())
+        flow = NocDesignFlow(spec)
+        result = flow.run(
+            switch_counts=(2, 4),
+            frequencies_hz=(500e6, 700e6),
+            verify_cycles=800,
+        )
+        assert result.pareto_front
+        assert result.chosen in result.pareto_front
+        assert result.verification.passed, result.verification.failures
+        assert "module" in result.verilog
+        assert result.sweep.baselines  # mesh + star references included
+
+    def test_choose_override(self):
+        spec = CommunicationSpec.from_workload(pip())
+        flow = NocDesignFlow(spec)
+        first = flow.run(switch_counts=(2, 3), frequencies_hz=(600e6,),
+                         verify_cycles=300)
+        manual = first.sweep.feasible_points[0]
+        second = flow.run(switch_counts=(2,), frequencies_hz=(600e6,),
+                          choose=manual, verify_cycles=300)
+        assert second.chosen is manual
+
+    def test_no_feasible_point_raises(self):
+        spec = CommunicationSpec.from_workload(pip())
+        flow = NocDesignFlow(spec)
+        with pytest.raises(RuntimeError, match="no feasible"):
+            flow.run(switch_counts=(1,), frequencies_hz=(2e9,))

@@ -1,0 +1,80 @@
+"""Tests for core-to-switch mapping."""
+
+import pytest
+
+from repro.apps import vopd
+from repro.core import CommunicationSpec, CoreSpec, FlowSpec, Mapping, map_cores
+
+
+@pytest.fixture
+def spec():
+    return CommunicationSpec.from_workload(vopd())
+
+
+class TestMapping:
+    def test_partition_covers_all_cores(self, spec):
+        mapping = map_cores(spec, 4)
+        mapped = sorted(c for cluster in mapping.clusters for c in cluster)
+        assert mapped == sorted(spec.core_names)
+        assert mapping.num_switches == 4
+
+    def test_one_switch_per_core(self, spec):
+        mapping = map_cores(spec, len(spec.core_names))
+        assert all(len(c) == 1 for c in mapping.clusters)
+
+    def test_single_switch(self, spec):
+        mapping = map_cores(spec, 1)
+        assert mapping.num_switches == 1
+        assert mapping.intercluster_bandwidth(spec) == 0.0
+
+    def test_heavy_pairs_share_a_switch(self, spec):
+        """The hottest VOPD edge (362 MB/s) should never be cut when few
+        cuts are required."""
+        mapping = map_cores(spec, 2)
+        assert mapping.switch_of("run_le_dec") == mapping.switch_of("inv_scan")
+
+    def test_more_switches_more_cut_bandwidth(self, spec):
+        cuts = [
+            map_cores(spec, k).intercluster_bandwidth(spec) for k in (1, 3, 6, 12)
+        ]
+        assert all(a <= b for a, b in zip(cuts, cuts[1:]))
+
+    def test_balance_cap_roughly_respected(self, spec):
+        """The cap may relax minimally when greedy merging strands, but
+        never lets one switch swallow the design."""
+        mapping = map_cores(spec, 4, balance_slack=1.0)
+        assert max(len(c) for c in mapping.clusters) <= 4  # ceil(12/4) + 1
+
+    def test_generous_slack_gives_headroom(self, spec):
+        mapping = map_cores(spec, 2, balance_slack=1.5)
+        assert max(len(c) for c in mapping.clusters) <= 9  # ceil(1.5*12/2)
+
+    def test_positions_keep_clusters_local(self):
+        """Floorplan-aware mapping prefers nearby cores at equal traffic."""
+        cores = [CoreSpec(f"c{i}") for i in range(4)]
+        flows = [
+            FlowSpec("c0", "c1", 100),
+            FlowSpec("c0", "c2", 100),  # same bandwidth, farther away
+        ]
+        spec = CommunicationSpec(cores, flows)
+        positions = {"c0": (0, 0), "c1": (1, 0), "c2": (9, 0), "c3": (10, 0)}
+        mapping = map_cores(spec, 3, positions=positions)
+        assert mapping.switch_of("c0") == mapping.switch_of("c1")
+        assert mapping.switch_of("c0") != mapping.switch_of("c2")
+
+    def test_validation(self, spec):
+        with pytest.raises(ValueError):
+            map_cores(spec, 0)
+        with pytest.raises(ValueError):
+            map_cores(spec, 13)
+        with pytest.raises(ValueError):
+            map_cores(spec, 2, balance_slack=0.5)
+
+    def test_mapping_duplicate_detection(self):
+        with pytest.raises(ValueError):
+            Mapping(clusters=[["a"], ["a"]])
+
+    def test_switch_of_unknown(self, spec):
+        mapping = map_cores(spec, 2)
+        with pytest.raises(KeyError):
+            mapping.switch_of("ghost")

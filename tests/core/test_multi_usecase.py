@@ -1,0 +1,132 @@
+"""Tests for multi-use-case synthesis."""
+
+import pytest
+
+from repro.core import (
+    CommunicationSpec,
+    CoreSpec,
+    FlowSpec,
+    envelope_spec,
+    synthesize_multi_usecase,
+)
+from repro.topology import check_routing_deadlock
+
+
+@pytest.fixture
+def platform():
+    return [CoreSpec(f"ip{i}") for i in range(8)]
+
+
+@pytest.fixture
+def use_cases(platform):
+    video = CommunicationSpec(
+        platform,
+        [
+            FlowSpec("ip0", "ip1", 200),
+            FlowSpec("ip1", "ip2", 300),
+            FlowSpec("ip2", "ip7", 250),
+        ],
+        name="video",
+    )
+    browse = CommunicationSpec(
+        platform,
+        [
+            FlowSpec("ip0", "ip3", 80),
+            FlowSpec("ip1", "ip2", 120, latency_constraint_ns=40.0),
+            FlowSpec("ip4", "ip7", 90),
+        ],
+        name="browse",
+    )
+    return [video, browse]
+
+
+class TestEnvelope:
+    def test_bandwidth_is_per_pair_max(self, use_cases):
+        env = envelope_spec(use_cases)
+        by_pair = {(f.source, f.destination): f for f in env.flows}
+        # ip1->ip2 appears in both: max(300, 120), not the sum.
+        assert by_pair[("ip1", "ip2")].bandwidth_mbps == 300
+
+    def test_union_of_flows(self, use_cases):
+        env = envelope_spec(use_cases)
+        pairs = {(f.source, f.destination) for f in env.flows}
+        assert ("ip0", "ip1") in pairs   # video only
+        assert ("ip0", "ip3") in pairs   # browse only
+
+    def test_tightest_latency_constraint_wins(self, use_cases):
+        env = envelope_spec(use_cases)
+        by_pair = {(f.source, f.destination): f for f in env.flows}
+        assert by_pair[("ip1", "ip2")].latency_constraint_ns == 40.0
+
+    def test_realtime_flag_sticky(self, platform):
+        a = CommunicationSpec(
+            platform, [FlowSpec("ip0", "ip1", 10, is_hard_realtime=True)],
+            name="a",
+        )
+        b = CommunicationSpec(
+            platform, [FlowSpec("ip0", "ip1", 10)], name="b"
+        )
+        env = envelope_spec([a, b])
+        assert env.flows[0].is_hard_realtime
+
+    def test_mismatched_platforms_rejected(self, platform, use_cases):
+        other = CommunicationSpec(
+            [CoreSpec("alien")], [], name="other"
+        )
+        with pytest.raises(ValueError, match="different core set"):
+            envelope_spec([use_cases[0], other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            envelope_spec([])
+
+    def test_intra_usecase_parallel_flows_sum(self, platform):
+        """Flows of the SAME use case on one pair are concurrent: they
+        add before the cross-use-case max is taken."""
+        a = CommunicationSpec(
+            platform,
+            [FlowSpec("ip0", "ip1", 100), FlowSpec("ip0", "ip1", 50)],
+            name="a",
+        )
+        b = CommunicationSpec(
+            platform, [FlowSpec("ip0", "ip1", 120)], name="b"
+        )
+        env = envelope_spec([a, b])
+        assert env.flows[0].bandwidth_mbps == 150
+
+
+class TestMultiUseCaseSynthesis:
+    def test_single_design_serves_all(self, use_cases):
+        result = synthesize_multi_usecase(
+            use_cases, num_switches=3, verify_cycles=500
+        )
+        assert result.all_use_cases_pass
+        assert set(result.verifications) == {"video", "browse"}
+        assert check_routing_deadlock(
+            result.design.topology, result.design.routing_table
+        )
+
+    def test_every_use_case_flow_routed(self, use_cases):
+        result = synthesize_multi_usecase(
+            use_cases, num_switches=2, verify_cycles=300
+        )
+        for uc in use_cases:
+            for flow in uc.flows:
+                assert result.design.routing_table.has_route(
+                    flow.source, flow.destination
+                )
+
+    def test_overcommitted_use_case_fails_verification(self, platform):
+        light = CommunicationSpec(
+            platform, [FlowSpec("ip0", "ip1", 10)], name="light"
+        )
+        heavy = CommunicationSpec(
+            platform,
+            [FlowSpec("ip0", "ip1", 10, latency_constraint_ns=0.5)],
+            name="strict",
+        )
+        result = synthesize_multi_usecase(
+            [light, heavy], num_switches=2, verify_cycles=200
+        )
+        assert not result.verifications["strict"].passed
+        assert not result.all_use_cases_pass

@@ -1,0 +1,79 @@
+"""Tests for netlist validation and the mesh heat map."""
+
+import pytest
+
+from repro.core import generate_netlist
+from repro.core.netlist import validate_netlist
+from repro.report import mesh_heatmap
+from repro.topology import mesh, ring, xy_routing
+from repro.topology.routing import shortest_path_routing
+
+
+class TestNetlistValidation:
+    def test_generated_netlist_validates(self):
+        m = mesh(3, 3)
+        table = xy_routing(m)
+        netlist = generate_netlist(m, table)
+        validate_netlist(netlist, m)  # no raise
+
+    def test_missing_switch_detected(self):
+        m = mesh(3, 3)
+        netlist = generate_netlist(m, xy_routing(m))
+        netlist.instances = [
+            inst for inst in netlist.instances if inst.name != "s_1_1"
+        ]
+        with pytest.raises(ValueError, match="switch instances"):
+            validate_netlist(netlist, m)
+
+    def test_radix_mismatch_detected(self):
+        m = mesh(3, 3)
+        netlist = generate_netlist(m, xy_routing(m))
+        sw = netlist.instances_of("switch")[0]
+        sw.parameters["inputs"] = 99
+        with pytest.raises(ValueError, match="radix mismatch"):
+            validate_netlist(netlist, m)
+
+    def test_missing_link_detected(self):
+        m = mesh(3, 3)
+        netlist = generate_netlist(m, xy_routing(m))
+        link = netlist.instances_of("link")[0]
+        netlist.instances.remove(link)
+        with pytest.raises(ValueError):
+            validate_netlist(netlist, m)
+
+    def test_corrupt_lut_detected(self):
+        m = mesh(2, 2)
+        netlist = generate_netlist(m, xy_routing(m))
+        some_core = next(iter(netlist.luts))
+        other = next(c for c in netlist.luts if c != some_core)
+        netlist.luts[some_core]["oops"] = (other, "s_0_0", some_core)
+        with pytest.raises(ValueError, match="LUT"):
+            validate_netlist(netlist, m)
+
+
+class TestMeshHeatmap:
+    def test_renders_grid(self):
+        m = mesh(3, 3)
+        values = {link: 1.0 for link in m.links}
+        art = mesh_heatmap(m, values)
+        # 3 switch rows + 2 vertical-link rows.
+        assert len(art.splitlines()) == 5
+        assert art.count("#") == 9
+
+    def test_hot_link_gets_high_digit(self):
+        m = mesh(2, 2)
+        values = {("s_0_0", "s_1_0"): 10.0, ("s_0_0", "s_0_1"): 1.0}
+        art = mesh_heatmap(m, values)
+        assert "9" in art
+        assert "1" in art
+
+    def test_zero_traffic_renders_dots(self):
+        m = mesh(2, 2)
+        art = mesh_heatmap(m, {})
+        assert "." in art
+        assert not any(d in art for d in "123456789")
+
+    def test_non_mesh_rejected(self):
+        r = ring(4)
+        with pytest.raises(ValueError, match="coordinates"):
+            mesh_heatmap(r, {})

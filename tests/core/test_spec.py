@@ -1,0 +1,78 @@
+"""Tests for the communication specification."""
+
+import pytest
+
+from repro.apps import vopd
+from repro.core import CommunicationSpec, CoreSpec, FlowSpec
+
+
+class TestCoreSpec:
+    def test_defaults(self):
+        c = CoreSpec("cpu")
+        assert c.is_master and c.is_slave and c.protocol == "OCP"
+
+    def test_must_be_master_or_slave(self):
+        with pytest.raises(ValueError):
+            CoreSpec("x", is_master=False, is_slave=False)
+
+    def test_positive_dims(self):
+        with pytest.raises(ValueError):
+            CoreSpec("x", width_mm=0)
+
+
+class TestFlowSpec:
+    def test_unit_conversion(self):
+        """100 MB/s at 32-bit 1 GHz: 8e8 bits / 32e9 bits = 0.025."""
+        f = FlowSpec("a", "b", 100.0)
+        assert f.flits_per_cycle(32, 1e9) == pytest.approx(0.025)
+
+    def test_conversion_scales_inversely_with_width(self):
+        f = FlowSpec("a", "b", 100.0)
+        assert f.flits_per_cycle(64, 1e9) == pytest.approx(
+            f.flits_per_cycle(32, 1e9) / 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpec("a", "b", 0)
+        with pytest.raises(ValueError):
+            FlowSpec("a", "a", 10)
+        with pytest.raises(ValueError):
+            FlowSpec("a", "b", 10, latency_constraint_ns=0)
+
+
+class TestCommunicationSpec:
+    def _spec(self):
+        return CommunicationSpec(
+            cores=[CoreSpec("a"), CoreSpec("b"), CoreSpec("c")],
+            flows=[FlowSpec("a", "b", 100), FlowSpec("b", "a", 50),
+                   FlowSpec("b", "c", 25)],
+        )
+
+    def test_totals(self):
+        spec = self._spec()
+        assert spec.total_bandwidth_mbps == 175
+        assert spec.bandwidth_between("a", "b") == 150  # both directions
+
+    def test_duplicate_core_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationSpec([CoreSpec("a"), CoreSpec("a")], [])
+
+    def test_dangling_flow_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationSpec([CoreSpec("a")], [FlowSpec("a", "ghost", 1)])
+
+    def test_flow_rates(self):
+        spec = self._spec()
+        rates = spec.flow_rates_flits_per_cycle(32, 1e9)
+        assert rates[("a", "b")] == pytest.approx(100 * 8e6 / 32e9)
+
+    def test_from_workload(self):
+        spec = CommunicationSpec.from_workload(vopd())
+        assert spec.name == "vopd"
+        assert len(spec.cores) == 12
+        assert len(spec.flows) == 14
+
+    def test_flows_from(self):
+        spec = self._spec()
+        assert len(spec.flows_from("b")) == 2

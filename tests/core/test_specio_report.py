@@ -1,0 +1,171 @@
+"""Tests for spec serialization, reporting, and latency constraints."""
+
+import json
+
+import pytest
+
+from repro.apps import pip, vopd
+from repro.core import (
+    CommunicationSpec,
+    CoreSpec,
+    FlowSpec,
+    TopologySynthesizer,
+    load_spec,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+    verify_design,
+)
+from repro.report import (
+    design_points_csv,
+    design_table,
+    latency_csv,
+    link_load_report,
+    topology_summary,
+)
+
+
+class TestSpecIO:
+    def test_round_trip(self, tmp_path):
+        spec = CommunicationSpec.from_workload(vopd())
+        path = tmp_path / "vopd.json"
+        save_spec(spec, path)
+        back = load_spec(path)
+        assert back.name == spec.name
+        assert sorted(back.core_names) == sorted(spec.core_names)
+        assert len(back.flows) == len(spec.flows)
+        assert back.total_bandwidth_mbps == spec.total_bandwidth_mbps
+
+    def test_dict_round_trip_preserves_constraints(self):
+        spec = CommunicationSpec(
+            cores=[CoreSpec("a"), CoreSpec("b", is_master=False)],
+            flows=[FlowSpec("a", "b", 100, latency_constraint_ns=50.0,
+                            is_hard_realtime=True)],
+            name="tiny",
+        )
+        back = spec_from_dict(spec_to_dict(spec))
+        assert back.flows[0].latency_constraint_ns == 50.0
+        assert back.flows[0].is_hard_realtime
+        assert not back.cores["b"].is_master
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing required field"):
+            spec_from_dict({"cores": [{"name": "a"}], "flows": [{"source": "a"}]})
+
+    def test_file_is_valid_json(self, tmp_path):
+        spec = CommunicationSpec.from_workload(pip())
+        path = tmp_path / "pip.json"
+        save_spec(spec, path)
+        data = json.loads(path.read_text())
+        assert data["name"] == "pip"
+        assert len(data["cores"]) == 8
+
+    def test_defaults_applied_on_load(self):
+        spec = spec_from_dict(
+            {
+                "name": "x",
+                "cores": [{"name": "a"}, {"name": "b"}],
+                "flows": [
+                    {"source": "a", "destination": "b", "bandwidth_mbps": 5}
+                ],
+            }
+        )
+        assert spec.cores["a"].protocol == "OCP"
+        assert spec.flows[0].latency_constraint_ns is None
+
+
+class TestLatencyConstraints:
+    def _spec(self, bound_ns):
+        return CommunicationSpec(
+            cores=[CoreSpec(f"c{i}") for i in range(6)],
+            flows=[
+                FlowSpec("c0", "c5", 50, latency_constraint_ns=bound_ns),
+                FlowSpec("c1", "c2", 50),
+                FlowSpec("c3", "c4", 50),
+            ],
+            name="constrained",
+        )
+
+    def test_loose_constraint_feasible(self):
+        design = TopologySynthesizer(self._spec(1000.0)).synthesize(
+            2, frequency_hz=600e6
+        ).design
+        assert design.feasible
+
+    def test_tight_constraint_flags_infeasible(self):
+        design = TopologySynthesizer(self._spec(1.0)).synthesize(
+            2, frequency_hz=600e6
+        ).design
+        assert not design.feasible
+        assert any("exceeds the" in note for note in design.notes)
+
+    def test_verification_reports_violation(self):
+        spec = self._spec(1.0)
+        design = TopologySynthesizer(spec).synthesize(2, frequency_hz=600e6).design
+        report = verify_design(design, spec, sim_cycles=100)
+        assert not report.passed
+        assert any("latency constraint" in f for f in report.failures)
+
+    def test_higher_frequency_relaxes_ns_budget(self):
+        """The same cycle count takes fewer ns at a faster clock — a
+        constraint infeasible at 400 MHz can close at 800 MHz."""
+        spec = self._spec(22.0)
+        synth = TopologySynthesizer(spec)
+        slow = synth.synthesize(2, frequency_hz=400e6).design
+        fast = synth.synthesize(2, frequency_hz=700e6).design
+        slow_violations = [n for n in slow.notes if "exceeds" in n]
+        fast_violations = [n for n in fast.notes if "exceeds" in n]
+        assert len(fast_violations) <= len(slow_violations)
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def design(self):
+        spec = CommunicationSpec.from_workload(vopd())
+        return spec, TopologySynthesizer(spec).synthesize(3).design
+
+    def test_topology_summary(self, design):
+        __, d = design
+        text = topology_summary(d.topology)
+        assert "3 switches" in text
+        assert "12 cores" in text
+        assert "radix" in text
+
+    def test_design_table(self, design):
+        __, d = design
+        text = design_table([d], marker=d)
+        assert d.name in text
+        assert "<-" in text
+
+    def test_design_table_empty(self):
+        assert "no design points" in design_table([])
+
+    def test_csv_export(self, design):
+        __, d = design
+        text = design_points_csv([d])
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("name,num_switches")
+        assert d.name in lines[1]
+
+    def test_link_load_report(self, design):
+        spec, d = design
+        rates = {
+            (f.source, f.destination): f.bandwidth_mbps for f in spec.flows
+        }
+        text = link_load_report(d.topology, d.routing_table, rates, top=5)
+        assert "Top 5 loaded links" in text
+
+    def test_latency_csv(self, design):
+        from repro.core import generate_simulation_model
+
+        spec, d = design
+        model = generate_simulation_model(d, spec)
+        stats = model.run(600)
+        text = latency_csv(stats.records, bucket_cycles=100)
+        lines = text.strip().splitlines()
+        assert lines[0] == "cycle_bucket_start,packets,mean_latency"
+        assert len(lines) > 2
+
+    def test_latency_csv_validation(self):
+        with pytest.raises(ValueError):
+            latency_csv([], bucket_cycles=0)

@@ -1,0 +1,151 @@
+"""Tests for GALS clock domains and the clocking comparison."""
+
+import pytest
+
+from repro.gals import (
+    ClockDomain,
+    GalsPartition,
+    SynchronizerKind,
+    SynchronizerModel,
+    clock_tree_power_mw,
+    compare_clocking,
+)
+from repro.physical.technology import TechnologyLibrary, TechNode
+from repro.topology import mesh, xy_routing
+
+
+@pytest.fixture
+def tech():
+    return TechnologyLibrary.for_node(TechNode.NM_65)
+
+
+@pytest.fixture
+def partitioned():
+    """2x2 mesh split into two clock domains (left/right columns)."""
+    m = mesh(2, 2)
+    left = ClockDomain(
+        "left", 800e6, ("s_0_0", "s_0_1", "c_0_0", "c_0_1")
+    )
+    right = ClockDomain(
+        "right", 400e6, ("s_1_0", "s_1_1", "c_1_0", "c_1_1")
+    )
+    return m, GalsPartition(m, [left, right])
+
+
+class TestSynchronizers:
+    def test_all_kinds_modelled(self):
+        for kind in SynchronizerKind:
+            model = SynchronizerModel.of(kind)
+            assert model.latency_cycles > 0
+            assert model.area_gates > 0
+
+    def test_async_costs_more_latency_than_mesochronous(self):
+        meso = SynchronizerModel.of(SynchronizerKind.MESOCHRONOUS)
+        async_ = SynchronizerModel.of(SynchronizerKind.ASYNC_FIFO)
+        assert async_.latency_cycles > meso.latency_cycles
+
+
+class TestPartition:
+    def test_domain_lookup(self, partitioned):
+        __, part = partitioned
+        assert part.domain_of("s_0_0") == "left"
+        assert part.domain_of("c_1_1") == "right"
+
+    def test_crossing_links(self, partitioned):
+        __, part = partitioned
+        crossings = part.crossing_links()
+        # Two horizontal switch links x 2 directions.
+        assert len(crossings) == 4
+        assert ("s_0_0", "s_1_0") in crossings
+
+    def test_route_crossing_count_and_latency(self, partitioned):
+        m, part = partitioned
+        table = xy_routing(m)
+        assert part.crossings_on_route(table, "c_0_0", "c_1_0") == 1
+        assert part.crossings_on_route(table, "c_0_0", "c_0_1") == 0
+        assert part.added_latency_cycles(table, "c_0_0", "c_1_0") == 1.5
+
+    def test_adapter_area(self, partitioned):
+        __, part = partitioned
+        assert part.adapter_area_gates() == 4 * 420.0
+
+    def test_incomplete_partition_rejected(self):
+        m = mesh(2, 2)
+        with pytest.raises(ValueError, match="without a clock domain"):
+            GalsPartition(m, [ClockDomain("only", 1e9, ("s_0_0",))])
+
+    def test_double_assignment_rejected(self):
+        m = mesh(2, 2)
+        a = ClockDomain("a", 1e9, tuple(m.switches + m.cores))
+        b = ClockDomain("b", 1e9, ("s_0_0",))
+        with pytest.raises(ValueError, match="two domains"):
+            GalsPartition(m, [a, b])
+
+    def test_unknown_member_rejected(self):
+        m = mesh(2, 2)
+        with pytest.raises(KeyError):
+            GalsPartition(m, [ClockDomain("x", 1e9, ("ghost",))])
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            ClockDomain("x", 0, ("a",))
+        with pytest.raises(ValueError):
+            ClockDomain("x", 1e9, ())
+
+
+class TestClockPower:
+    def test_tree_power_scales_with_area_and_frequency(self, tech):
+        small = clock_tree_power_mw(25.0, 1000, 400e6, tech)
+        big = clock_tree_power_mw(100.0, 1000, 400e6, tech)
+        fast = clock_tree_power_mw(25.0, 1000, 800e6, tech)
+        assert big > small
+        assert fast == pytest.approx(2 * small)
+
+    def test_validation(self, tech):
+        with pytest.raises(ValueError):
+            clock_tree_power_mw(-1, 0, 1e9, tech)
+
+    def test_gals_saves_clock_power_with_slow_islands(self, tech):
+        """Section 4.3's motivation: islands at their own (often lower)
+        frequency beat one global tree at the fastest clock."""
+        cmp = compare_clocking(
+            die_area_mm2=100.0,
+            island_areas_mm2=[25.0] * 4,
+            island_frequencies_hz=[800e6, 400e6, 300e6, 200e6],
+            sinks_per_island=[5000] * 4,
+            crossing_flits_per_s=1e9,
+            synchronizer=SynchronizerKind.MESOCHRONOUS,
+            tech=tech,
+        )
+        assert cmp.savings_fraction > 0.2
+        assert cmp.gals_total_mw < cmp.global_clock_mw
+
+    def test_uniform_fast_islands_no_big_win(self, tech):
+        """All islands at the global frequency: adapters are pure cost,
+        only the tree-span term helps."""
+        cmp = compare_clocking(
+            die_area_mm2=100.0,
+            island_areas_mm2=[25.0] * 4,
+            island_frequencies_hz=[800e6] * 4,
+            sinks_per_island=[5000] * 4,
+            crossing_flits_per_s=1e9,
+            synchronizer=SynchronizerKind.ASYNC_FIFO,
+            tech=tech,
+        )
+        slow = compare_clocking(
+            die_area_mm2=100.0,
+            island_areas_mm2=[25.0] * 4,
+            island_frequencies_hz=[800e6, 200e6, 200e6, 200e6],
+            sinks_per_island=[5000] * 4,
+            crossing_flits_per_s=1e9,
+            synchronizer=SynchronizerKind.ASYNC_FIFO,
+            tech=tech,
+        )
+        assert slow.savings_fraction > cmp.savings_fraction
+
+    def test_vector_length_mismatch(self, tech):
+        with pytest.raises(ValueError):
+            compare_clocking(
+                100.0, [25.0], [1e9, 2e9], [10], 0.0,
+                SynchronizerKind.PAUSIBLE, tech,
+            )

@@ -1,0 +1,104 @@
+"""Tests for voltage-frequency islands."""
+
+import pytest
+
+from repro.gals import (
+    DEFAULT_LADDER,
+    OperatingPoint,
+    VoltageFrequencyIsland,
+    assign_operating_points,
+    island_power_mw,
+    vfi_savings,
+)
+
+
+def island(name, cap=2.0):
+    return VoltageFrequencyIsland(name, (f"{name}_core",), switched_cap_nf=cap)
+
+
+class TestOperatingPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(0, 1e9)
+        with pytest.raises(ValueError):
+            OperatingPoint(1.0, 0)
+
+
+class TestIslandPower:
+    def test_quadratic_in_voltage(self):
+        isl = island("a")
+        low = isl.power_mw(OperatingPoint(0.8, 400e6))
+        high = isl.power_mw(OperatingPoint(1.1, 400e6))
+        # Dynamic term scales by (1.1/0.8)^2 ~ 1.89.
+        assert high > 1.5 * low
+
+    def test_activity_scales_dynamic_only(self):
+        isl = island("a")
+        p = OperatingPoint(1.0, 800e6)
+        idle = isl.power_mw(p, activity=0.0)
+        busy = isl.power_mw(p, activity=1.0)
+        assert 0 < idle < busy
+        assert idle == pytest.approx(isl.leakage_mw_at_nominal)
+
+    def test_activity_validation(self):
+        with pytest.raises(ValueError):
+            island("a").power_mw(DEFAULT_LADDER[0], activity=1.5)
+
+    def test_island_validation(self):
+        with pytest.raises(ValueError):
+            VoltageFrequencyIsland("x", (), 1.0)
+        with pytest.raises(ValueError):
+            VoltageFrequencyIsland("x", ("c",), 0.0)
+
+
+class TestAssignment:
+    def test_picks_lowest_sufficient_point(self):
+        islands = [island("a"), island("b")]
+        out = assign_operating_points(
+            islands, {"a": 500e6, "b": 900e6}
+        )
+        assert out["a"].frequency_hz == 600e6
+        assert out["b"].frequency_hz == 1000e6
+
+    def test_unmeetable_requirement(self):
+        with pytest.raises(ValueError, match="above"):
+            assign_operating_points([island("a")], {"a": 2e9})
+
+    def test_missing_requirement(self):
+        with pytest.raises(KeyError):
+            assign_operating_points([island("a")], {})
+
+    def test_empty_ladder(self):
+        with pytest.raises(ValueError):
+            assign_operating_points([island("a")], {"a": 1e6}, ladder=[])
+
+
+class TestSavings:
+    def test_vfi_saves_when_requirements_differ(self):
+        """The tool-flow claim: per-island V/f beats one global domain."""
+        islands = [island("fast"), island("slow1"), island("slow2")]
+        single, vfi, savings = vfi_savings(
+            islands, {"fast": 900e6, "slow1": 300e6, "slow2": 300e6}
+        )
+        assert vfi < single
+        assert savings > 0.3
+
+    def test_no_savings_when_uniform(self):
+        islands = [island("a"), island("b")]
+        single, vfi, savings = vfi_savings(
+            islands, {"a": 700e6, "b": 700e6}
+        )
+        assert savings == pytest.approx(0.0)
+        assert vfi == pytest.approx(single)
+
+    def test_power_aggregation(self):
+        islands = [island("a"), island("b")]
+        assignment = {
+            "a": DEFAULT_LADDER[0],
+            "b": DEFAULT_LADDER[-1],
+        }
+        total = island_power_mw(islands, assignment)
+        assert total == pytest.approx(
+            islands[0].power_mw(DEFAULT_LADDER[0])
+            + islands[1].power_mw(DEFAULT_LADDER[-1])
+        )

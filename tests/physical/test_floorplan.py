@@ -1,0 +1,169 @@
+"""Tests for floorplanning and incremental NoC insertion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.physical.floorplan import (
+    Block,
+    Floorplan,
+    IncrementalFloorplanner,
+    manhattan,
+)
+
+
+class TestBlock:
+    def test_center(self):
+        b = Block("a", 2.0, 4.0, 1.0, 1.0)
+        assert b.center == (2.0, 3.0)
+
+    def test_area(self):
+        assert Block("a", 2.0, 3.0).area_mm2 == 6.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Block("a", 0.0, 1.0)
+
+    def test_overlap_detection(self):
+        a = Block("a", 1.0, 1.0, 0.0, 0.0)
+        b = Block("b", 1.0, 1.0, 0.5, 0.5)
+        c = Block("c", 1.0, 1.0, 2.0, 2.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_overlap_margin(self):
+        a = Block("a", 1.0, 1.0, 0.0, 0.0)
+        b = Block("b", 1.0, 1.0, 1.05, 0.0)
+        assert not a.overlaps(b)
+        assert a.overlaps(b, margin=0.1)
+
+
+class TestFloorplan:
+    def test_grid_layout(self):
+        fp = Floorplan.grid([f"c{i}" for i in range(4)], columns=2)
+        assert len(fp) == 4
+        assert not fp.has_overlaps()
+        assert fp.block("c0").center[1] == fp.block("c1").center[1]
+
+    def test_grid_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Floorplan.grid([])
+
+    def test_duplicate_block_rejected(self):
+        fp = Floorplan([Block("a", 1, 1)])
+        with pytest.raises(ValueError):
+            fp.add(Block("a", 1, 1))
+
+    def test_unknown_block_lookup(self):
+        fp = Floorplan()
+        with pytest.raises(KeyError):
+            fp.block("ghost")
+
+    def test_distance_is_manhattan(self):
+        fp = Floorplan([Block("a", 1, 1, 0, 0), Block("b", 1, 1, 3, 4)])
+        assert fp.distance_mm("a", "b") == pytest.approx(3 + 4)
+
+    def test_bounding_box_and_area(self):
+        fp = Floorplan([Block("a", 1, 1, 0, 0), Block("b", 1, 2, 2, 0)])
+        assert fp.bounding_box() == (0.0, 0.0, 3.0, 2.0)
+        assert fp.die_area_mm2 == pytest.approx(6.0)
+
+    def test_hpwl(self):
+        fp = Floorplan([Block("a", 1, 1, 0, 0), Block("b", 1, 1, 2, 2)])
+        assert fp.hpwl([["a", "b"]]) == pytest.approx(4.0)
+        assert fp.hpwl([["a"]]) == 0.0
+
+    def test_copy_is_independent(self):
+        fp = Floorplan([Block("a", 1, 1)])
+        cp = fp.copy()
+        cp.add(Block("b", 1, 1, 5, 5))
+        assert "b" not in fp
+
+
+class TestIncrementalFloorplanner:
+    def _base(self):
+        return Floorplan.grid([f"c{i}" for i in range(9)], columns=3)
+
+    def test_inserted_component_does_not_overlap(self):
+        planner = IncrementalFloorplanner(self._base())
+        planner.insert("sw0", 0.3, 0.3, [("c0", 1.0), ("c8", 1.0)])
+        result = planner.place()
+        assert "sw0" in result
+        assert not result.has_overlaps()
+
+    def test_original_blocks_not_moved(self):
+        base = self._base()
+        planner = IncrementalFloorplanner(base)
+        planner.insert("sw0", 0.3, 0.3, [("c4", 1.0)])
+        result = planner.place()
+        for name in base.names:
+            assert result.block(name).center == base.block(name).center
+
+    def test_placement_near_weighted_centroid(self):
+        base = self._base()
+        planner = IncrementalFloorplanner(base)
+        planner.insert("sw0", 0.2, 0.2, [("c0", 1000.0), ("c8", 1.0)])
+        result = planner.place()
+        d0 = result.distance_mm("sw0", "c0")
+        d8 = result.distance_mm("sw0", "c8")
+        assert d0 < d8  # heavy connection pulls the switch
+
+    def test_multiple_insertions(self):
+        planner = IncrementalFloorplanner(self._base())
+        for i in range(4):
+            planner.insert(f"sw{i}", 0.3, 0.3, [(f"c{2*i}", 1.0), (f"c{2*i+1}", 1.0)])
+        result = planner.place()
+        assert not result.has_overlaps()
+        assert len(result) == 13
+
+    def test_unknown_attachment_rejected(self):
+        planner = IncrementalFloorplanner(self._base())
+        with pytest.raises(KeyError):
+            planner.insert("sw0", 0.3, 0.3, [("ghost", 1.0)])
+
+    def test_empty_attachment_rejected(self):
+        planner = IncrementalFloorplanner(self._base())
+        with pytest.raises(ValueError):
+            planner.insert("sw0", 0.3, 0.3, [])
+
+    def test_negative_weight_rejected(self):
+        planner = IncrementalFloorplanner(self._base())
+        with pytest.raises(ValueError):
+            planner.insert("sw0", 0.3, 0.3, [("c0", -1.0)])
+
+    def test_zero_weights_fall_back_to_average(self):
+        planner = IncrementalFloorplanner(self._base())
+        planner.insert("sw0", 0.2, 0.2, [("c0", 0.0), ("c8", 0.0)])
+        result = planner.place()
+        # Near the unweighted centroid of the two anchors (c4's center),
+        # allowing for legalization pushing it off occupied sites.
+        cx = (result.block("c0").center[0] + result.block("c8").center[0]) / 2
+        cy = (result.block("c0").center[1] + result.block("c8").center[1]) / 2
+        assert manhattan(result.block("sw0").center, (cx, cy)) < 2.5
+
+
+class TestManhattanProperty:
+    @given(
+        st.tuples(
+            st.floats(-50, 50, allow_nan=False),
+            st.floats(-50, 50, allow_nan=False),
+        ),
+        st.tuples(
+            st.floats(-50, 50, allow_nan=False),
+            st.floats(-50, 50, allow_nan=False),
+        ),
+        st.tuples(
+            st.floats(-50, 50, allow_nan=False),
+            st.floats(-50, 50, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c) + 1e-9
+
+    @given(
+        st.tuples(st.floats(-50, 50, allow_nan=False), st.floats(-50, 50, allow_nan=False)),
+        st.tuples(st.floats(-50, 50, allow_nan=False), st.floats(-50, 50, allow_nan=False)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, a, b):
+        assert manhattan(a, b) == manhattan(b, a)

@@ -1,0 +1,106 @@
+"""Tests for the power models."""
+
+import pytest
+
+from repro.physical.power import ComponentPower, NocPowerReport, PowerModel
+from repro.physical.switch_model import default_switch_model
+from repro.physical.technology import TechnologyLibrary, TechNode
+
+
+@pytest.fixture
+def model():
+    return PowerModel(TechnologyLibrary.for_node(TechNode.NM_65))
+
+
+@pytest.fixture
+def switch_estimate():
+    return default_switch_model().estimate(5, 5)
+
+
+class TestPerEventEnergies:
+    def test_switch_energy_positive_and_sub_nanojoule(self, model, switch_estimate):
+        e = model.switch_energy_pj_per_flit(switch_estimate)
+        assert 0 < e < 1000  # pJ-scale events
+
+    def test_bigger_switch_costs_more(self, model):
+        sm = default_switch_model()
+        small = model.switch_energy_pj_per_flit(sm.estimate(3, 3))
+        big = model.switch_energy_pj_per_flit(sm.estimate(10, 10))
+        assert big > small
+
+    def test_ni_energy_scales_with_width(self, model):
+        assert model.ni_energy_pj_per_flit(64) == pytest.approx(
+            2 * model.ni_energy_pj_per_flit(32)
+        )
+
+    def test_link_energy_scales_with_length(self, model):
+        assert model.link_energy_pj_per_flit(2.0, 32) == pytest.approx(
+            2 * model.link_energy_pj_per_flit(1.0, 32)
+        )
+
+    def test_ni_width_validation(self, model):
+        with pytest.raises(ValueError):
+            model.ni_energy_pj_per_flit(0)
+
+
+class TestComponentPower:
+    def test_switch_power_grows_with_activity(self, model, switch_estimate):
+        idle = model.switch_power("s0", switch_estimate, 0.0)
+        busy = model.switch_power("s1", switch_estimate, 1e9)
+        assert idle.dynamic_mw == 0.0
+        assert busy.dynamic_mw > 0.0
+        assert idle.leakage_mw == busy.leakage_mw > 0.0
+
+    def test_idle_switch_still_leaks(self, model, switch_estimate):
+        idle = model.switch_power("s0", switch_estimate, 0.0)
+        assert idle.total_mw == idle.leakage_mw > 0
+
+    def test_link_has_no_leakage(self, model):
+        p = model.link_power("l0", 1.0, 32, 1e9)
+        assert p.leakage_mw == 0.0
+        assert p.dynamic_mw > 0.0
+
+    def test_negative_rate_rejected(self, model, switch_estimate):
+        with pytest.raises(ValueError):
+            model.switch_power("s0", switch_estimate, -1.0)
+        with pytest.raises(ValueError):
+            model.ni_power("n0", 32, -1.0)
+        with pytest.raises(ValueError):
+            model.link_power("l0", 1.0, 32, -1.0)
+
+    def test_realistic_switch_power_magnitude(self, model, switch_estimate):
+        """A 5x5 65nm switch at 1 GHz full activity: tens of mW at most."""
+        busy = model.switch_power("s0", switch_estimate, 5e9)  # 5 ports active
+        assert 0.1 < busy.total_mw < 100.0
+
+
+class TestReport:
+    def test_aggregate_sums(self, model, switch_estimate):
+        comps = [
+            model.switch_power("s0", switch_estimate, 1e9),
+            model.ni_power("n0", 32, 1e9),
+            model.link_power("l0", 1.0, 32, 1e9),
+        ]
+        report = model.aggregate(comps)
+        assert report.total_mw == pytest.approx(
+            sum(c.total_mw for c in comps)
+        )
+        assert report.dynamic_mw == pytest.approx(sum(c.dynamic_mw for c in comps))
+
+    def test_by_kind_grouping(self, model, switch_estimate):
+        report = model.aggregate(
+            [
+                model.switch_power("a", switch_estimate, 1e9),
+                model.switch_power("b", switch_estimate, 1e9),
+                model.link_power("l", 1.0, 32, 1e9),
+            ]
+        )
+        groups = report.by_kind()
+        assert set(groups) == {"switch", "link"}
+        assert groups["switch"] > groups["link"] or groups["switch"] > 0
+
+    def test_duplicate_component_rejected(self):
+        report = NocPowerReport()
+        report.add(ComponentPower("switch:a", 1.0, 0.1))
+        with pytest.raises(ValueError):
+            report.add(ComponentPower("switch:a", 2.0, 0.2))

@@ -1,0 +1,105 @@
+"""Tests for the Fig. 2 routability bands."""
+
+import pytest
+
+from repro.physical.routability import (
+    RoutabilityClass,
+    RoutabilityModel,
+    EFFICIENT_UTILIZATION,
+    MIN_UTILIZATION,
+)
+from repro.physical.technology import TechnologyLibrary, TechNode
+
+
+@pytest.fixture
+def model():
+    return RoutabilityModel(TechnologyLibrary.for_node(TechNode.NM_65))
+
+
+class TestFig2Bands:
+    """The published 65 nm / 32-bit bands."""
+
+    @pytest.mark.parametrize("radix", [2, 4, 6, 8, 10])
+    def test_small_switches_efficient(self, model, radix):
+        """'Routers up to 10x10: 85% row utilization or more.'"""
+        verdict = model.classify(radix, port_width=32)
+        assert verdict.classification is RoutabilityClass.EFFICIENT
+        assert verdict.achievable_row_utilization >= EFFICIENT_UTILIZATION
+
+    @pytest.mark.parametrize("radix", [14, 18, 22])
+    def test_mid_switches_degraded(self, model, radix):
+        """'14x14 to 22x22: 70% to 50% row utilization.'"""
+        verdict = model.classify(radix, port_width=32)
+        assert verdict.classification is RoutabilityClass.DEGRADED
+        assert MIN_UTILIZATION <= verdict.achievable_row_utilization < EFFICIENT_UTILIZATION
+
+    def test_band_endpoints_match_figure(self, model):
+        """14x14 lands near 70-85%, 22x22 near 50%."""
+        u14 = model.classify(14).achievable_row_utilization
+        u22 = model.classify(22).achievable_row_utilization
+        assert u14 > 0.70
+        assert 0.50 <= u22 < 0.60
+
+    @pytest.mark.parametrize("radix", [26, 30, 34])
+    def test_large_switches_infeasible(self, model, radix):
+        """'26x26 and above: DRC violations even at 50% row utilization.'"""
+        verdict = model.classify(radix, port_width=32)
+        assert verdict.classification is RoutabilityClass.DRC_INFEASIBLE
+        assert not verdict.feasible
+        assert verdict.congestion_ratio_at_min_util > 1.0
+
+    def test_utilization_monotone_in_radix(self, model):
+        utils = [model.classify(n).achievable_row_utilization for n in range(4, 34, 2)]
+        assert all(a >= b for a, b in zip(utils, utils[1:]))
+
+
+class TestCrossbarComparison:
+    """Section 4.2: bus-width crossbars vs NoC switches."""
+
+    def test_bus_width_crossbar_limited_to_8x8(self, model):
+        """'Commercial tools often constrain the maximum crossbar size to
+        8x8 or less' at 100-200 wire ports."""
+        assert model.max_feasible_radix(port_width=128) <= 8
+        assert model.max_feasible_radix(port_width=200) <= 8
+
+    def test_noc_width_switch_much_larger(self, model):
+        """'NoCs permit wire serialization, largely obviating the issue.'"""
+        noc_max = model.max_feasible_radix(port_width=32)
+        bus_max = model.max_feasible_radix(port_width=150)
+        assert noc_max >= 20
+        assert noc_max > 2 * bus_max
+
+    def test_efficient_band_includes_radix_10(self, model):
+        assert model.max_feasible_radix(port_width=32, require_efficient=True) >= 10
+
+    def test_wider_ports_are_harder(self, model):
+        narrow = model.classify(8, port_width=32)
+        wide = model.classify(8, port_width=200)
+        assert (
+            narrow.achievable_row_utilization > wide.achievable_row_utilization
+        )
+
+
+class TestCongestionMechanics:
+    def test_lower_utilization_relieves_congestion(self, model):
+        tight = model.congestion_ratio(14, 32, 0.9)
+        relaxed = model.congestion_ratio(14, 32, 0.5)
+        assert relaxed < tight
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.congestion_ratio(0, 32, 0.8)
+        with pytest.raises(ValueError):
+            model.congestion_ratio(5, 0, 0.8)
+        with pytest.raises(ValueError):
+            model.congestion_ratio(5, 32, 0.0)
+        with pytest.raises(ValueError):
+            model.congestion_ratio(5, 32, 1.5)
+
+    def test_denser_metal_helps(self):
+        m65 = RoutabilityModel(TechnologyLibrary.for_node(TechNode.NM_65))
+        m130 = RoutabilityModel(TechnologyLibrary.for_node(TechNode.NM_130))
+        assert (
+            m65.classify(14).achievable_row_utilization
+            > m130.classify(14).achievable_row_utilization * 0.99
+        )

@@ -1,0 +1,94 @@
+"""Tests for switch area/frequency characterization."""
+
+import pytest
+
+from repro.physical.switch_model import SwitchPhysicalModel, default_switch_model
+from repro.physical.technology import TechnologyLibrary, TechNode
+
+
+@pytest.fixture
+def model():
+    return default_switch_model()
+
+
+class TestCalibrationAnchors:
+    """Order-of-magnitude anchors from [43] (65 nm, 32-bit)."""
+
+    def test_5x5_switch_area(self, model):
+        est = model.estimate(5, 5, flit_width=32, buffer_depth=4)
+        assert 0.003 < est.area_mm2 < 0.1
+
+    def test_5x5_switch_frequency_near_1ghz(self, model):
+        est = model.estimate(5, 5, flit_width=32, buffer_depth=4)
+        assert 0.5e9 < est.max_frequency_hz < 1.5e9
+
+    def test_10x10_switch_still_fast(self, model):
+        """Fig. 2: 10x10 can be 'efficiently designed'."""
+        est = model.estimate(10, 10)
+        assert est.max_frequency_hz > 0.5e9
+
+
+class TestScalingShape:
+    def test_area_grows_superlinearly_with_radix(self, model):
+        a5 = model.estimate(5, 5).area_mm2
+        a10 = model.estimate(10, 10).area_mm2
+        assert a10 > 2.5 * a5  # crossbar+allocator quadratic terms dominate
+
+    def test_frequency_decreases_with_radix(self, model):
+        freqs = [model.estimate(n, n).max_frequency_hz for n in (2, 5, 10, 20, 30)]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_area_linear_in_buffer_depth_storage(self, model):
+        shallow = model.estimate(5, 5, buffer_depth=2)
+        deep = model.estimate(5, 5, buffer_depth=8)
+        assert deep.area_mm2 > shallow.area_mm2
+
+    def test_output_buffers_add_area(self, model):
+        """ACK/NACK flow control requires output buffers (Section 3)."""
+        onoff = model.estimate(5, 5, output_buffer_depth=0)
+        acknack = model.estimate(5, 5, output_buffer_depth=4)
+        assert acknack.area_mm2 > onoff.area_mm2
+
+    def test_area_grows_with_flit_width(self, model):
+        assert model.estimate(5, 5, flit_width=64).area_mm2 > model.estimate(
+            5, 5, flit_width=32
+        ).area_mm2
+
+    def test_asymmetric_radix_supported(self, model):
+        est = model.estimate(3, 7)
+        assert est.radix_in == 3 and est.radix_out == 7
+        assert est.area_mm2 > 0
+
+    def test_newer_node_is_smaller_and_faster(self):
+        est65 = default_switch_model(TechNode.NM_65).estimate(5, 5)
+        est45 = default_switch_model(TechNode.NM_45).estimate(5, 5)
+        assert est45.area_mm2 < est65.area_mm2
+        assert est45.max_frequency_hz > est65.max_frequency_hz
+
+    def test_side_is_sqrt_area(self, model):
+        est = model.estimate(5, 5)
+        assert est.side_mm == pytest.approx(est.area_mm2**0.5)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"radix_in": 0, "radix_out": 5},
+            {"radix_in": 5, "radix_out": 0},
+            {"radix_in": 5, "radix_out": 5, "flit_width": 0},
+            {"radix_in": 5, "radix_out": 5, "buffer_depth": 0},
+        ],
+    )
+    def test_rejects_degenerate_configs(self, model, kwargs):
+        with pytest.raises(ValueError):
+            model.estimate(**kwargs)
+
+    def test_rejects_negative_output_buffers(self, model):
+        with pytest.raises(ValueError):
+            model.estimate(5, 5, output_buffer_depth=-1)
+
+    def test_model_over_explicit_library(self):
+        lib = TechnologyLibrary.for_node(TechNode.NM_90)
+        model = SwitchPhysicalModel(lib)
+        assert model.estimate(4, 4).area_mm2 > 0

@@ -1,0 +1,77 @@
+"""Tests for the technology library."""
+
+import pytest
+
+from repro.physical.technology import TechnologyLibrary, TechNode
+
+
+class TestTechNode:
+    def test_nanometers(self):
+        assert TechNode.NM_65.nanometers == 65
+        assert TechNode.NM_45.nanometers == 45
+
+    def test_all_nodes_have_libraries(self):
+        for node in TechNode:
+            lib = TechnologyLibrary.for_node(node)
+            assert lib.node is node
+
+
+class TestScalingTrends:
+    """The introduction's physics: gates scale, wires do not."""
+
+    def _ordered_libs(self):
+        return [
+            TechnologyLibrary.for_node(n)
+            for n in (TechNode.NM_130, TechNode.NM_90, TechNode.NM_65, TechNode.NM_45)
+        ]
+
+    def test_gate_delay_improves_with_scaling(self):
+        delays = [lib.gate_delay_ps for lib in self._ordered_libs()]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_wire_delay_does_not_improve(self):
+        delays = [lib.wire_delay_ps_per_mm for lib in self._ordered_libs()]
+        assert delays == sorted(delays)  # monotonically worsening
+
+    def test_cell_area_shrinks(self):
+        areas = [lib.cell_area_um2 for lib in self._ordered_libs()]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_wire_to_gate_delay_ratio_grows(self):
+        """'The delay on the wires has an increasingly significant impact'."""
+        ratios = [
+            lib.wire_delay_ps_per_mm / lib.gate_delay_ps for lib in self._ordered_libs()
+        ]
+        assert ratios == sorted(ratios)
+
+
+class TestDerivedHelpers:
+    def test_max_wire_length_shrinks_with_frequency(self):
+        lib = TechnologyLibrary.for_node(TechNode.NM_65)
+        assert lib.max_wire_mm_at(2e9) < lib.max_wire_mm_at(1e9)
+
+    def test_max_wire_length_at_1ghz_is_millimeters(self):
+        lib = TechnologyLibrary.for_node(TechNode.NM_65)
+        length = lib.max_wire_mm_at(1e9)
+        assert 2.0 < length < 15.0  # single-cycle global wires are a few mm
+
+    def test_max_wire_rejects_bad_frequency(self):
+        lib = TechnologyLibrary.for_node(TechNode.NM_65)
+        with pytest.raises(ValueError):
+            lib.max_wire_mm_at(0)
+
+    def test_wire_energy_scales_with_bits(self):
+        lib = TechnologyLibrary.for_node(TechNode.NM_65)
+        assert lib.wire_energy_pj_per_mm(64) == pytest.approx(
+            2 * lib.wire_energy_pj_per_mm(32)
+        )
+
+    def test_wire_energy_rejects_negative_bits(self):
+        lib = TechnologyLibrary.for_node(TechNode.NM_65)
+        with pytest.raises(ValueError):
+            lib.wire_energy_pj_per_mm(-1)
+
+    def test_libraries_are_frozen(self):
+        lib = TechnologyLibrary.for_node(TechNode.NM_65)
+        with pytest.raises(AttributeError):
+            lib.vdd = 2.0

@@ -1,0 +1,96 @@
+"""Tests for wire/link models: pipelining and serialization."""
+
+import pytest
+
+from repro.physical.technology import TechnologyLibrary, TechNode
+from repro.physical.wire import (
+    BUS_REFERENCE_WIRES,
+    CONTROL_WIRES,
+    WireModel,
+    required_pipeline_stages,
+)
+
+
+@pytest.fixture
+def tech():
+    return TechnologyLibrary.for_node(TechNode.NM_65)
+
+
+@pytest.fixture
+def model(tech):
+    return WireModel(tech)
+
+
+class TestPipelining:
+    def test_short_wire_needs_no_stage(self, tech):
+        assert required_pipeline_stages(0.5, 1e9, tech) == 0
+
+    def test_zero_length_wire(self, tech):
+        assert required_pipeline_stages(0.0, 1e9, tech) == 0
+
+    def test_long_wire_needs_stages(self, tech):
+        max_mm = tech.max_wire_mm_at(1e9)
+        assert required_pipeline_stages(2.5 * max_mm, 1e9, tech) == 2
+
+    def test_stages_grow_with_frequency(self, tech):
+        slow = required_pipeline_stages(10.0, 0.5e9, tech)
+        fast = required_pipeline_stages(10.0, 2e9, tech)
+        assert fast > slow
+
+    def test_negative_length_rejected(self, tech):
+        with pytest.raises(ValueError):
+            required_pipeline_stages(-1.0, 1e9, tech)
+
+    def test_delay_cycles_includes_stages(self, model, tech):
+        long_mm = 3 * tech.max_wire_mm_at(1e9)
+        est = model.estimate(long_mm, 32, 1e9)
+        assert est.delay_cycles == 1 + est.pipeline_stages
+        assert est.pipeline_stages >= 2
+
+
+class TestLinkEstimates:
+    def test_wire_count_is_width_plus_control(self, model):
+        est = model.estimate(1.0, 32, 1e9)
+        assert est.wire_count == 32 + CONTROL_WIRES
+
+    def test_noc_link_far_narrower_than_bus(self, model):
+        """Section 4.1: buses need ~100-200 wires, NoC links ~38."""
+        est = model.estimate(1.0, 32, 1e9)
+        for wires in BUS_REFERENCE_WIRES.values():
+            assert 100 <= wires <= 200
+            assert est.wire_count < wires / 2
+
+    def test_energy_scales_with_length(self, model):
+        short = model.estimate(1.0, 32, 1e9)
+        long = model.estimate(4.0, 32, 1e9)
+        assert long.energy_pj_per_flit > 3 * short.energy_pj_per_flit
+
+    def test_bandwidth_product(self, model):
+        est = model.estimate(1.0, 32, 2e9)
+        assert est.bandwidth_bits_per_s == pytest.approx(64e9)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.estimate(1.0, 0, 1e9)
+        with pytest.raises(ValueError):
+            model.estimate(1.0, 32, 0)
+
+
+class TestSerializationTradeoff:
+    def test_sweep_shape(self, model):
+        rows = model.serialization_tradeoff(128, [8, 16, 32, 64, 128], 2.0, 1e9)
+        widths = [r["flit_width"] for r in rows]
+        assert widths == [8, 16, 32, 64, 128]
+        # Narrower links: fewer wires, more serialization cycles.
+        wires = [r["wire_count"] for r in rows]
+        cycles = [r["serialization_cycles"] for r in rows]
+        assert wires == sorted(wires)
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_flit_count_ceil(self, model):
+        (row,) = model.serialization_tradeoff(100, [32], 1.0, 1e9)
+        assert row["flits_per_payload"] == 4  # ceil(100/32)
+
+    def test_rejects_empty_payload(self, model):
+        with pytest.raises(ValueError):
+            model.serialization_tradeoff(0, [32], 1.0, 1e9)

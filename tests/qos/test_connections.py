@@ -1,0 +1,189 @@
+"""Tests for GT connection admission and end-to-end guarantees."""
+
+import pytest
+
+from repro.arch import MessageClass, NocParameters
+from repro.qos import (
+    AdmissionError,
+    ConnectionManager,
+    GtConnection,
+    analyze,
+    guaranteed_bandwidth_bps,
+)
+from repro.sim import (
+    CompositeTraffic,
+    Flow,
+    FlowGraphTraffic,
+    NocSimulator,
+    SyntheticTraffic,
+)
+from repro.topology import mesh, xy_routing
+
+
+@pytest.fixture
+def mesh_net():
+    m = mesh(4, 4)
+    return m, xy_routing(m)
+
+
+class TestAdmission:
+    def test_admit_reserves_aligned_slots(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=8)
+        adm = mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.25))
+        assert len(adm.slots) == 2  # 0.25 * 8
+        # Each link holds the shifted slots.
+        for link, shift in zip(adm.route_links, adm.shifts):
+            slot_table = mgr.link_tables[link]
+            for s in adm.slots:
+                assert slot_table.owner(s + shift) == 1
+
+    def test_double_admission_rejected(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=8)
+        mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.25))
+        with pytest.raises(AdmissionError):
+            mgr.admit(GtConnection(1, "c_0_0", "c_1_0", 0.25))
+
+    def test_capacity_exhaustion(self, mesh_net):
+        """Overlapping connections cannot reserve more than the table."""
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=4)
+        mgr.admit(GtConnection(1, "c_0_0", "c_3_0", 0.5))
+        mgr.admit(GtConnection(2, "c_0_0", "c_2_0", 0.5))  # shares links
+        with pytest.raises(AdmissionError):
+            mgr.admit(GtConnection(3, "c_0_0", "c_1_0", 0.5))
+
+    def test_disjoint_routes_do_not_compete(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=4)
+        mgr.admit(GtConnection(1, "c_0_0", "c_1_0", 1.0))
+        # Different row, disjoint links under XY: full bandwidth again.
+        mgr.admit(GtConnection(2, "c_0_3", "c_1_3", 1.0))
+        assert len(mgr.admitted) == 2
+
+    def test_release_frees_slots(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=4)
+        mgr.admit(GtConnection(1, "c_0_0", "c_3_0", 1.0))
+        mgr.release(1)
+        mgr.admit(GtConnection(2, "c_0_0", "c_3_0", 1.0))  # fits again
+
+    def test_release_unknown(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=4)
+        with pytest.raises(KeyError):
+            mgr.release(42)
+
+    def test_connection_validation(self):
+        with pytest.raises(ValueError):
+            GtConnection(1, "a", "b", 0.0)
+        with pytest.raises(ValueError):
+            GtConnection(1, "a", "b", 1.5)
+        with pytest.raises(ValueError):
+            GtConnection(1, "a", "b", 0.5, packet_size_flits=0)
+
+
+class TestGuaranteeAnalysis:
+    def test_bandwidth_fraction(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=8)
+        adm = mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.25))
+        g = analyze(adm, 8)
+        assert g.bandwidth_fraction == pytest.approx(0.25)
+
+    def test_absolute_bandwidth(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=8)
+        adm = mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.5))
+        g = analyze(adm, 8)
+        assert guaranteed_bandwidth_bps(g, 32, 1e9) == pytest.approx(0.5 * 32e9)
+
+    def test_worst_case_exceeds_zero_wait(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=8)
+        adm = mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.25))
+        g = analyze(adm, 8)
+        assert g.worst_case_latency_cycles > g.zero_wait_latency_cycles
+
+
+class TestEndToEndGuarantee:
+    """The headline Aethereal property: GT service is load-independent."""
+
+    def _run(self, be_rate, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=8)
+        mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.25, packet_size_flits=1))
+        sim = NocSimulator(m, table, NocParameters(num_vcs=2), warmup_cycles=200)
+        mgr.install(sim)
+        gt = FlowGraphTraffic(
+            [
+                Flow(
+                    "c_0_0",
+                    "c_3_3",
+                    flits_per_cycle=0.2,
+                    packet_size_flits=1,
+                    message_class=MessageClass.GUARANTEED,
+                    connection_id=1,
+                )
+            ]
+        )
+        be = SyntheticTraffic("uniform", be_rate, 4, seed=5)
+        sim.run(1500, CompositeTraffic([gt, be]))
+        return sim.stats.latency(MessageClass.GUARANTEED), mgr
+
+    def test_gt_latency_independent_of_be_load(self, mesh_net):
+        idle, __ = self._run(0.0, mesh_net)
+        loaded, __ = self._run(0.35, mesh_net)
+        assert loaded.mean == pytest.approx(idle.mean, abs=1.0)
+        assert loaded.maximum <= idle.maximum + 2
+
+    def test_gt_latency_within_analytical_bound(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=8)
+        adm = mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.25,
+                                     packet_size_flits=1))
+        bound = analyze(adm, 8).worst_case_latency_cycles
+        loaded, __ = self._run(0.35, mesh_net)
+        assert loaded.maximum <= bound
+
+    def test_be_still_makes_progress(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=8)
+        mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.25, packet_size_flits=1))
+        sim = NocSimulator(m, table, NocParameters(num_vcs=2))
+        mgr.install(sim)
+        be = SyntheticTraffic("uniform", 0.1, 4, seed=5)
+        sim.run(1000, be, drain=True)
+        assert sim.stats.packets_delivered == be.packets_offered
+
+    def test_install_requires_two_vcs(self, mesh_net):
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=8)
+        mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.25))
+        sim = NocSimulator(m, table, NocParameters(num_vcs=1))
+        with pytest.raises(ValueError, match="num_vcs"):
+            mgr.install(sim)
+
+    def test_gt_throughput_delivered(self, mesh_net):
+        """The connection sustains its requested bandwidth."""
+        m, table = mesh_net
+        mgr = ConnectionManager(m, table, num_slots=8)
+        mgr.admit(GtConnection(1, "c_0_0", "c_3_3", 0.25, packet_size_flits=1))
+        sim = NocSimulator(m, table, NocParameters(num_vcs=2), warmup_cycles=0)
+        mgr.install(sim)
+        gt = FlowGraphTraffic(
+            [
+                Flow(
+                    "c_0_0",
+                    "c_3_3",
+                    flits_per_cycle=0.25,  # exactly the guaranteed share
+                    packet_size_flits=1,
+                    message_class=MessageClass.GUARANTEED,
+                    connection_id=1,
+                )
+            ]
+        )
+        sim.run(800, gt, drain=True)
+        delivered = sim.stats.flits_delivered
+        assert delivered == pytest.approx(0.25 * 800, rel=0.05)

@@ -1,0 +1,94 @@
+"""Tests for slot tables and slot arithmetic."""
+
+import pytest
+
+from repro.qos.tdma import SlotTable, required_slots, route_slot_shifts
+
+
+class TestSlotTable:
+    def test_reserve_and_query(self):
+        t = SlotTable(8)
+        t.reserve(3, connection_id=7)
+        assert t.owner(3) == 7
+        assert not t.is_free(3)
+        assert t.is_free(4)
+
+    def test_wraparound_indexing(self):
+        t = SlotTable(8)
+        t.reserve(11, connection_id=7)  # 11 % 8 == 3
+        assert t.owner(3) == 7
+
+    def test_conflict_rejected(self):
+        t = SlotTable(8)
+        t.reserve(0, connection_id=1)
+        with pytest.raises(ValueError, match="already owned"):
+            t.reserve(0, connection_id=2)
+
+    def test_idempotent_reserve(self):
+        t = SlotTable(8)
+        t.reserve(0, connection_id=1)
+        t.reserve(0, connection_id=1)  # same owner: fine
+        assert t.owner(0) == 1
+
+    def test_release(self):
+        t = SlotTable(8)
+        t.reserve(0, 1)
+        t.reserve(1, 1)
+        t.reserve(2, 2)
+        t.release_connection(1)
+        assert t.is_free(0) and t.is_free(1)
+        assert t.owner(2) == 2
+
+    def test_utilization(self):
+        t = SlotTable(4)
+        assert t.utilization == 0.0
+        t.reserve(0, 1)
+        assert t.utilization == 0.25
+        assert t.free_slots == 3
+
+    def test_slots_of(self):
+        t = SlotTable(4)
+        t.reserve(1, 9)
+        t.reserve(3, 9)
+        assert t.slots_of(9) == [1, 3]
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SlotTable(0)
+
+
+class TestRequiredSlots:
+    def test_ceil_rounding(self):
+        assert required_slots(0.25, 8) == 2
+        assert required_slots(0.26, 8) == 3
+
+    def test_full_bandwidth(self):
+        assert required_slots(1.0, 8) == 8
+
+    def test_tiny_request_gets_one_slot(self):
+        assert required_slots(0.01, 8) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_slots(0.0, 8)
+        with pytest.raises(ValueError):
+            required_slots(1.5, 8)
+        with pytest.raises(ValueError):
+            required_slots(0.5, 0)
+
+
+class TestSlotShifts:
+    def test_first_link_unshifted(self):
+        assert route_slot_shifts([1, 1, 1])[0] == 0
+
+    def test_unit_delay_chain(self):
+        # NI link + 2 switch links, all delay 1: shifts 0, 2, 4.
+        assert route_slot_shifts([1, 1, 1]) == [0, 2, 4]
+
+    def test_pipelined_link_adds_shift(self):
+        # Second link has delay 3 (2 pipeline stages).
+        assert route_slot_shifts([1, 3, 1]) == [0, 2, 6]
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ValueError):
+            route_slot_shifts([1, 0, 1])

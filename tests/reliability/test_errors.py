@@ -1,0 +1,106 @@
+"""Tests for link error models and error-control trade-offs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reliability import (
+    CRC_BITS,
+    ECC_BITS,
+    WireErrorModel,
+    ecc_point,
+    preferred_scheme,
+    retransmission_point,
+    sweep_error_control,
+)
+
+
+class TestWireErrorModel:
+    def test_ber_grows_with_length(self):
+        model = WireErrorModel(base_ber=1e-10)
+        assert model.bit_error_rate(10.0) > model.bit_error_rate(1.0)
+
+    def test_ber_explodes_with_margin_reduction(self):
+        """'Timing failures induced by variability': shaving the guard
+        band raises the error rate exponentially."""
+        model = WireErrorModel(base_ber=1e-10)
+        nominal = model.bit_error_rate(1.0, voltage_margin=1.0)
+        shaved = model.bit_error_rate(1.0, voltage_margin=0.7)
+        assert shaved > 10 * nominal
+
+    def test_ber_capped_at_one(self):
+        model = WireErrorModel(base_ber=0.5)
+        assert model.bit_error_rate(100.0, voltage_margin=0.1) == 1.0
+
+    def test_flit_error_probability_grows_with_width(self):
+        model = WireErrorModel(base_ber=1e-6)
+        assert model.flit_error_probability(1.0, 64) > model.flit_error_probability(
+            1.0, 32
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WireErrorModel(base_ber=1.0)
+        with pytest.raises(ValueError):
+            WireErrorModel(margin_exponent=0)
+        model = WireErrorModel()
+        with pytest.raises(ValueError):
+            model.bit_error_rate(-1.0)
+        with pytest.raises(ValueError):
+            model.bit_error_rate(1.0, voltage_margin=0.0)
+        with pytest.raises(ValueError):
+            model.flit_error_probability(1.0, 0)
+
+    @given(
+        length=st.floats(0.01, 20, allow_nan=False),
+        margin=st.floats(0.5, 1.5, allow_nan=False, exclude_min=True),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ber_is_probability(self, length, margin):
+        model = WireErrorModel(base_ber=1e-8)
+        ber = model.bit_error_rate(length, margin)
+        assert 0.0 <= ber <= 1.0
+
+
+class TestErrorControl:
+    def test_error_free_case(self):
+        retx = retransmission_point(0.0)
+        assert retx.effective_latency_cycles == 1.0
+        assert retx.effective_bandwidth_fraction == 1.0
+
+    def test_retransmission_degrades_with_errors(self):
+        clean = retransmission_point(0.0)
+        noisy = retransmission_point(0.2)
+        assert noisy.effective_latency_cycles > clean.effective_latency_cycles
+        assert noisy.effective_bandwidth_fraction < 1.0
+
+    def test_ecc_is_error_rate_independent(self):
+        assert (
+            ecc_point(0.0).effective_latency_cycles
+            == ecc_point(0.3).effective_latency_cycles
+        )
+
+    def test_wire_overheads(self):
+        assert retransmission_point(0.0).extra_wires == CRC_BITS
+        assert ecc_point(0.0).extra_wires == ECC_BITS
+
+    def test_crossover(self):
+        """Retransmission wins when errors are rare; ECC when common."""
+        assert preferred_scheme(1e-9) == "retransmission"
+        assert preferred_scheme(0.4) == "ecc"
+
+    def test_crossover_is_monotone(self):
+        schemes = [preferred_scheme(p) for p in (0.0, 0.1, 0.2, 0.3, 0.4, 0.6)]
+        # Once ECC wins it keeps winning at higher error rates.
+        first_ecc = schemes.index("ecc") if "ecc" in schemes else len(schemes)
+        assert all(s == "ecc" for s in schemes[first_ecc:])
+
+    def test_sweep_contains_both_schemes(self):
+        points = sweep_error_control([0.0, 0.1])
+        assert {p.scheme for p in points} == {"retransmission", "ecc"}
+        assert len(points) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            retransmission_point(1.0)
+        with pytest.raises(ValueError):
+            ecc_point(-0.1)

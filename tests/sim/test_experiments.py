@@ -1,0 +1,69 @@
+"""Tests for the load-sweep and saturation-search utilities."""
+
+import pytest
+
+from repro.sim import load_latency_curve, saturation_throughput
+from repro.topology import mesh, xy_routing
+
+
+@pytest.fixture(scope="module")
+def net():
+    m = mesh(3, 3)
+    return m, xy_routing(m)
+
+
+class TestLoadLatencyCurve:
+    def test_curve_shape(self, net):
+        m, t = net
+        curve = load_latency_curve(
+            m, t, [0.05, 0.2, 0.35], cycles=700, warmup=120
+        )
+        assert len(curve) == 3
+        latencies = [p.mean_latency for p in curve]
+        assert latencies == sorted(latencies)
+        for p in curve:
+            assert p.accepted_rate <= p.offered_rate * 1.15
+            assert p.p95_latency >= p.mean_latency
+
+    def test_accepted_tracks_offered_below_saturation(self, net):
+        m, t = net
+        (point,) = load_latency_curve(m, t, [0.1], cycles=800, warmup=120)
+        assert point.accepted_rate == pytest.approx(0.1, rel=0.2)
+
+    def test_validation(self, net):
+        m, t = net
+        with pytest.raises(ValueError):
+            load_latency_curve(m, t, [])
+        with pytest.raises(ValueError):
+            load_latency_curve(m, t, [0.0])
+        with pytest.raises(ValueError):
+            load_latency_curve(m, t, [1.5])
+
+
+class TestSaturation:
+    def test_saturation_in_plausible_band(self, net):
+        """A small mesh under XY uniform saturates at a substantial
+        fraction of capacity but well below 1 flit/cycle/core."""
+        m, t = net
+        sat = saturation_throughput(
+            m, t, cycles=600, warmup=100, tolerance=0.05
+        )
+        assert 0.2 < sat < 0.9
+
+    def test_latency_factor_validation(self, net):
+        m, t = net
+        with pytest.raises(ValueError):
+            saturation_throughput(m, t, latency_factor=1.0)
+
+    def test_larger_networks_saturate_earlier(self):
+        """Uniform traffic stresses the bisection: the bigger mesh's
+        per-core share of it is smaller."""
+        small = mesh(3, 3)
+        large = mesh(5, 5)
+        sat_small = saturation_throughput(
+            small, xy_routing(small), cycles=500, warmup=80, tolerance=0.05
+        )
+        sat_large = saturation_throughput(
+            large, xy_routing(large), cycles=500, warmup=80, tolerance=0.05
+        )
+        assert sat_large <= sat_small

@@ -1,0 +1,171 @@
+"""Tests for pipelined switches and request/response memory traffic."""
+
+import pytest
+
+from repro.arch import MessageClass, NocParameters
+from repro.arch.ocp import OcpCommand, OcpTransaction
+from repro.sim import NocSimulator, RequestResponseTraffic, SyntheticTraffic
+from repro.topology import mesh, xy_routing
+
+
+@pytest.fixture
+def net():
+    m = mesh(3, 3)
+    return m, xy_routing(m)
+
+
+class TestSwitchPipelining:
+    def test_latency_scales_with_pipeline_depth(self, net):
+        m, table = net
+        means = []
+        for stages in (1, 3):
+            sim = NocSimulator(
+                m, table, NocParameters(switch_latency_cycles=stages)
+            )
+            sim.inject("c_0_0", "c_2_2", 1)
+            sim.run(0, drain=True)
+            means.append(sim.stats.records[0].latency)
+        # A 4-switch route pays ~2 extra cycles per added stage per switch.
+        assert means[1] - means[0] >= 4
+
+    def test_pipeline_depth_validation(self):
+        with pytest.raises(ValueError):
+            NocParameters(switch_latency_cycles=0)
+
+    def test_conservation_with_pipelining(self, net):
+        m, table = net
+        sim = NocSimulator(m, table, NocParameters(switch_latency_cycles=2))
+        traffic = SyntheticTraffic("uniform", 0.15, 4, seed=3)
+        sim.run(600, traffic, drain=True)
+        assert sim.stats.packets_delivered == traffic.packets_offered
+
+
+class TestAttachMemory:
+    def test_request_produces_response(self, net):
+        m, table = net
+        sim = NocSimulator(m, table)
+        sim.attach_memory("c_1_1", service_cycles=0)
+        sim.inject("c_0_0", "c_1_1", 2, message_class=MessageClass.REQUEST)
+        sim.run(0, drain=True)
+        classes = [r.message_class for r in sim.stats.records]
+        assert MessageClass.REQUEST in classes
+        assert MessageClass.RESPONSE in classes
+
+    def test_service_latency_delays_response(self, net):
+        m, table = net
+
+        def round_trip(service):
+            sim = NocSimulator(m, table)
+            sim.attach_memory("c_1_1", service_cycles=service)
+            sim.inject("c_0_0", "c_1_1", 2, message_class=MessageClass.REQUEST)
+            sim.run(0, drain=True)
+            resp = [
+                r for r in sim.stats.records
+                if r.message_class is MessageClass.RESPONSE
+            ]
+            return resp[0].arrival_cycle
+
+        assert round_trip(20) >= round_trip(0) + 20
+
+    def test_best_effort_packets_get_no_response(self, net):
+        m, table = net
+        sim = NocSimulator(m, table)
+        sim.attach_memory("c_1_1")
+        sim.inject("c_0_0", "c_1_1", 2)  # plain BE
+        sim.run(0, drain=True)
+        assert len(sim.stats.records) == 1
+
+    def test_unknown_core_rejected(self, net):
+        m, table = net
+        sim = NocSimulator(m, table)
+        with pytest.raises(KeyError):
+            sim.attach_memory("ghost")
+
+    def test_ocp_payload_sizes_response(self, net):
+        """A read returns the burst; a write returns a short ack."""
+        m, table = net
+        results = {}
+        for command in (OcpCommand.READ, OcpCommand.WRITE):
+            sim = NocSimulator(m, table)
+            sim.attach_memory("c_1_1", service_cycles=0)
+            txn = OcpTransaction(command, "c_0_0", "c_1_1", 0, 64)
+            sim.inject(
+                "c_0_0", "c_1_1", 2,
+                message_class=MessageClass.REQUEST, payload=txn,
+            )
+            sim.run(0, drain=True)
+            resp = [
+                r for r in sim.stats.records
+                if r.message_class is MessageClass.RESPONSE
+            ]
+            results[command] = resp[0].size_flits
+        assert results[OcpCommand.READ] > results[OcpCommand.WRITE]
+
+
+class TestRequestResponseTraffic:
+    def test_every_request_answered(self, net):
+        m, table = net
+        sim = NocSimulator(m, table)
+        memories = ["c_1_1"]
+        sim.attach_memory("c_1_1", service_cycles=4)
+        masters = [c for c in m.cores if c not in memories]
+        traffic = RequestResponseTraffic(masters, memories, 0.01, seed=5)
+        sim.run(1500, traffic, drain=True)
+        reqs = sum(
+            1 for r in sim.stats.records
+            if r.message_class is MessageClass.REQUEST
+        )
+        resps = sum(
+            1 for r in sim.stats.records
+            if r.message_class is MessageClass.RESPONSE
+        )
+        assert reqs == traffic.requests_offered
+        assert resps == reqs
+
+    def test_deterministic(self, net):
+        m, table = net
+
+        def run():
+            from repro.arch.packet import reset_packet_ids
+
+            reset_packet_ids()
+            sim = NocSimulator(m, table)
+            sim.attach_memory("c_1_1")
+            masters = [c for c in m.cores if c != "c_1_1"]
+            traffic = RequestResponseTraffic(masters, ["c_1_1"], 0.02, seed=9)
+            sim.run(500, traffic, drain=True)
+            return [
+                (r.source, r.destination, r.injection_cycle)
+                for r in sim.stats.records
+            ]
+
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestResponseTraffic([], ["m"], 0.1)
+        with pytest.raises(ValueError):
+            RequestResponseTraffic(["a"], ["m"], 1.5)
+        with pytest.raises(ValueError):
+            RequestResponseTraffic(["a"], ["m"], 0.1, burst_bytes=0)
+        with pytest.raises(ValueError):
+            RequestResponseTraffic(["a"], ["m"], 0.1, read_fraction=2.0)
+
+    def test_memory_hotspot_backpressure(self, net):
+        """A single memory saturates before the network does: response
+        injection is the bottleneck, visible as rising round-trip time."""
+        m, table = net
+
+        def mean_response_latency(rate):
+            sim = NocSimulator(m, table)
+            sim.attach_memory("c_1_1", service_cycles=2)
+            masters = [c for c in m.cores if c != "c_1_1"]
+            traffic = RequestResponseTraffic(masters, ["c_1_1"], rate, seed=3)
+            sim.run(1200, traffic, drain=True)
+            resp = [
+                r.latency for r in sim.stats.records
+                if r.message_class is MessageClass.RESPONSE
+            ]
+            return sum(resp) / len(resp)
+
+        assert mean_response_latency(0.04) > mean_response_latency(0.005)

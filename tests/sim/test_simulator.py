@@ -1,0 +1,187 @@
+"""Tests for the cycle-accurate simulator."""
+
+import pytest
+
+from repro.arch import FlowControlKind, MessageClass, NocParameters
+from repro.sim import NocSimulator, SyntheticTraffic
+from repro.topology import (
+    bone_style,
+    fat_tree,
+    fat_tree_routing,
+    mesh,
+    shortest_path_routing,
+    spidergon,
+    spidergon_routing,
+    torus,
+    torus_xy_routing,
+    xy_routing,
+)
+from repro.topology.routing import dateline_vc_assignment
+
+
+@pytest.fixture
+def mesh44():
+    m = mesh(4, 4)
+    return m, xy_routing(m)
+
+
+class TestBasicDelivery:
+    def test_single_packet(self, mesh44):
+        m, table = mesh44
+        sim = NocSimulator(m, table)
+        sim.inject("c_0_0", "c_3_3", 4)
+        sim.run(0, drain=True)
+        assert sim.stats.packets_delivered == 1
+
+    def test_unknown_source_rejected(self, mesh44):
+        m, table = mesh44
+        sim = NocSimulator(m, table)
+        with pytest.raises(KeyError):
+            sim.inject("ghost", "c_0_0", 1)
+
+    def test_zero_load_latency_scales_with_distance(self, mesh44):
+        m, table = mesh44
+        sim = NocSimulator(m, table)
+        near = sim.inject("c_0_0", "c_1_0", 1)
+        sim.run(0, drain=True)
+        near_lat = sim.stats.records[-1].latency
+
+        sim2 = NocSimulator(m, table)
+        sim2.inject("c_0_0", "c_3_3", 1)
+        sim2.run(0, drain=True)
+        far_lat = sim2.stats.records[-1].latency
+        assert far_lat > near_lat
+
+    def test_packet_conservation(self, mesh44):
+        """Everything injected is eventually delivered, exactly once."""
+        m, table = mesh44
+        sim = NocSimulator(m, table)
+        traffic = SyntheticTraffic("uniform", 0.2, 4, seed=5)
+        sim.run(500, traffic, drain=True)
+        assert sim.stats.packets_delivered == traffic.packets_offered
+        assert sim.stats.flits_delivered == sim.stats.flits_injected
+
+    def test_deterministic_across_runs(self, mesh44):
+        m, table = mesh44
+
+        def once():
+            from repro.arch.packet import reset_packet_ids
+
+            reset_packet_ids()
+            sim = NocSimulator(m, table)
+            traffic = SyntheticTraffic("uniform", 0.15, 4, seed=9)
+            sim.run(400, traffic, drain=True)
+            return [
+                (r.source, r.destination, r.injection_cycle, r.arrival_cycle)
+                for r in sim.stats.records
+            ]
+
+        assert once() == once()
+
+    def test_warmup_excluded_from_stats(self, mesh44):
+        m, table = mesh44
+        sim = NocSimulator(m, table, warmup_cycles=100)
+        traffic = SyntheticTraffic("uniform", 0.2, 4, seed=5)
+        sim.run(300, traffic, drain=True)
+        assert all(r.injection_cycle >= 100 for r in sim.stats.records)
+
+
+class TestLoadBehaviour:
+    def test_latency_grows_with_load(self, mesh44):
+        m, table = mesh44
+        means = []
+        for rate in (0.05, 0.35):
+            sim = NocSimulator(m, table, warmup_cycles=200)
+            sim.run(1500, SyntheticTraffic("uniform", rate, 4, seed=3))
+            means.append(sim.stats.latency().mean)
+        assert means[1] > means[0]
+
+    def test_throughput_tracks_offered_load_below_saturation(self, mesh44):
+        m, table = mesh44
+        sim = NocSimulator(m, table, warmup_cycles=200)
+        sim.run(2000, SyntheticTraffic("uniform", 0.2, 4, seed=3))
+        per_core = sim.stats.throughput_flits_per_cycle(1800) / 16
+        assert per_core == pytest.approx(0.2, rel=0.15)
+
+    def test_onoff_saturates_before_credit(self, mesh44):
+        """ON/OFF's conservative gating costs throughput near saturation
+        — the buffer/throughput trade-off of Fig. 1's flow controls."""
+        m, table = mesh44
+        lat = {}
+        for fc in (FlowControlKind.CREDIT, FlowControlKind.ON_OFF):
+            sim = NocSimulator(
+                m, table, NocParameters(flow_control=fc, buffer_depth=2),
+                warmup_cycles=200,
+            )
+            sim.run(1500, SyntheticTraffic("uniform", 0.4, 4, seed=3))
+            lat[fc] = sim.stats.latency().mean
+        assert lat[FlowControlKind.ON_OFF] >= lat[FlowControlKind.CREDIT]
+
+
+class TestAcrossTopologies:
+    @pytest.mark.parametrize("build", [
+        lambda: (lambda m: (m, xy_routing(m)))(mesh(3, 3)),
+        lambda: (lambda t: (t, shortest_path_routing(t)))(bone_style()),
+        lambda: (lambda f: (f, fat_tree_routing(f)))(fat_tree(2, 2)),
+    ])
+    def test_uniform_traffic_drains(self, build):
+        topo, table = build()
+        sim = NocSimulator(topo, table)
+        traffic = SyntheticTraffic("uniform", 0.1, 2, seed=2)
+        sim.run(300, traffic, drain=True)
+        assert sim.stats.packets_delivered == traffic.packets_offered
+
+    def test_torus_with_vcs(self):
+        t = torus(4, 4)
+        table = torus_xy_routing(t, 4, 4)
+        vca = dateline_vc_assignment(t, table)
+        sim = NocSimulator(t, table, NocParameters(num_vcs=2), vc_assignment=vca)
+        traffic = SyntheticTraffic("uniform", 0.15, 4, seed=4)
+        sim.run(500, traffic, drain=True)
+        assert sim.stats.packets_delivered == traffic.packets_offered
+
+    def test_spidergon_with_vcs(self):
+        s = spidergon(8)
+        table = spidergon_routing(s)
+        vca = dateline_vc_assignment(s, table)
+        sim = NocSimulator(s, table, NocParameters(num_vcs=2), vc_assignment=vca)
+        traffic = SyntheticTraffic("uniform", 0.15, 4, seed=4)
+        sim.run(500, traffic, drain=True)
+        assert sim.stats.packets_delivered == traffic.packets_offered
+
+    def test_multi_attached_core_injection(self):
+        """BONE dual-port SRAMs inject on the link their route starts with."""
+        b = bone_style()
+        table = shortest_path_routing(b)
+        sim = NocSimulator(b, table)
+        sim.inject("sram_0", "risc_9", 2)
+        sim.inject("risc_0", "sram_0", 2)
+        sim.run(0, drain=True)
+        assert sim.stats.packets_delivered == 2
+
+
+class TestUtilities:
+    def test_link_utilization_bounded(self, mesh44):
+        m, table = mesh44
+        sim = NocSimulator(m, table, warmup_cycles=0)
+        sim.run(500, SyntheticTraffic("uniform", 0.3, 4, seed=8))
+        util = sim.link_utilization()
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+        assert any(u > 0 for u in util.values())
+
+    def test_gt_packets_counted_by_class(self, mesh44):
+        m, table = mesh44
+        sim = NocSimulator(m, table)
+        sim.inject("c_0_0", "c_3_3", 2, message_class=MessageClass.GUARANTEED,
+                   connection_id=1)
+        sim.inject("c_0_0", "c_3_0", 2)
+        sim.run(0, drain=True)
+        gt = sim.stats.latency(MessageClass.GUARANTEED)
+        be = sim.stats.latency(MessageClass.BEST_EFFORT)
+        assert gt.count == 1 and be.count == 1
+
+    def test_run_negative_cycles_rejected(self, mesh44):
+        m, table = mesh44
+        sim = NocSimulator(m, table)
+        with pytest.raises(ValueError):
+            sim.run(-1)

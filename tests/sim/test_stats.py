@@ -1,0 +1,89 @@
+"""Tests for statistics collection."""
+
+import pytest
+
+from repro.arch.packet import MessageClass, Packet
+from repro.sim.stats import StatsCollector, _percentile
+
+
+ROUTE = ("a", "s", "b")
+
+
+def pkt(injection=0, size=1, cls=MessageClass.BEST_EFFORT):
+    return Packet("a", "b", size, ROUTE, injection_cycle=injection,
+                  message_class=cls)
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert _percentile([5], 50) == 5
+        assert _percentile([5], 99) == 5
+
+    def test_median_of_even(self):
+        assert _percentile([1, 2, 3, 4], 50) == 2
+
+    def test_p95(self):
+        values = list(range(1, 101))
+        assert _percentile(values, 95) == 95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _percentile([], 50)
+
+
+class TestCollector:
+    def test_latency_summary(self):
+        stats = StatsCollector()
+        for arrival in (10, 20, 30):
+            stats.record_packet(pkt(injection=0), arrival)
+        summary = stats.latency()
+        assert summary.count == 3
+        assert summary.mean == 20
+        assert summary.minimum == 10 and summary.maximum == 30
+
+    def test_warmup_filtering(self):
+        stats = StatsCollector(warmup_cycles=100)
+        stats.record_packet(pkt(injection=50), 60)   # warmup: dropped
+        stats.record_packet(pkt(injection=150), 160)
+        assert stats.packets_delivered == 1
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            StatsCollector(warmup_cycles=-1)
+
+    def test_latency_by_class(self):
+        stats = StatsCollector()
+        stats.record_packet(pkt(cls=MessageClass.GUARANTEED), 5)
+        stats.record_packet(pkt(cls=MessageClass.BEST_EFFORT), 50)
+        assert stats.latency(MessageClass.GUARANTEED).mean == 5
+        assert stats.latency(MessageClass.BEST_EFFORT).mean == 50
+
+    def test_latency_empty_class_raises(self):
+        stats = StatsCollector()
+        stats.record_packet(pkt(), 5)
+        with pytest.raises(ValueError):
+            stats.latency(MessageClass.GUARANTEED)
+
+    def test_throughput(self):
+        stats = StatsCollector()
+        stats.record_packet(pkt(size=4), 10)
+        stats.record_packet(pkt(size=4), 20)
+        assert stats.throughput_flits_per_cycle(100) == pytest.approx(0.08)
+
+    def test_throughput_window_validation(self):
+        stats = StatsCollector()
+        with pytest.raises(ValueError):
+            stats.throughput_flits_per_cycle(0)
+
+    def test_aggregate_bandwidth(self):
+        """The Teraflops-style metric: flits/cycle * width * frequency."""
+        stats = StatsCollector()
+        stats.record_packet(pkt(size=10), 5)
+        bw = stats.aggregate_bandwidth_bps(10, flit_width=32, frequency_hz=1e9)
+        assert bw == pytest.approx(1 * 32 * 1e9)
+
+    def test_per_flow_counts(self):
+        stats = StatsCollector()
+        stats.record_packet(pkt(), 1)
+        stats.record_packet(pkt(), 2)
+        assert stats.per_flow_counts() == {("a", "b"): 2}

@@ -1,0 +1,169 @@
+"""Tests for traffic generators."""
+
+import pytest
+
+from repro.arch import MessageClass
+from repro.sim import (
+    CompositeTraffic,
+    Flow,
+    FlowGraphTraffic,
+    NocSimulator,
+    SyntheticTraffic,
+    TraceEvent,
+    TraceTraffic,
+)
+from repro.topology import mesh, xy_routing
+
+
+@pytest.fixture
+def sim():
+    m = mesh(4, 4)
+    return NocSimulator(m, xy_routing(m))
+
+
+class TestSyntheticPatterns:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic("banana", 0.1)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic("uniform", -0.1)
+        with pytest.raises(ValueError):
+            SyntheticTraffic("uniform", 1.1)
+
+    def test_offered_load_matches_rate(self, sim):
+        traffic = SyntheticTraffic("uniform", 0.2, packet_size_flits=4, seed=1)
+        for cycle in range(2000):
+            traffic.tick(cycle, sim)
+            sim.step()
+        offered_flits = traffic.packets_offered * 4
+        expected = 0.2 * 16 * 2000
+        assert offered_flits == pytest.approx(expected, rel=0.15)
+
+    def test_uniform_never_self(self, sim):
+        traffic = SyntheticTraffic("uniform", 0.5, 1, seed=2)
+        for cycle in range(200):
+            traffic.tick(cycle, sim)
+            sim.step()
+        sim.run(0, drain=True)
+        assert all(r.source != r.destination for r in sim.stats.records)
+
+    def test_transpose_is_deterministic_mapping(self, sim):
+        traffic = SyntheticTraffic("transpose", 0.5, 1, seed=2)
+        for cycle in range(200):
+            traffic.tick(cycle, sim)
+            sim.step()
+        sim.run(0, drain=True)
+        for r in sim.stats.records:
+            sx = sim.topology.node_attrs(r.source)
+            dx = sim.topology.node_attrs(r.destination)
+            assert (dx["x"], dx["y"]) == (sx["y"], sx["x"])
+
+    def test_bit_complement_mapping(self, sim):
+        traffic = SyntheticTraffic("bit-complement", 0.5, 1, seed=2)
+        cores = sorted(sim.topology.cores)
+        index = {c: i for i, c in enumerate(cores)}
+        for cycle in range(100):
+            traffic.tick(cycle, sim)
+            sim.step()
+        sim.run(0, drain=True)
+        n = len(cores)
+        for r in sim.stats.records:
+            assert index[r.destination] == (n - 1) - index[r.source]
+
+    def test_hotspot_concentrates_traffic(self, sim):
+        traffic = SyntheticTraffic(
+            "hotspot", 0.3, 1, seed=3, hotspot_core="c_2_2", hotspot_fraction=0.8
+        )
+        for cycle in range(500):
+            traffic.tick(cycle, sim)
+            sim.step()
+        sim.run(0, drain=True)
+        to_hot = sum(1 for r in sim.stats.records if r.destination == "c_2_2")
+        assert to_hot > 0.5 * len(sim.stats.records)
+
+    def test_neighbor_pattern(self, sim):
+        traffic = SyntheticTraffic("neighbor", 0.5, 1, seed=4)
+        for cycle in range(100):
+            traffic.tick(cycle, sim)
+            sim.step()
+        sim.run(0, drain=True)
+        for r in sim.stats.records:
+            sx = sim.topology.node_attrs(r.source)
+            dx = sim.topology.node_attrs(r.destination)
+            assert dx["x"] == (sx["x"] + 1) % 4
+            assert dx["y"] == sx["y"]
+
+
+class TestFlowGraph:
+    def test_deterministic_rate(self, sim):
+        flows = [Flow("c_0_0", "c_3_3", flits_per_cycle=0.5, packet_size_flits=4)]
+        traffic = FlowGraphTraffic(flows)
+        for cycle in range(80):
+            traffic.tick(cycle, sim)
+            sim.step()
+        # 0.5 flits/cycle over 80 cycles = 40 flits = 10 packets.
+        assert traffic.packets_offered == 10
+
+    def test_flow_validation(self):
+        with pytest.raises(ValueError):
+            Flow("a", "b", flits_per_cycle=-1)
+        with pytest.raises(ValueError):
+            Flow("a", "b", flits_per_cycle=0.1, packet_size_flits=0)
+
+    def test_gt_class_propagates(self, sim):
+        flows = [
+            Flow(
+                "c_0_0",
+                "c_3_3",
+                flits_per_cycle=0.25,
+                packet_size_flits=1,
+                message_class=MessageClass.GUARANTEED,
+                connection_id=3,
+            )
+        ]
+        traffic = FlowGraphTraffic(flows)
+        for cycle in range(20):
+            traffic.tick(cycle, sim)
+            sim.step()
+        sim.run(0, drain=True)
+        assert all(
+            r.message_class is MessageClass.GUARANTEED for r in sim.stats.records
+        )
+
+
+class TestTrace:
+    def test_replays_in_order(self, sim):
+        events = [
+            TraceEvent(5, "c_0_0", "c_1_0", 2),
+            TraceEvent(1, "c_1_0", "c_0_0", 2),
+        ]
+        traffic = TraceTraffic(events)
+        for cycle in range(10):
+            traffic.tick(cycle, sim)
+            sim.step()
+        assert traffic.exhausted
+        assert traffic.packets_offered == 2
+
+    def test_injection_cycles_respected(self, sim):
+        traffic = TraceTraffic([TraceEvent(7, "c_0_0", "c_1_0", 1)])
+        for cycle in range(20):
+            traffic.tick(cycle, sim)
+            sim.step()
+        sim.run(0, drain=True)
+        (record,) = sim.stats.records
+        assert record.injection_cycle == 7
+
+
+class TestComposite:
+    def test_drives_all_sources(self, sim):
+        a = TraceTraffic([TraceEvent(0, "c_0_0", "c_1_0", 1)])
+        b = TraceTraffic([TraceEvent(0, "c_1_0", "c_0_0", 1)])
+        traffic = CompositeTraffic([a, b])
+        traffic.tick(0, sim)
+        assert a.packets_offered == 1 and b.packets_offered == 1
+
+    def test_needs_sources(self):
+        with pytest.raises(ValueError):
+            CompositeTraffic([])

@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.topology == "mesh"
+        assert args.rate == 0.1
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--topology", "hypercube"])
+
+
+class TestCharacterize:
+    def test_prints_radix_table(self, capsys):
+        assert main(["characterize", "--radices", "4", "10", "26"]) == 0
+        out = capsys.readouterr().out
+        assert "65 nm" in out
+        assert "efficient" in out
+        assert "infeasible" in out
+
+    def test_other_node(self, capsys):
+        assert main(["characterize", "--node", "45", "--radices", "4"]) == 0
+        assert "45 nm" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_mesh_run(self, capsys):
+        rc = main(
+            ["simulate", "--size", "3", "--rate", "0.1",
+             "--cycles", "300", "--warmup", "50"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "packets delivered" in out
+        assert "latency mean" in out
+
+    def test_torus_uses_two_vcs(self, capsys):
+        rc = main(
+            ["simulate", "--topology", "torus", "--size", "3",
+             "--rate", "0.05", "--cycles", "200", "--warmup", "20"]
+        )
+        assert rc == 0
+        assert "torus3x3" in capsys.readouterr().out
+
+    def test_fattree(self, capsys):
+        rc = main(
+            ["simulate", "--topology", "fattree", "--size", "2",
+             "--rate", "0.05", "--cycles", "200", "--warmup", "20"]
+        )
+        assert rc == 0
+
+    def test_heatmap_output(self, capsys):
+        rc = main(
+            ["simulate", "--size", "3", "--rate", "0.2",
+             "--cycles", "300", "--warmup", "50", "--heatmap"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "heat map" in out
+        assert "#" in out
+
+    def test_heatmap_rejected_for_rings(self, capsys):
+        rc = main(
+            ["simulate", "--topology", "spidergon", "--size", "6",
+             "--rate", "0.05", "--cycles", "200", "--warmup", "20",
+             "--heatmap"]
+        )
+        assert rc == 0
+        assert "only available" in capsys.readouterr().out
+
+    def test_ack_nack_flow_control(self, capsys):
+        rc = main(
+            ["simulate", "--size", "3", "--flow-control", "ack_nack",
+             "--rate", "0.05", "--cycles", "200", "--warmup", "20"]
+        )
+        assert rc == 0
+
+
+class TestSynthesize:
+    def test_pip_flow(self, capsys):
+        rc = main(
+            ["synthesize", "--workload", "pip", "--switches", "2",
+             "--frequencies", "600", "--verify-cycles", "300"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "passed=True" in out
+
+    def test_synthetic_workload(self, capsys):
+        rc = main(
+            ["synthesize", "--workload", "synthetic:6", "--switches", "2",
+             "--frequencies", "600", "--verify-cycles", "200"]
+        )
+        assert rc == 0
+
+    def test_verilog_output(self, tmp_path, capsys):
+        out_file = tmp_path / "noc.v"
+        rc = main(
+            ["synthesize", "--workload", "pip", "--switches", "2",
+             "--frequencies", "600", "--verify-cycles", "200",
+             "--verilog-out", str(out_file)]
+        )
+        assert rc == 0
+        text = out_file.read_text()
+        assert "module" in text and "xpipes_switch" in text
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["synthesize", "--workload", "quake"])
+
+    def test_design_out(self, tmp_path, capsys):
+        from repro.topology import load_design, check_routing_deadlock
+
+        out = tmp_path / "design.json"
+        rc = main(
+            ["synthesize", "--workload", "pip", "--switches", "2",
+             "--frequencies", "600", "--verify-cycles", "200",
+             "--design-out", str(out)]
+        )
+        assert rc == 0
+        topo, table = load_design(out)
+        assert check_routing_deadlock(topo, table)
+
+    def test_spec_file_input(self, tmp_path, capsys):
+        from repro.apps import pip
+        from repro.core import CommunicationSpec, save_spec
+
+        spec_path = tmp_path / "pip.json"
+        save_spec(CommunicationSpec.from_workload(pip()), spec_path)
+        rc = main(
+            ["synthesize", "--spec-file", str(spec_path), "--switches", "2",
+             "--frequencies", "600", "--verify-cycles", "200"]
+        )
+        assert rc == 0
+        assert "pip" in capsys.readouterr().out
+
+
+class TestChips:
+    def test_summaries(self, capsys):
+        assert main(["chips"]) == 0
+        out = capsys.readouterr().out
+        for chip in ("teraflops", "tile_gx", "faust", "bone", "spin"):
+            assert chip in out
+        assert "1.62 Tb/s" in out

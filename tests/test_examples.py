@@ -1,0 +1,39 @@
+"""Smoke tests: the examples must keep running as the API evolves.
+
+The fast examples run end to end; the slow ones (multi-second
+simulations) are compile-checked and import-checked so API drift still
+fails loudly without stretching the suite's runtime.
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+FAST = ["quickstart.py", "reliability_and_recovery.py", "three_d_stack.py"]
+ALL = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+class TestExamples:
+    def test_expected_inventory(self):
+        assert len(ALL) >= 8
+        assert "quickstart.py" in ALL
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+    @pytest.mark.parametrize("name", FAST)
+    def test_fast_examples_run(self, name, capsys):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+        out = capsys.readouterr().out
+        assert out.strip(), f"{name} produced no output"
+
+    def test_quickstart_reports_expected_sections(self, capsys):
+        runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "Deadlock-free: True" in out
+        assert "Mean latency" in out

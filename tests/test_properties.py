@@ -1,0 +1,172 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *any* input in the supported domain, not
+just the examples the unit tests pick:
+
+* synthesis always yields deadlock-free, fully-routed, positive-cost
+  designs on random SoC graphs;
+* the simulator conserves packets on random mesh/load combinations;
+* slot-table reserve/release round-trips;
+* routability classification is monotone in radix and width;
+* packetization never loses payload bits.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps import synthetic_soc
+from repro.core import CommunicationSpec, TopologySynthesizer, size_buffers
+from repro.physical.routability import RoutabilityModel
+from repro.physical.technology import TechNode, TechnologyLibrary
+from repro.qos.tdma import SlotTable
+from repro.sim import NocSimulator, SyntheticTraffic
+from repro.topology import check_routing_deadlock, mesh, xy_routing
+
+
+SLOW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSynthesisProperties:
+    @given(
+        num_cores=st.integers(4, 14),
+        seed=st.integers(0, 10_000),
+        k_fraction=st.floats(0.2, 0.9),
+    )
+    @SLOW
+    def test_random_socs_synthesize_clean(self, num_cores, seed, k_fraction):
+        spec = CommunicationSpec.from_workload(
+            synthetic_soc(num_cores, num_memories=1, seed=seed)
+        )
+        k = max(1, int(k_fraction * len(spec.core_names)))
+        design = TopologySynthesizer(spec).synthesize(k, frequency_hz=500e6).design
+        # Invariant 1: structural validity.
+        design.topology.validate()
+        # Invariant 2: deadlock freedom by construction.
+        assert check_routing_deadlock(design.topology, design.routing_table)
+        # Invariant 3: every flow routed.
+        for flow in spec.flows:
+            assert design.routing_table.has_route(flow.source, flow.destination)
+        # Invariant 4: physical metrics are positive and finite.
+        assert 0 < design.power_mw < 1e4
+        assert 0 < design.area_mm2 < 1e3
+        assert design.avg_latency_cycles > 0
+
+    @given(num_cores=st.integers(4, 12), seed=st.integers(0, 1000))
+    @SLOW
+    def test_buffer_sizing_covers_all_ports(self, num_cores, seed):
+        spec = CommunicationSpec.from_workload(
+            synthetic_soc(num_cores, num_memories=1, seed=seed)
+        )
+        design = TopologySynthesizer(spec).synthesize(2, frequency_hz=500e6).design
+        reqs = size_buffers(design.topology, design.routing_table, spec)
+        ports = {
+            (sw, up)
+            for sw in design.topology.switches
+            for up in design.topology.predecessors(sw)
+        }
+        assert {(r.switch, r.upstream) for r in reqs} == ports
+        assert all(r.recommended_depth >= r.rtt_cycles or
+                   r.recommended_depth >= 2 for r in reqs)
+
+
+class TestSimulatorProperties:
+    @given(
+        side=st.integers(2, 4),
+        rate=st.floats(0.02, 0.25),
+        seed=st.integers(0, 10_000),
+        packet=st.integers(1, 6),
+    )
+    @SLOW
+    def test_packet_conservation(self, side, rate, seed, packet):
+        topo = mesh(side, side)
+        table = xy_routing(topo)
+        sim = NocSimulator(topo, table)
+        traffic = SyntheticTraffic("uniform", rate, packet, seed=seed)
+        sim.run(300, traffic, drain=True)
+        assert sim.stats.packets_delivered == traffic.packets_offered
+        assert sim.stats.flits_delivered == sim.stats.flits_injected
+
+    @given(seed=st.integers(0, 10_000))
+    @SLOW
+    def test_latency_at_least_path_length(self, seed):
+        topo = mesh(3, 3)
+        table = xy_routing(topo)
+        sim = NocSimulator(topo, table)
+        traffic = SyntheticTraffic("uniform", 0.1, 2, seed=seed)
+        sim.run(200, traffic, drain=True)
+        for record in sim.stats.records:
+            route = table.route(record.source, record.destination)
+            # Tail latency >= serialization + one cycle per link.
+            assert record.latency >= route.hops + record.size_flits - 1
+
+
+class TestSlotTableProperties:
+    @given(
+        num_slots=st.integers(1, 32),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reserve_release_roundtrip(self, num_slots, data):
+        table = SlotTable(num_slots)
+        reservations = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, num_slots - 1), st.integers(1, 5)),
+                max_size=num_slots,
+            )
+        )
+        applied = {}
+        for slot, conn in reservations:
+            if table.is_free(slot) or table.owner(slot) == conn:
+                table.reserve(slot, conn)
+                applied[slot] = conn
+        # Ownership matches the applied log.
+        for slot, conn in applied.items():
+            assert table.owner(slot) == conn
+        # Releasing every connection empties the table.
+        for conn in set(applied.values()):
+            table.release_connection(conn)
+        assert table.free_slots == num_slots
+
+
+class TestRoutabilityProperties:
+    @given(
+        radix=st.integers(2, 40),
+        width=st.sampled_from([16, 32, 64, 128]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_bounded_and_monotone_in_width(self, radix, width):
+        model = RoutabilityModel(TechnologyLibrary.for_node(TechNode.NM_65))
+        u = model.achievable_utilization(radix, width)
+        assert 0.0 <= u <= 0.98
+        if width > 16:
+            assert u <= model.achievable_utilization(radix, 16) + 1e-9
+
+
+class TestPacketizationProperties:
+    @given(
+        payload=st.integers(0, 50_000),
+        width=st.sampled_from([16, 32, 64]),
+        header=st.integers(1, 15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_flit_types_well_formed(self, payload, width, header):
+        from repro.arch.packet import FlitType, Packet, packet_size_flits
+
+        n = packet_size_flits(payload, width, header)
+        pkt = Packet("a", "b", n, ("a", "s", "b"))
+        flits = pkt.flits()
+        assert len(flits) == n
+        assert flits[0].is_head
+        assert flits[-1].is_tail
+        # Exactly one head and one tail; bodies in between.
+        heads = [f for f in flits if f.is_head]
+        tails = [f for f in flits if f.is_tail]
+        assert len(heads) == 1 and len(tails) == 1
+        if n > 2:
+            assert all(
+                f.flit_type is FlitType.BODY for f in flits[1:-1]
+            )

@@ -1,0 +1,183 @@
+"""Tests for 3D topologies, routing, link test and 3D synthesis."""
+
+import pytest
+
+from repro.apps import synthetic_soc
+from repro.core import CommunicationSpec
+from repro.three_d import (
+    Stack3dSynthesizer,
+    TsvTechnology,
+    mesh3d,
+    reroute_around_failures,
+    routes_2d_only,
+    run_link_test,
+    total_wire_mm,
+    vertical_links,
+    xyz_routing,
+)
+from repro.three_d.topology3d import VERTICAL_HOP_MM
+from repro.topology import check_routing_deadlock, mesh, xy_routing
+
+
+class TestMesh3d:
+    def test_structure(self):
+        m = mesh3d(3, 3, 2)
+        assert len(m.switches) == 18
+        assert len(m.cores) == 18
+        m.validate()
+
+    def test_vertical_links_short(self):
+        """The 3D win: a vertical hop is tens of microns, not millimeters."""
+        m = mesh3d(2, 2, 2, tile_pitch_mm=1.5)
+        assert m.link_attrs("s_0_0_0", "s_0_0_1").length_mm == VERTICAL_HOP_MM
+        assert m.link_attrs("s_0_0_0", "s_1_0_0").length_mm == 1.5
+
+    def test_vertical_link_enumeration(self):
+        m = mesh3d(2, 2, 3)
+        # 4 pillars x 2 inter-layer gaps x 2 directions.
+        assert len(vertical_links(m)) == 16
+
+    def test_serialized_vertical_adds_pipeline(self):
+        from repro.three_d import design_vertical_link
+
+        vlink = design_vertical_link(32, 4)
+        m = mesh3d(2, 2, 2, vertical_link=vlink)
+        assert m.link_attrs("s_0_0_0", "s_0_0_1").pipeline_stages == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mesh3d(0, 2, 2)
+        with pytest.raises(ValueError):
+            mesh3d(1, 1, 1)
+
+
+class TestXyzRouting:
+    def test_deadlock_free(self):
+        m = mesh3d(3, 2, 2)
+        assert check_routing_deadlock(m, xyz_routing(m))
+
+    def test_dimension_order(self):
+        m = mesh3d(3, 3, 2)
+        table = xyz_routing(m)
+        route = table.route("c_0_0_0", "c_2_2_1")
+        # Path does x moves, then y, then z.
+        zs = [m.node_attrs(n)["z"] for n in route.path[1:-1]]
+        assert zs == sorted(zs)
+        assert route.switch_hops == 2 + 2 + 1
+
+    def test_complete(self):
+        m = mesh3d(2, 2, 2)
+        table = xyz_routing(m)
+        assert len(table) == 8 * 7
+
+
+class Test2dOnlyMode:
+    def test_filters_interlayer_routes(self):
+        """'Enabling either 2D-only operation (in testing mode) or
+        3D-capable communication.'"""
+        m = mesh3d(2, 2, 2)
+        full = xyz_routing(m)
+        only = routes_2d_only(m, full)
+        assert len(only) == 2 * (4 * 3)  # per-layer all-pairs
+        for route in only:
+            zs = {m.node_attrs(n)["z"] for n in route.path}
+            assert len(zs) == 1
+
+
+class TestWireLength:
+    def test_3d_cuts_total_wire(self):
+        """Stacking 2x2x2 vs flat 4x2: same 8 cores, less route wire."""
+        flat = mesh(4, 2, tile_pitch_mm=1.5)
+        stacked = mesh3d(2, 2, 2, tile_pitch_mm=1.5)
+        flat_wire = total_wire_mm(flat, xy_routing(flat))
+        stacked_wire = total_wire_mm(stacked, xyz_routing(stacked))
+        assert stacked_wire < flat_wire
+
+
+class TestLinkTest:
+    def test_clean_stack_passes(self):
+        m = mesh3d(2, 2, 2)
+        report = run_link_test(m, fail_probability=0.0)
+        assert report.all_pass
+        assert report.yield_observed == 1.0
+
+    def test_forced_failures_reported_both_directions(self):
+        m = mesh3d(2, 2, 2)
+        report = run_link_test(m, forced_failures=[("s_0_0_0", "s_0_0_1")])
+        assert ("s_0_0_0", "s_0_0_1") in report.failed
+        assert ("s_0_0_1", "s_0_0_0") in report.failed
+
+    def test_random_failures_deterministic(self):
+        m = mesh3d(2, 2, 3)
+        a = run_link_test(m, fail_probability=0.3, seed=7)
+        b = run_link_test(m, fail_probability=0.3, seed=7)
+        assert a.failed == b.failed
+
+    def test_probability_validation(self):
+        m = mesh3d(2, 2, 2)
+        with pytest.raises(ValueError):
+            run_link_test(m, fail_probability=1.5)
+
+    def test_reroute_avoids_failures_and_stays_deadlock_free(self):
+        m = mesh3d(3, 3, 2)
+        report = run_link_test(m, forced_failures=[("s_1_1_0", "s_1_1_1")])
+        table = reroute_around_failures(m, report.failed)
+        dead = set(report.failed)
+        for route in table:
+            assert not any(link in dead for link in route.links())
+        assert check_routing_deadlock(m, table)
+
+    def test_reroute_detects_disconnection(self):
+        m = mesh3d(1, 2, 2)  # single pillar pair per layer
+        # Kill every vertical link: layers separate.
+        report = run_link_test(m, fail_probability=1.0)
+        with pytest.raises(RuntimeError, match="disconnect"):
+            reroute_around_failures(m, report.failed)
+
+
+class TestStack3dSynthesis:
+    def _spec(self):
+        wl = synthetic_soc(12, num_memories=2, seed=5)
+        return CommunicationSpec.from_workload(wl)
+
+    def test_synthesizes_deadlock_free_stack(self):
+        spec = self._spec()
+        layer_of = {c: (0 if i < 7 else 1) for i, c in enumerate(spec.core_names)}
+        result = Stack3dSynthesizer(spec, layer_of).synthesize()
+        design = result.design
+        design.topology.validate()
+        assert check_routing_deadlock(design.topology, design.routing_table)
+        assert result.num_vertical_links == 1
+        assert 0.0 < result.stack_yield <= 1.0
+
+    def test_all_flows_routed(self):
+        spec = self._spec()
+        layer_of = {c: (0 if i < 7 else 1) for i, c in enumerate(spec.core_names)}
+        result = Stack3dSynthesizer(spec, layer_of).synthesize()
+        for f in spec.flows:
+            assert result.design.routing_table.has_route(f.source, f.destination)
+
+    def test_missing_layer_assignment_rejected(self):
+        spec = self._spec()
+        with pytest.raises(ValueError, match="layer"):
+            Stack3dSynthesizer(spec, {spec.core_names[0]: 0})
+
+    def test_noncontiguous_layers_rejected(self):
+        spec = self._spec()
+        layer_of = {c: 2 for c in spec.core_names}
+        with pytest.raises(ValueError, match="contiguous"):
+            Stack3dSynthesizer(spec, layer_of)
+
+    def test_flaky_tsvs_increase_serialization(self):
+        spec = self._spec()
+        layer_of = {c: (0 if i < 7 else 1) for i, c in enumerate(spec.core_names)}
+        good = Stack3dSynthesizer(
+            spec, layer_of, tsv_tech=TsvTechnology(yield_per_tsv=0.99999)
+        ).synthesize(required_vertical_bandwidth_fraction=0.1)
+        bad = Stack3dSynthesizer(
+            spec, layer_of, tsv_tech=TsvTechnology(yield_per_tsv=0.99)
+        ).synthesize(required_vertical_bandwidth_fraction=0.1)
+        assert (
+            bad.vertical_link_design.serialization
+            >= good.vertical_link_design.serialization
+        )

@@ -1,0 +1,93 @@
+"""Tests for TSV models and serialization optimization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.three_d.tsv import (
+    TsvTechnology,
+    design_vertical_link,
+    optimize_serialization,
+    stack_yield,
+)
+
+
+class TestTsvTechnology:
+    def test_area_from_pitch(self):
+        tech = TsvTechnology(pitch_um=10.0)
+        assert tech.area_per_tsv_mm2 == pytest.approx(1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TsvTechnology(pitch_um=0)
+        with pytest.raises(ValueError):
+            TsvTechnology(yield_per_tsv=0)
+        with pytest.raises(ValueError):
+            TsvTechnology(yield_per_tsv=1.5)
+        with pytest.raises(ValueError):
+            TsvTechnology(delay_ps=-1)
+
+
+class TestVerticalLinkDesign:
+    def test_unserialized_link(self):
+        d = design_vertical_link(32, 1)
+        assert d.tsv_count == 36  # 32 data + 4 control
+        assert d.extra_latency_cycles == 0
+        assert d.bandwidth_fraction == 1.0
+
+    def test_serialization_cuts_tsvs(self):
+        """The Section 4.4 optimization: fewer vias, better yield."""
+        full = design_vertical_link(32, 1)
+        quarter = design_vertical_link(32, 4)
+        assert quarter.tsv_count < full.tsv_count
+        assert quarter.link_yield > full.link_yield
+        assert quarter.area_mm2 < full.area_mm2
+        assert quarter.extra_latency_cycles == 3
+
+    def test_serialization_costs_bandwidth(self):
+        assert design_vertical_link(32, 4).bandwidth_fraction == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            design_vertical_link(0, 1)
+        with pytest.raises(ValueError):
+            design_vertical_link(32, 0)
+        with pytest.raises(ValueError):
+            design_vertical_link(32, 64)
+
+    @given(f=st.integers(1, 32))
+    @settings(max_examples=32, deadline=None)
+    def test_monotone_tradeoffs(self, f):
+        d = design_vertical_link(32, f)
+        d1 = design_vertical_link(32, 1)
+        assert d.tsv_count <= d1.tsv_count
+        assert d.link_yield >= d1.link_yield
+        assert d.bandwidth_fraction <= 1.0
+
+
+class TestOptimizer:
+    def test_respects_bandwidth_floor(self):
+        best = optimize_serialization(32, required_bandwidth_fraction=0.5)
+        assert best.bandwidth_fraction >= 0.5
+
+    def test_poor_yield_pushes_serialization(self):
+        """When vias are flaky, the optimizer trades latency for yield."""
+        good = optimize_serialization(
+            32, 0.1, TsvTechnology(yield_per_tsv=0.99999)
+        )
+        bad = optimize_serialization(
+            32, 0.1, TsvTechnology(yield_per_tsv=0.99)
+        )
+        assert bad.serialization >= good.serialization
+
+    def test_full_bandwidth_forces_no_serialization(self):
+        best = optimize_serialization(32, 1.0)
+        assert best.serialization == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimize_serialization(32, 0.0)
+
+    def test_stack_yield_multiplies(self):
+        link = design_vertical_link(32, 4)
+        assert stack_yield([link, link]) == pytest.approx(link.link_yield**2)
+        assert stack_yield([]) == 1.0

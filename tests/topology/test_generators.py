@@ -1,0 +1,207 @@
+"""Tests for the topology generators."""
+
+import pytest
+
+from repro.topology import (
+    bone_style,
+    fat_tree,
+    hierarchical_star,
+    mesh,
+    quasi_mesh,
+    ring,
+    spidergon,
+    star,
+    torus,
+)
+
+
+class TestMesh:
+    def test_sizes(self):
+        m = mesh(4, 3)
+        assert len(m.switches) == 12
+        assert len(m.cores) == 12
+        m.validate()
+
+    def test_interior_switch_radix(self):
+        m = mesh(3, 3)
+        assert m.radix("s_1_1") == (5, 5)  # 4 neighbours + core
+
+    def test_corner_switch_radix(self):
+        m = mesh(3, 3)
+        assert m.radix("s_0_0") == (3, 3)
+
+    def test_link_lengths_from_pitch(self):
+        m = mesh(2, 2, tile_pitch_mm=2.0)
+        assert m.link_attrs("s_0_0", "s_1_0").length_mm == 2.0
+
+    def test_cores_per_switch(self):
+        m = mesh(2, 2, cores_per_switch=2)
+        assert len(m.cores) == 8
+        m.validate()
+
+    def test_teraflops_dimensions(self):
+        """Fig. 4: the Intel 80-core chip is an 8x10 mesh of 5-port routers."""
+        m = mesh(8, 10)
+        assert len(m.cores) == 80
+        # 5-port router: 4 mesh ports + 1 core port at the interior.
+        assert m.radix("s_4_5") == (5, 5)
+
+    @pytest.mark.parametrize("w,h", [(0, 4), (4, 0), (1, 1)])
+    def test_degenerate_rejected(self, w, h):
+        with pytest.raises(ValueError):
+            mesh(w, h)
+
+
+class TestTorus:
+    def test_wrap_links_exist(self):
+        t = torus(4, 4)
+        assert t.has_link("s_3_1", "s_0_1")
+        assert t.has_link("s_2_3", "s_2_0")
+
+    def test_uniform_switch_radix(self):
+        t = torus(4, 4)
+        for sw in t.switches:
+            assert t.radix(sw) == (5, 5)
+
+    def test_small_torus_rejected(self):
+        with pytest.raises(ValueError):
+            torus(2, 4)
+
+
+class TestQuasiMesh:
+    def test_faust_like_configuration(self):
+        """FAUST: quasi-mesh where some routers host more than one core."""
+        counts = [2, 1, 1, 1, 1, 0, 1, 1, 1, 1]
+        qm = quasi_mesh(5, 2, counts)
+        assert len(qm.cores) == sum(counts)
+        qm.validate()
+        assert len(qm.switches) == 10
+
+    def test_count_length_must_match(self):
+        with pytest.raises(ValueError):
+            quasi_mesh(3, 3, [1, 1])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            quasi_mesh(2, 2, [1, 1, 1, -1])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            quasi_mesh(2, 2, [0, 0, 0, 0])
+
+
+class TestRingSpidergon:
+    def test_ring_structure(self):
+        r = ring(6)
+        assert len(r.switches) == 6
+        assert r.has_link("s_5", "s_0")
+        r.validate()
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_spidergon_across_links(self):
+        s = spidergon(8)
+        for i in range(4):
+            assert s.has_link(f"s_{i}", f"s_{i + 4}")
+        s.validate()
+
+    def test_spidergon_across_longer_than_hop(self):
+        s = spidergon(16, hop_length_mm=1.0)
+        hop = s.link_attrs("s_0", "s_1").length_mm
+        across = s.link_attrs("s_0", "s_8").length_mm
+        assert hop < across < 8 * hop
+
+    def test_spidergon_must_be_even(self):
+        with pytest.raises(ValueError):
+            spidergon(7)
+
+
+class TestStars:
+    def test_star(self):
+        s = star(6)
+        assert len(s.switches) == 1
+        assert s.radix("hub") == (6, 6)
+        s.validate()
+
+    def test_hierarchical_star(self):
+        h = hierarchical_star([["a", "b"], ["c", "d"], ["e"]])
+        assert len(h.switches) == 4  # 3 crossbars + hub
+        h.validate()
+        # Cross-cluster path goes through hub: a -> xbar_0 -> hub -> xbar_1 -> c.
+        assert h.has_link("xbar_0", "hub")
+
+    def test_single_cluster_has_no_hub(self):
+        h = hierarchical_star([["a", "b", "c"]])
+        assert "hub" not in h
+        h.validate()
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchical_star([["a"], []])
+
+
+class TestBone:
+    def test_fig5_configuration(self):
+        """Fig. 5: 8 dual-port memories, crossbars, 10 RISC processors."""
+        b = bone_style()
+        riscs = [c for c in b.cores if c.startswith("risc")]
+        srams = [c for c in b.cores if c.startswith("sram")]
+        assert len(riscs) == 10
+        assert len(srams) == 8
+        b.validate()
+
+    def test_srams_are_dual_ported(self):
+        b = bone_style()
+        for m in range(8):
+            assert len(b.attached_switches(f"sram_{m}")) == 2
+
+    def test_processors_single_ported(self):
+        b = bone_style()
+        for p in range(10):
+            assert len(b.attached_switches(f"risc_{p}")) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bone_style(num_processors=1)
+        with pytest.raises(ValueError):
+            bone_style(num_memories=0)
+
+
+class TestFatTree:
+    def test_kary_ntree_counts(self):
+        """k-ary n-tree: k^n cores, n * k^(n-1) switches, k^n links/level."""
+        ft = fat_tree(2, 3)
+        assert len(ft.cores) == 8
+        assert len(ft.switches) == 3 * 4
+        ft.validate()
+
+    def test_spin_like_4ary(self):
+        ft = fat_tree(4, 2)
+        assert len(ft.cores) == 16
+        assert len(ft.switches) == 2 * 4
+
+    def test_switch_radix(self):
+        ft = fat_tree(2, 3)
+        # Middle-level switches: k up + k down = 4 ports.
+        assert ft.radix("s_1_00") == (4, 4)
+
+    def test_leaf_attachment(self):
+        ft = fat_tree(2, 2)
+        assert ft.attached_switches("c_00") == ["s_0_0"]
+        assert ft.attached_switches("c_10") == ["s_0_1"]
+
+    def test_upper_links_longer(self):
+        ft = fat_tree(2, 3, link_length_mm=1.0)
+        low = ft.link_attrs("s_0_00", "s_1_00").length_mm
+        high = ft.link_attrs("s_1_00", "s_2_00").length_mm
+        assert high == 2 * low
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fat_tree(1, 3)
+        with pytest.raises(ValueError):
+            fat_tree(2, 0)
+        with pytest.raises(ValueError):
+            fat_tree(8, 5)  # too many cores
