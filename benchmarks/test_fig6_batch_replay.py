@@ -1,0 +1,58 @@
+"""FIG6 (batch) — the tool-flow sweep as cached parallel jobs.
+
+The Fig. 6 exploration is inherently a batch workload — "the topology
+synthesis tool builds several topologies with different switch counts
+and architectural parameters" — so this benchmark runs it through
+``repro.lab``: design points fan out over a worker pool into a
+content-addressed cache, and the figure is then *replayed* from the
+JSONL result store without invoking the synthesizer again.
+"""
+
+from repro.apps import vopd
+from repro.core import CommunicationSpec
+from repro.lab import (
+    ResultCache,
+    ResultStore,
+    canonical_json,
+    design_point_to_dict,
+    run_jobs,
+    sweep_result_from_batch,
+    sweep_result_from_store,
+    synthesis_sweep_jobs,
+)
+
+SWITCHES = (2, 3, 4, 6)
+FREQS = (500e6, 700e6)
+
+
+def test_fig6_batch_compute_then_replay(once, tmp_path):
+    spec = CommunicationSpec.from_workload(vopd())
+    jobs = synthesis_sweep_jobs(
+        spec, switch_counts=SWITCHES, frequencies_hz=FREQS
+    )
+    cache = ResultCache(tmp_path / "cache")
+    store = ResultStore(tmp_path / "fig6.jsonl")
+
+    batch = once(lambda: run_jobs(jobs, workers=4, cache=cache, store=store))
+    assert batch.computed == len(jobs) and batch.cached == 0
+    sweep = sweep_result_from_batch(batch)
+
+    # Replay the figure from the store: pure file I/O, no synthesis.
+    replayed = sweep_result_from_store(store)
+
+    print(f"\nFIG6-batch: {len(jobs)} jobs, {batch.computed} computed; "
+          f"front of {len(sweep.front)} replayed from the store")
+    for p in replayed.front:
+        print(f"  {p.name}: {p.power_mw:.1f} mW, {p.avg_latency_ns:.1f} ns")
+
+    assert [canonical_json(design_point_to_dict(p)) for p in replayed.front] \
+        == [canonical_json(design_point_to_dict(p)) for p in sweep.front]
+    assert len(replayed.points) == sum(1 for j in jobs
+                                       if j.kind == "synthesis")
+    assert len(replayed.baselines) == sum(1 for j in jobs
+                                          if j.kind == "baseline")
+    assert len(replayed.front) >= 2
+
+    # A warm second pass recomputes nothing.
+    warm = run_jobs(jobs, workers=4, cache=cache)
+    assert warm.computed == 0 and warm.hit_rate == 1.0

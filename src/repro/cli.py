@@ -49,33 +49,10 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _build_topology(kind: str, size: int):
-    from repro.topology import (
-        fat_tree,
-        fat_tree_routing,
-        mesh,
-        spidergon,
-        spidergon_routing,
-        torus,
-        torus_xy_routing,
-        xy_routing,
-    )
-    from repro.topology.routing import dateline_vc_assignment
+    from repro.topology.presets import standard_instance
 
-    if kind == "mesh":
-        topo = mesh(size, size)
-        return topo, xy_routing(topo), None, 1
-    if kind == "torus":
-        topo = torus(size, size)
-        table = torus_xy_routing(topo, size, size)
-        return topo, table, dateline_vc_assignment(topo, table), 2
-    if kind == "spidergon":
-        topo = spidergon(size)
-        table = spidergon_routing(topo)
-        return topo, table, dateline_vc_assignment(topo, table), 2
-    if kind == "fattree":
-        topo = fat_tree(2, size)
-        return topo, fat_tree_routing(topo), None, 1
-    raise ValueError(f"unknown topology {kind!r}")
+    inst = standard_instance(kind, size)
+    return inst.topology, inst.table, inst.vc_assignment, inst.min_vcs
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -123,19 +100,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_synthesize(args: argparse.Namespace) -> int:
+def _load_spec_arg(args: argparse.Namespace):
+    """Resolve ``--spec-file`` / ``--workload`` into a spec."""
     from repro.apps import synthetic_soc, workload
-    from repro.core import CommunicationSpec, NocDesignFlow
+    from repro.core import CommunicationSpec
 
-    if args.spec_file:
+    if getattr(args, "spec_file", None):
         from repro.core import load_spec
 
-        spec = load_spec(args.spec_file)
-    elif args.workload.startswith("synthetic:"):
+        return load_spec(args.spec_file)
+    if args.workload.startswith("synthetic:"):
         n = int(args.workload.split(":", 1)[1])
-        spec = CommunicationSpec.from_workload(synthetic_soc(n, seed=args.seed))
-    else:
-        spec = CommunicationSpec.from_workload(workload(args.workload))
+        return CommunicationSpec.from_workload(synthetic_soc(n, seed=args.seed))
+    return CommunicationSpec.from_workload(workload(args.workload))
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.core import NocDesignFlow
+
+    spec = _load_spec_arg(args)
     print(f"Synthesizing for {spec!r}")
     flow = NocDesignFlow(spec)
     result = flow.run(
@@ -205,6 +188,79 @@ def _cmd_chips(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.lab import (
+        NullCache,
+        ResultCache,
+        ResultStore,
+        load_curve_from_batch,
+        load_curve_jobs,
+        run_jobs,
+        saturation_job,
+        sweep_result_from_batch,
+        synthesis_sweep_jobs,
+    )
+
+    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    store = ResultStore(args.store) if args.store else None
+
+    if args.sweep == "synthesis":
+        spec = _load_spec_arg(args)
+        jobs = synthesis_sweep_jobs(
+            spec,
+            switch_counts=args.switches,
+            frequencies_hz=[f * 1e6 for f in args.frequencies],
+            flit_widths=args.flit_widths,
+            include_baselines=not args.no_baselines,
+        )
+        print(f"Batch synthesis sweep for {spec!r}")
+    elif args.sweep == "loadcurve":
+        jobs = load_curve_jobs(
+            args.topology, args.size, args.rates,
+            pattern=args.pattern, cycles=args.cycles, warmup=args.warmup,
+            packet_size=args.packet_size, seed=args.seed,
+        )
+        print(f"Batch load curve on {args.topology} (size {args.size}), "
+              f"{len(jobs)} rates")
+    else:  # saturation
+        jobs = [saturation_job(
+            args.topology, args.size,
+            pattern=args.pattern, cycles=args.cycles, warmup=args.warmup,
+            packet_size=args.packet_size, seed=args.seed,
+        )]
+        print(f"Batch saturation search on {args.topology} "
+              f"(size {args.size})")
+
+    batch = run_jobs(jobs, workers=args.jobs, cache=cache, store=store)
+    print(f"{len(jobs)} jobs: {batch.computed} computed, "
+          f"{batch.cached} from cache ({batch.hit_rate:.0%} hit rate)")
+
+    if args.sweep == "synthesis":
+        sweep = sweep_result_from_batch(batch)
+        print(f"Pareto front ({len(sweep.front)} of "
+              f"{len(sweep.points)} points):")
+        for point in sweep.front:
+            print(
+                f"  {point.name:<24} {point.power_mw:7.1f} mW "
+                f"{point.avg_latency_ns:7.1f} ns {point.area_mm2:7.3f} mm2"
+            )
+        for ref in sweep.baselines:
+            print(f"  [ref] {ref.name:<18} {ref.power_mw:7.1f} mW "
+                  f"{ref.avg_latency_ns:7.1f} ns {ref.area_mm2:7.3f} mm2")
+    elif args.sweep == "loadcurve":
+        print(f"{'offered':>8} {'accepted':>9} {'mean lat':>9} {'p95':>6}")
+        for point in load_curve_from_batch(batch):
+            print(f"{point.offered_rate:>8.3f} {point.accepted_rate:>9.3f} "
+                  f"{point.mean_latency:>9.1f} {point.p95_latency:>6.0f}")
+    else:
+        rate = batch.results[0]["saturation_rate"]
+        print(f"saturation throughput: {rate:.3f} flits/cycle/core")
+
+    if store is not None:
+        print(f"appended {len(jobs)} records to {args.store}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -257,6 +313,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("chips", help="Section 5 case-study summaries")
     p.set_defaults(func=_cmd_chips)
+
+    p = sub.add_parser(
+        "batch",
+        help="parallel experiment sweeps with result caching (repro.lab)",
+    )
+    p.add_argument("sweep", choices=("synthesis", "loadcurve", "saturation"),
+                   help="which sweep to run as a job batch")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="content-addressed result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always recompute; do not read or write the cache")
+    p.add_argument("--store", default=None,
+                   help="append results to this JSONL result store")
+    p.add_argument("--seed", type=int, default=1)
+    # synthesis sweep knobs
+    p.add_argument("--workload", default="vopd",
+                   help="vopd | mpeg4 | mwd | pip | synthetic:N")
+    p.add_argument("--spec-file", default=None,
+                   help="JSON spec file (overrides --workload)")
+    p.add_argument("--switches", type=int, nargs="+", default=None)
+    p.add_argument("--frequencies", type=float, nargs="+",
+                   default=[500, 700], help="MHz")
+    p.add_argument("--flit-widths", type=int, nargs="+", default=[32])
+    p.add_argument("--no-baselines", action="store_true",
+                   help="skip the mesh/star reference points")
+    # simulation sweep knobs
+    p.add_argument("--topology", default="mesh",
+                   choices=("mesh", "torus", "spidergon", "fattree"))
+    p.add_argument("--size", type=int, default=4)
+    p.add_argument("--pattern", default="uniform",
+                   choices=("uniform", "transpose", "bit-complement",
+                            "neighbor", "hotspot", "shuffle"))
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[0.05, 0.1, 0.15, 0.2, 0.25, 0.3])
+    p.add_argument("--cycles", type=int, default=1500)
+    p.add_argument("--warmup", type=int, default=250)
+    p.add_argument("--packet-size", type=int, default=4)
+    p.set_defaults(func=_cmd_batch)
 
     return parser
 

@@ -1,0 +1,99 @@
+"""repro.lab — parallel experiment orchestration with result caching.
+
+The tool flow of the paper is a batch workload: "the topology synthesis
+tool builds several topologies with different switch counts and
+architectural parameters" (Section 6), and every evaluation figure is a
+sweep.  This subsystem turns any such sweep into declarative, content-
+addressed :class:`Job` specs executed by a multiprocessing pool, with:
+
+* :mod:`repro.lab.cache` — an on-disk cache keyed by the content hash
+  of (job kind, parameters, seed, runner version, library version), so
+  re-running a sweep only computes new or changed points;
+* :mod:`repro.lab.store` — a persistent JSONL result store with
+  query/aggregation helpers (Pareto fronts, load curves, provenance);
+* :mod:`repro.lab.executor` — serial and process-pool executors behind
+  one :func:`run_jobs` engine with observable hit/compute accounting;
+* :mod:`repro.lab.sweeps` — builders that express the existing sweeps
+  (synthesis exploration, load curves, saturation searches) as jobs and
+  reassemble the classic result objects afterwards.
+
+Entry points elsewhere in the stack delegate here:
+``DesignSpaceExplorer.explore(parallel=True)``,
+``load_latency_curve(executor=...)`` and the ``repro batch`` CLI
+subcommand.
+"""
+
+from repro.lab.cache import NullCache, ResultCache
+from repro.lab.executor import (
+    BatchResult,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    run_jobs,
+)
+from repro.lab.hashing import (
+    CODE_SALT,
+    canonical_json,
+    derive_seed,
+    stable_hash,
+    to_jsonable,
+)
+from repro.lab.jobs import Job, registered_kinds, run_job, runner, runner_version
+from repro.lab.records import (
+    design_point_from_dict,
+    design_point_to_dict,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    load_point_from_dict,
+    load_point_to_dict,
+    noc_parameters_from_dict,
+    noc_parameters_to_dict,
+)
+from repro.lab.store import ResultStore
+from repro.lab.sweeps import (
+    default_switch_counts,
+    load_curve_from_batch,
+    load_curve_jobs,
+    run_synthesis_sweep,
+    saturation_job,
+    sweep_result_from_batch,
+    sweep_result_from_store,
+    synthesis_sweep_jobs,
+)
+
+__all__ = [
+    "BatchResult",
+    "CODE_SALT",
+    "Job",
+    "NullCache",
+    "ProcessExecutor",
+    "ResultCache",
+    "ResultStore",
+    "SerialExecutor",
+    "canonical_json",
+    "default_switch_counts",
+    "derive_seed",
+    "design_point_from_dict",
+    "design_point_to_dict",
+    "floorplan_from_dict",
+    "floorplan_to_dict",
+    "load_curve_from_batch",
+    "load_curve_jobs",
+    "load_point_from_dict",
+    "load_point_to_dict",
+    "make_executor",
+    "noc_parameters_from_dict",
+    "noc_parameters_to_dict",
+    "registered_kinds",
+    "run_job",
+    "run_jobs",
+    "run_synthesis_sweep",
+    "runner",
+    "runner_version",
+    "saturation_job",
+    "stable_hash",
+    "sweep_result_from_batch",
+    "sweep_result_from_store",
+    "synthesis_sweep_jobs",
+    "to_jsonable",
+]

@@ -1,0 +1,116 @@
+"""Content-addressed on-disk result cache.
+
+Each cached payload lives at ``<root>/<key[:2]>/<key>.json`` where the
+key is the job's content hash (spec + parameters + seed + code-version
+salt, see :attr:`repro.lab.jobs.Job.key`).  Identity by content gives
+the cache its two load-bearing properties:
+
+* re-running a sweep recomputes only new or changed design points —
+  unchanged jobs hash to the same key and hit;
+* any change to the job spec, the seed, the runner version, or the
+  library version changes the key, so stale results can never be
+  returned — invalidation is structural, not TTL-based.
+
+Writes are atomic (temp file + ``os.replace``) so a killed worker never
+leaves a half-written entry; unreadable entries are treated as misses
+and overwritten on the next compute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+
+class ResultCache:
+    """Filesystem cache mapping content keys to JSON payloads."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        if len(key) < 3 or not key.isalnum():
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached payload, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        for entry in sorted(self.root.glob("??/*.json")):
+            yield entry.stem
+
+    def evict(self, key: str) -> bool:
+        """Drop one entry; True if it existed."""
+        path = self._path(key)
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        for key in list(self.keys()):
+            removed += self.evict(key)
+        return removed
+
+
+class NullCache:
+    """The ``--no-cache`` object: always misses, never stores."""
+
+    hits = 0
+
+    def __init__(self) -> None:
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[dict]:
+        self.misses += 1
+        return None
+
+    def put(self, key: str, payload: dict) -> None:
+        pass
+
+    def __contains__(self, key: str) -> bool:
+        return False

@@ -1,0 +1,101 @@
+"""Stable content hashing for experiment specs.
+
+Content-addressed caching only works if "the same experiment" always
+hashes to the same key — across processes, interpreter restarts and
+machines.  Python's builtin ``hash`` is salted per process, dataclass
+``repr`` is not canonical, and pickle is version-dependent, so the lab
+defines its own canonical form: every spec object is reduced to plain
+JSON data (:func:`to_jsonable`), serialized with sorted keys and fixed
+separators (:func:`canonical_json`), and digested with SHA-256
+(:func:`stable_hash`).
+
+A code-version salt (:data:`CODE_SALT`) is folded into every job key so
+that upgrading the library invalidates stale cache entries wholesale;
+individual job runners additionally carry their own version number for
+finer-grained invalidation (see :mod:`repro.lab.jobs`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any
+
+import repro
+
+# Schema version of the lab's own serialized formats. Bump when the
+# canonical form of job params or cached payloads changes shape.
+LAB_SCHEMA_VERSION = 1
+
+#: Folded into every cache key: a new library release (or lab schema
+#: rev) makes every previously cached result a miss.
+CODE_SALT = f"repro-{repro.__version__}/lab-{LAB_SCHEMA_VERSION}"
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Reduce ``obj`` to plain JSON data, deterministically.
+
+    Handles the spec objects that appear in job parameters — dataclasses
+    (``NocParameters``, ``CoreSpec``...), enums, tuples, sets (sorted) —
+    plus anything exposing a ``to_jsonable()`` hook.  Rejects types with
+    no canonical form (functions, arbitrary objects) rather than hashing
+    their repr, which would silently break key stability.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Enum):
+        return to_jsonable(obj.value)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"non-string dict key {key!r} has no canonical JSON form"
+                )
+            out[key] = to_jsonable(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(to_jsonable(v) for v in obj)
+    hook = getattr(obj, "to_jsonable", None)
+    if callable(hook):
+        return to_jsonable(hook())
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for hashing")
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical serialized form: sorted keys, fixed separators."""
+    return json.dumps(
+        to_jsonable(obj), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True, allow_nan=False,
+    )
+
+
+def stable_hash(obj: Any, salt: str = "") -> str:
+    """SHA-256 hex digest of the canonical form of ``obj``."""
+    digest = hashlib.sha256()
+    if salt:
+        digest.update(salt.encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(canonical_json(obj).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def derive_seed(base_seed: int, *components: Any) -> int:
+    """A stream-independent child seed from a base seed and labels.
+
+    Monte-Carlo sweeps need one independent RNG stream per job while
+    staying reproducible from a single user-facing seed; deriving the
+    child seed from a hash (instead of ``base_seed + i``) keeps streams
+    uncorrelated and insensitive to job reordering.
+    """
+    key = stable_hash([base_seed, list(components)])
+    return int(key[:16], 16)

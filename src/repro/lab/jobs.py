@@ -1,0 +1,236 @@
+"""Declarative experiment jobs and their runners.
+
+A :class:`Job` is a self-contained, JSON-serializable description of one
+unit of work — "synthesize VOPD with 3 switches at 500 MHz", "simulate a
+4x4 mesh at 0.2 flits/cycle/core with seed 7".  Because the spec is
+plain data it can be pickled to a worker process, hashed into a
+content-addressed cache key (:attr:`Job.key`), and persisted next to its
+result for provenance.
+
+Runners are registered by kind with a version number; the version is
+folded into the cache key so changing a runner's algorithm invalidates
+exactly that kind's cached results (the global :data:`~repro.lab.hashing.CODE_SALT`
+handles library-wide invalidation).
+
+Built-in runners cover the sweeps the tool flow actually performs:
+
+=============  ======================================================
+``synthesis``  one SunFloor design point (Fig. 6 flow)
+``baseline``   one standard-topology reference (mesh or star)
+``load_point`` one injection-rate point of a load-latency curve
+``saturation`` a full bisection saturation search
+=============  ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.lab.hashing import CODE_SALT, stable_hash, to_jsonable
+
+JobRunner = Callable[["Job"], dict]
+
+_RUNNERS: Dict[str, Tuple[JobRunner, int]] = {}
+
+
+def runner(kind: str, version: int = 1) -> Callable[[JobRunner], JobRunner]:
+    """Register a job runner for ``kind``.
+
+    Bump ``version`` whenever the runner's output for identical
+    parameters changes — it is part of every cache key of that kind.
+    """
+
+    def decorate(fn: JobRunner) -> JobRunner:
+        if kind in _RUNNERS:
+            raise ValueError(f"job kind {kind!r} already registered")
+        _RUNNERS[kind] = (fn, version)
+        return fn
+
+    return decorate
+
+
+def runner_version(kind: str) -> int:
+    try:
+        return _RUNNERS[kind][1]
+    except KeyError:
+        raise ValueError(f"unknown job kind {kind!r}") from None
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_RUNNERS))
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of batch work, identified by content.
+
+    ``params`` must be plain JSON data (the sweep builders in
+    :mod:`repro.lab.sweeps` guarantee this); ``seed`` is the explicit RNG
+    seed of any stochastic part; ``tags`` are free-form labels for store
+    queries and do *not* enter the cache key (they describe why the job
+    ran, not what it computes).
+    """
+
+    kind: str
+    params: Mapping[str, Any]
+    seed: int = 0
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", to_jsonable(dict(self.params)))
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    @property
+    def key(self) -> str:
+        """Content-addressed identity: spec + seed + code version."""
+        return stable_hash(
+            {
+                "kind": self.kind,
+                "params": self.params,
+                "seed": self.seed,
+                "runner_version": runner_version(self.kind),
+            },
+            salt=CODE_SALT,
+        )
+
+    def describe(self) -> str:
+        return f"{self.kind}[{self.key[:12]}]"
+
+
+def run_job(job: Job) -> dict:
+    """Execute one job in the current process; returns a plain dict.
+
+    The payload is normalized to plain JSON data (tuples to lists, enums
+    to values) so a freshly computed result is indistinguishable from
+    the same result read back from the cache or the store.
+    """
+    try:
+        fn, _ = _RUNNERS[job.kind]
+    except KeyError:
+        raise ValueError(f"unknown job kind {job.kind!r}") from None
+    return to_jsonable(fn(job))
+
+
+# ----------------------------------------------------------------------
+# Built-in runners.  Imports happen inside the functions: workers only
+# pay for the layers the job actually touches, and the registry can be
+# imported without dragging in the whole stack.
+# ----------------------------------------------------------------------
+@runner("synthesis", version=1)
+def _run_synthesis(job: Job) -> dict:
+    """One custom design point of the Fig. 6 synthesis sweep."""
+    from repro.core.specio import spec_from_dict
+    from repro.core.synthesis import TopologySynthesizer
+    from repro.lab.records import design_point_to_dict, floorplan_from_dict
+    from repro.physical.technology import TechNode, TechnologyLibrary
+
+    p = job.params
+    spec = spec_from_dict(p["spec"])
+    tech = TechnologyLibrary.for_node(TechNode(p.get("tech_node", 65)))
+    floorplan = (
+        floorplan_from_dict(p["floorplan"]) if p.get("floorplan") else None
+    )
+    synthesizer = TopologySynthesizer(spec, tech, floorplan)
+    result = synthesizer.synthesize(
+        p["num_switches"],
+        frequency_hz=p["frequency_hz"],
+        flit_width=p.get("flit_width", 32),
+        packet_size_flits=p.get("packet_size_flits", 4),
+    )
+    return {"design": design_point_to_dict(result.design)}
+
+
+@runner("baseline", version=1)
+def _run_baseline(job: Job) -> dict:
+    """One standard-topology reference point (mesh or star)."""
+    from repro.core.baselines import mesh_baseline, star_baseline
+    from repro.core.evaluate import DesignEvaluator
+    from repro.core.specio import spec_from_dict
+    from repro.lab.records import design_point_to_dict
+    from repro.physical.technology import TechNode, TechnologyLibrary
+
+    p = job.params
+    spec = spec_from_dict(p["spec"])
+    tech = TechnologyLibrary.for_node(TechNode(p.get("tech_node", 65)))
+    evaluator = DesignEvaluator(tech)
+    builders = {"mesh": mesh_baseline, "star": star_baseline}
+    try:
+        build = builders[p["baseline"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown baseline {p.get('baseline')!r}; "
+            f"choose from {sorted(builders)}"
+        ) from None
+    design = build(
+        spec,
+        evaluator,
+        frequency_hz=p["frequency_hz"],
+        flit_width=p.get("flit_width", 32),
+    )
+    return {"design": design_point_to_dict(design)}
+
+
+@runner("load_point", version=1)
+def _run_load_point(job: Job) -> dict:
+    """One injection-rate point of a load-latency curve."""
+    from repro.lab.records import load_point_to_dict
+    from repro.sim.experiments import _run_point
+    from repro.topology.presets import standard_instance
+
+    p = job.params
+    inst = standard_instance(p["topology"], p["size"])
+    params = _effective_sim_parameters(p, inst.min_vcs)
+    point = _run_point(
+        inst.topology,
+        inst.table,
+        params,
+        inst.vc_assignment,
+        p.get("pattern", "uniform"),
+        p["rate"],
+        p.get("cycles", 1500),
+        p.get("warmup", 250),
+        p.get("packet_size", 4),
+        job.seed,
+    )
+    return {"point": None if point is None else load_point_to_dict(point)}
+
+
+@runner("saturation", version=1)
+def _run_saturation(job: Job) -> dict:
+    """A complete bisection saturation search on a standard topology."""
+    from repro.sim.experiments import saturation_throughput
+    from repro.topology.presets import standard_instance
+
+    p = job.params
+    inst = standard_instance(p["topology"], p["size"])
+    params = _effective_sim_parameters(p, inst.min_vcs)
+    rate = saturation_throughput(
+        inst.topology,
+        inst.table,
+        params,
+        vc_assignment=inst.vc_assignment,
+        pattern=p.get("pattern", "uniform"),
+        latency_factor=p.get("latency_factor", 3.0),
+        cycles=p.get("cycles", 1500),
+        warmup=p.get("warmup", 250),
+        packet_size=p.get("packet_size", 4),
+        seed=job.seed,
+        tolerance=p.get("tolerance", 0.02),
+    )
+    return {"saturation_rate": rate}
+
+
+def _effective_sim_parameters(p: Mapping[str, Any], min_vcs: int):
+    """NocParameters for a simulation job, honoring topology VC floors."""
+    from repro.arch.parameters import DEFAULT_PARAMETERS
+    from repro.lab.records import noc_parameters_from_dict
+
+    params = (
+        noc_parameters_from_dict(p["noc_params"])
+        if p.get("noc_params")
+        else DEFAULT_PARAMETERS
+    )
+    if params.num_vcs < min_vcs:
+        params = params.with_(num_vcs=min_vcs)
+    return params

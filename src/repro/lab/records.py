@@ -1,0 +1,160 @@
+"""Round-trips between rich result objects and plain JSON records.
+
+The cache and the :class:`~repro.lab.store.ResultStore` persist plain
+data only, so every object that crosses the worker/disk boundary needs a
+canonical dict form.  Topologies and routing tables reuse the existing
+:mod:`repro.topology.serialize` schema; this module adds the remaining
+pieces: :class:`~repro.core.evaluate.DesignPoint`,
+:class:`~repro.sim.experiments.LoadPoint`,
+:class:`~repro.arch.parameters.NocParameters` and
+:class:`~repro.physical.floorplan.Floorplan`.
+
+Design points deliberately drop their floorplan on serialization: the
+floorplan is a synthesis intermediate, fully reconstructible from the
+job spec, and keeping it out of the record makes the on-disk form the
+canonical byte-identity of a design point (the property the
+parallel-vs-serial acceptance test asserts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.arch.parameters import ArbitrationKind, FlowControlKind, NocParameters
+from repro.core.evaluate import DesignPoint
+from repro.physical.floorplan import Block, Floorplan
+from repro.sim.experiments import LoadPoint
+from repro.topology.serialize import (
+    routing_table_from_dict,
+    routing_table_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+# ----------------------------------------------------------------------
+# DesignPoint
+# ----------------------------------------------------------------------
+def design_point_to_dict(point: DesignPoint) -> dict:
+    """Canonical record of one design point (floorplan omitted)."""
+    return {
+        "name": point.name,
+        "num_switches": point.num_switches,
+        "flit_width": point.flit_width,
+        "frequency_hz": point.frequency_hz,
+        "max_frequency_hz": point.max_frequency_hz,
+        "power_mw": point.power_mw,
+        "area_mm2": point.area_mm2,
+        "avg_latency_cycles": point.avg_latency_cycles,
+        "avg_latency_ns": point.avg_latency_ns,
+        "max_link_load": point.max_link_load,
+        "feasible": point.feasible,
+        "notes": list(point.notes),
+        "topology": topology_to_dict(point.topology),
+        "routing": routing_table_to_dict(point.routing_table),
+    }
+
+
+def design_point_from_dict(data: dict) -> DesignPoint:
+    try:
+        topology = topology_from_dict(data["topology"])
+        table = routing_table_from_dict(data["routing"], topology)
+        return DesignPoint(
+            name=data["name"],
+            num_switches=data["num_switches"],
+            flit_width=data["flit_width"],
+            frequency_hz=data["frequency_hz"],
+            max_frequency_hz=data["max_frequency_hz"],
+            power_mw=data["power_mw"],
+            area_mm2=data["area_mm2"],
+            avg_latency_cycles=data["avg_latency_cycles"],
+            avg_latency_ns=data["avg_latency_ns"],
+            max_link_load=data["max_link_load"],
+            feasible=data["feasible"],
+            topology=topology,
+            routing_table=table,
+            floorplan=None,
+            notes=list(data.get("notes", ())),
+        )
+    except KeyError as exc:
+        raise ValueError(f"design point record missing field: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# LoadPoint
+# ----------------------------------------------------------------------
+def load_point_to_dict(point: LoadPoint) -> dict:
+    return dataclasses.asdict(point)
+
+
+def load_point_from_dict(data: dict) -> LoadPoint:
+    try:
+        return LoadPoint(
+            offered_rate=data["offered_rate"],
+            accepted_rate=data["accepted_rate"],
+            mean_latency=data["mean_latency"],
+            p95_latency=data["p95_latency"],
+            packets=data["packets"],
+        )
+    except KeyError as exc:
+        raise ValueError(f"load point record missing field: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# NocParameters
+# ----------------------------------------------------------------------
+def noc_parameters_to_dict(params: NocParameters) -> dict:
+    data = dataclasses.asdict(params)
+    data["flow_control"] = params.flow_control.value
+    data["arbitration"] = params.arbitration.value
+    return data
+
+
+def noc_parameters_from_dict(data: dict) -> NocParameters:
+    data = dict(data)
+    if "flow_control" in data:
+        data["flow_control"] = FlowControlKind(data["flow_control"])
+    if "arbitration" in data:
+        data["arbitration"] = ArbitrationKind(data["arbitration"])
+    return NocParameters(**data)
+
+
+# ----------------------------------------------------------------------
+# Floorplan
+# ----------------------------------------------------------------------
+def floorplan_to_dict(floorplan: Floorplan) -> dict:
+    return {
+        "blocks": [
+            {
+                "name": b.name,
+                "width_mm": b.width_mm,
+                "height_mm": b.height_mm,
+                "x_mm": b.x_mm,
+                "y_mm": b.y_mm,
+                "fixed": b.fixed,
+            }
+            for b in floorplan
+        ],
+    }
+
+
+def floorplan_from_dict(data: dict) -> Floorplan:
+    try:
+        return Floorplan(
+            Block(
+                name=entry["name"],
+                width_mm=entry["width_mm"],
+                height_mm=entry["height_mm"],
+                x_mm=entry.get("x_mm", 0.0),
+                y_mm=entry.get("y_mm", 0.0),
+                fixed=entry.get("fixed", False),
+            )
+            for entry in data["blocks"]
+        )
+    except KeyError as exc:
+        raise ValueError(f"floorplan record missing field: {exc}") from None
+
+
+def optional_floorplan_to_dict(floorplan: Optional[Floorplan]) -> Optional[dict]:
+    return None if floorplan is None else floorplan_to_dict(floorplan)

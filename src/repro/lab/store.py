@@ -1,0 +1,155 @@
+"""Persistent JSONL result store with query and aggregation helpers.
+
+The cache (:mod:`repro.lab.cache`) answers "have I computed this exact
+job?"; the store answers the designer's questions afterwards: *what is
+the Pareto front over everything I ran? what does the load curve look
+like? which runs produced this design?*  One JSONL line per completed
+job keeps the format appendable from concurrent batch invocations,
+greppable, and replayable — the figure scripts can rebuild a
+:class:`~repro.core.sweep.SweepResult` from the store instead of
+recomputing the sweep.
+
+Each record carries the full job spec next to its result, so a store
+file is self-describing provenance: the experiment that produced every
+number can be re-derived (and re-verified against its content key)
+without the original driver script.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.core.evaluate import DesignPoint
+from repro.core.pareto import DEFAULT_OBJECTIVES, Objectives, pareto_front
+from repro.lab.jobs import Job
+from repro.lab.records import design_point_from_dict, load_point_from_dict
+from repro.sim.experiments import LoadPoint
+
+RECORD_SCHEMA = 1
+
+
+class ResultStore:
+    """Append-only JSONL store of (job spec, result) records."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, job: Job, result: dict, cached: bool = False) -> dict:
+        """Persist one completed job; returns the written record."""
+        record = {
+            "schema": RECORD_SCHEMA,
+            "key": job.key,
+            "kind": job.kind,
+            "seed": job.seed,
+            "tags": list(job.tags),
+            "params": job.params,
+            "cached": bool(cached),
+            "result": result,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        return record
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[dict]:
+        if not self.path.exists():
+            return
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def records(
+        self,
+        kind: Optional[str] = None,
+        tags: Sequence[str] = (),
+        latest_only: bool = True,
+    ) -> List[dict]:
+        """Filtered records; with ``latest_only`` one (the newest) per key."""
+        out: List[dict] = []
+        for record in self:
+            if kind is not None and record["kind"] != kind:
+                continue
+            if any(tag not in record["tags"] for tag in tags):
+                continue
+            out.append(record)
+        if latest_only:
+            by_key: Dict[str, dict] = {}
+            for record in out:
+                by_key[record["key"]] = record
+            out = list(by_key.values())
+        return out
+
+    def result_for(self, key: str) -> Optional[dict]:
+        """The newest result recorded under a content key, if any."""
+        found = None
+        for record in self:
+            if record["key"] == key:
+                found = record["result"]
+        return found
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def design_points(self, tags: Sequence[str] = ()) -> List[DesignPoint]:
+        """Every synthesized design point (custom topologies only)."""
+        return [
+            design_point_from_dict(r["result"]["design"])
+            for r in self.records(kind="synthesis", tags=tags)
+        ]
+
+    def baseline_points(self, tags: Sequence[str] = ()) -> List[DesignPoint]:
+        """Every standard-topology reference point."""
+        return [
+            design_point_from_dict(r["result"]["design"])
+            for r in self.records(kind="baseline", tags=tags)
+        ]
+
+    def pareto(
+        self,
+        objectives: Objectives = DEFAULT_OBJECTIVES,
+        tags: Sequence[str] = (),
+    ) -> List[DesignPoint]:
+        """Pareto front over every stored synthesis point."""
+        return pareto_front(self.design_points(tags=tags), objectives)
+
+    def load_curve(self, tags: Sequence[str] = ()) -> List[LoadPoint]:
+        """The stored load-latency curve, sorted by offered rate."""
+        points = [
+            load_point_from_dict(r["result"]["point"])
+            for r in self.records(kind="load_point", tags=tags)
+            if r["result"].get("point") is not None
+        ]
+        points.sort(key=lambda p: p.offered_rate)
+        return points
+
+    def run_metadata(self) -> Dict[str, Any]:
+        """Store-level summary: counts per kind, cache reuse, seeds."""
+        kinds: Dict[str, int] = {}
+        seeds = set()
+        cached = 0
+        total = 0
+        for record in self:
+            total += 1
+            kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+            seeds.add(record["seed"])
+            cached += 1 if record["cached"] else 0
+        return {
+            "records": total,
+            "by_kind": dict(sorted(kinds.items())),
+            "cached": cached,
+            "computed": total - cached,
+            "seeds": sorted(seeds),
+        }

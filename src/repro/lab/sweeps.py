@@ -1,0 +1,259 @@
+"""Declarative sweep builders: whole experiments as job lists.
+
+These functions translate the sweeps the stack already performs —
+the Fig. 6 synthesis design-space exploration, injection-rate load
+curves, saturation searches — into lists of content-addressed
+:class:`~repro.lab.jobs.Job` specs, plus the inverse: reassembling the
+familiar result objects (:class:`~repro.core.sweep.SweepResult`, load
+curves) from a completed batch or a replayed store.
+
+The enumeration order of :func:`synthesis_sweep_jobs` mirrors
+:meth:`repro.core.sweep.DesignSpaceExplorer.explore` exactly, so the
+parallel cached path and the classic serial path produce identical
+point lists — the property the acceptance tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.pareto import DEFAULT_OBJECTIVES, Objectives, pareto_front
+from repro.core.spec import CommunicationSpec
+from repro.core.specio import spec_to_dict
+from repro.core.sweep import SweepResult
+from repro.lab.executor import BatchResult, run_jobs
+from repro.lab.jobs import Job
+from repro.lab.records import design_point_from_dict, optional_floorplan_to_dict
+from repro.lab.store import ResultStore
+from repro.physical.floorplan import Floorplan
+from repro.physical.technology import TechNode
+from repro.sim.experiments import LoadPoint
+from repro.topology.presets import STANDARD_KINDS
+
+
+def default_switch_counts(num_cores: int) -> Tuple[int, ...]:
+    """The explorer's default sweep of switch counts for ``n`` cores."""
+    n = num_cores
+    return tuple(sorted({max(1, n // 4), max(2, n // 3), max(2, n // 2),
+                         max(2, (2 * n) // 3), n}))
+
+
+# ----------------------------------------------------------------------
+# Synthesis (Fig. 6) sweeps
+# ----------------------------------------------------------------------
+def synthesis_sweep_jobs(
+    spec: CommunicationSpec,
+    switch_counts: Optional[Sequence[int]] = None,
+    frequencies_hz: Sequence[float] = (400e6, 600e6, 800e6),
+    flit_widths: Sequence[int] = (32,),
+    include_baselines: bool = True,
+    tech_node: TechNode = TechNode.NM_65,
+    floorplan: Optional[Floorplan] = None,
+    tags: Sequence[str] = (),
+) -> List[Job]:
+    """The full Fig. 6 design-space sweep as independent jobs.
+
+    Point jobs come first (width-major, then frequency, then switch
+    count), then the mesh/star baselines — the exact order
+    ``DesignSpaceExplorer.explore`` evaluates serially.
+    """
+    n = len(spec.core_names)
+    if switch_counts is None:
+        switch_counts = default_switch_counts(n)
+    spec_data = spec_to_dict(spec)
+    floorplan_data = optional_floorplan_to_dict(floorplan)
+    base_tags = tuple(tags) + (f"sweep:{spec.name}",)
+
+    jobs: List[Job] = []
+    for width in flit_widths:
+        for freq in frequencies_hz:
+            for k in switch_counts:
+                if k < 1 or k > n:
+                    continue
+                jobs.append(Job(
+                    kind="synthesis",
+                    params={
+                        "spec": spec_data,
+                        "num_switches": k,
+                        "frequency_hz": freq,
+                        "flit_width": width,
+                        "tech_node": tech_node.value,
+                        "floorplan": floorplan_data,
+                    },
+                    tags=base_tags,
+                ))
+    if include_baselines:
+        for width in flit_widths:
+            for freq in frequencies_hz:
+                for baseline in ("mesh", "star"):
+                    jobs.append(Job(
+                        kind="baseline",
+                        params={
+                            "spec": spec_data,
+                            "baseline": baseline,
+                            "frequency_hz": freq,
+                            "flit_width": width,
+                            "tech_node": tech_node.value,
+                        },
+                        tags=base_tags,
+                    ))
+    return jobs
+
+
+def sweep_result_from_batch(
+    batch: BatchResult,
+    objectives: Objectives = DEFAULT_OBJECTIVES,
+) -> SweepResult:
+    """Reassemble a classic :class:`SweepResult` from a finished batch."""
+    points = []
+    baselines = []
+    for job, result in zip(batch.jobs, batch.results):
+        if job.kind == "synthesis":
+            points.append(design_point_from_dict(result["design"]))
+        elif job.kind == "baseline":
+            baselines.append(design_point_from_dict(result["design"]))
+    return SweepResult(
+        points=points,
+        front=pareto_front(points, objectives),
+        baselines=baselines,
+    )
+
+
+def sweep_result_from_store(
+    store: ResultStore,
+    tags: Sequence[str] = (),
+    objectives: Objectives = DEFAULT_OBJECTIVES,
+) -> SweepResult:
+    """Replay a stored sweep without recomputing anything.
+
+    This is the figure-script path: run ``repro batch`` once, then
+    rebuild the Pareto front from the JSONL store forever after.
+    """
+    points = store.design_points(tags=tags)
+    return SweepResult(
+        points=points,
+        front=pareto_front(points, objectives),
+        baselines=store.baseline_points(tags=tags),
+    )
+
+
+def run_synthesis_sweep(
+    spec: CommunicationSpec,
+    switch_counts: Optional[Sequence[int]] = None,
+    frequencies_hz: Sequence[float] = (400e6, 600e6, 800e6),
+    flit_widths: Sequence[int] = (32,),
+    include_baselines: bool = True,
+    tech_node: TechNode = TechNode.NM_65,
+    floorplan: Optional[Floorplan] = None,
+    objectives: Objectives = DEFAULT_OBJECTIVES,
+    workers: Optional[int] = None,
+    executor=None,
+    cache=None,
+    store: Optional[ResultStore] = None,
+    tags: Sequence[str] = (),
+) -> Tuple[SweepResult, BatchResult]:
+    """One-call parallel cached exploration; (sweep, batch accounting)."""
+    jobs = synthesis_sweep_jobs(
+        spec,
+        switch_counts=switch_counts,
+        frequencies_hz=frequencies_hz,
+        flit_widths=flit_widths,
+        include_baselines=include_baselines,
+        tech_node=tech_node,
+        floorplan=floorplan,
+        tags=tags,
+    )
+    batch = run_jobs(
+        jobs, executor=executor, workers=workers, cache=cache, store=store
+    )
+    return sweep_result_from_batch(batch, objectives), batch
+
+
+# ----------------------------------------------------------------------
+# Simulation sweeps
+# ----------------------------------------------------------------------
+def load_curve_jobs(
+    topology: str,
+    size: int,
+    rates: Sequence[float],
+    pattern: str = "uniform",
+    cycles: int = 1500,
+    warmup: int = 250,
+    packet_size: int = 4,
+    seed: int = 1,
+    noc_params: Optional[dict] = None,
+    tags: Sequence[str] = (),
+) -> List[Job]:
+    """One job per injection rate of a load-latency curve."""
+    if topology not in STANDARD_KINDS:
+        raise ValueError(
+            f"unknown topology {topology!r}; choose from {STANDARD_KINDS}"
+        )
+    base_tags = tuple(tags) + (f"curve:{topology}{size}:{pattern}",)
+    return [
+        Job(
+            kind="load_point",
+            params={
+                "topology": topology,
+                "size": size,
+                "rate": rate,
+                "pattern": pattern,
+                "cycles": cycles,
+                "warmup": warmup,
+                "packet_size": packet_size,
+                "noc_params": noc_params,
+            },
+            seed=seed,
+            tags=base_tags,
+        )
+        for rate in rates
+    ]
+
+
+def load_curve_from_batch(batch: BatchResult) -> List[LoadPoint]:
+    """LoadPoints from a finished curve batch, in offered-rate order."""
+    from repro.lab.records import load_point_from_dict
+
+    points = [
+        load_point_from_dict(result["point"])
+        for job, result in zip(batch.jobs, batch.results)
+        if job.kind == "load_point" and result.get("point") is not None
+    ]
+    points.sort(key=lambda p: p.offered_rate)
+    return points
+
+
+def saturation_job(
+    topology: str,
+    size: int,
+    pattern: str = "uniform",
+    latency_factor: float = 3.0,
+    cycles: int = 1500,
+    warmup: int = 250,
+    packet_size: int = 4,
+    seed: int = 1,
+    tolerance: float = 0.02,
+    noc_params: Optional[dict] = None,
+    tags: Sequence[str] = (),
+) -> Job:
+    """A single saturation bisection as a cacheable job."""
+    if topology not in STANDARD_KINDS:
+        raise ValueError(
+            f"unknown topology {topology!r}; choose from {STANDARD_KINDS}"
+        )
+    return Job(
+        kind="saturation",
+        params={
+            "topology": topology,
+            "size": size,
+            "pattern": pattern,
+            "latency_factor": latency_factor,
+            "cycles": cycles,
+            "warmup": warmup,
+            "packet_size": packet_size,
+            "tolerance": tolerance,
+            "noc_params": noc_params,
+        },
+        seed=seed,
+        tags=tuple(tags) + (f"saturation:{topology}{size}:{pattern}",),
+    )

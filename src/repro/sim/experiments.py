@@ -9,6 +9,15 @@ as library calls:
 * :func:`saturation_throughput` — the classic saturation point (where
   latency exceeds a multiple of its zero-load value), found by
   bisection.
+
+Every stochastic run takes an explicit ``seed`` and is fully
+deterministic under it: identical seeds reproduce identical
+:class:`LoadPoint` values field-for-field (the property the
+:mod:`repro.lab` content-addressed cache relies on).  The points of a
+load sweep are independent, so :func:`load_latency_curve` accepts an
+``executor`` (e.g. :class:`repro.lab.ProcessExecutor`) to fan the rates
+out over worker processes — results are byte-identical to the serial
+path.
 """
 
 from __future__ import annotations
@@ -65,6 +74,11 @@ def _run_point(
     )
 
 
+def _run_point_packed(args: tuple) -> Optional[LoadPoint]:
+    """Tuple-calling wrapper so executors can ``map`` over rate points."""
+    return _run_point(*args)
+
+
 def load_latency_curve(
     topology: Topology,
     table: RoutingTable,
@@ -76,21 +90,29 @@ def load_latency_curve(
     warmup: int = 250,
     packet_size: int = 4,
     seed: int = 1,
+    executor=None,
 ) -> List[LoadPoint]:
-    """The latency/throughput curve across an injection-rate sweep."""
+    """The latency/throughput curve across an injection-rate sweep.
+
+    Each rate point is an independent simulation, so passing an
+    ``executor`` with a ``map(fn, items)`` method (such as
+    :class:`repro.lab.ProcessExecutor`) runs them concurrently;
+    point order and values match the serial path exactly.
+    """
     if not rates:
         raise ValueError("need at least one rate")
     if any(not 0.0 < r <= 1.0 for r in rates):
         raise ValueError("rates must be in (0, 1]")
-    points = []
-    for rate in rates:
-        point = _run_point(
-            topology, table, params, vc_assignment, pattern, rate,
-            cycles, warmup, packet_size, seed,
-        )
-        if point is not None:
-            points.append(point)
-    return points
+    calls = [
+        (topology, table, params, vc_assignment, pattern, rate,
+         cycles, warmup, packet_size, seed)
+        for rate in rates
+    ]
+    if executor is None:
+        maybe_points = [_run_point_packed(call) for call in calls]
+    else:
+        maybe_points = executor.map(_run_point_packed, calls)
+    return [p for p in maybe_points if p is not None]
 
 
 def saturation_throughput(

@@ -1,0 +1,158 @@
+"""Cache hit/miss/invalidation and ResultStore query behaviour."""
+
+import json
+
+import pytest
+
+from repro.lab import (
+    Job,
+    NullCache,
+    ResultCache,
+    ResultStore,
+    run_jobs,
+    runner,
+)
+
+
+@runner("echo_cached", version=1)
+def _echo(job):
+    return {"value": dict(job.params), "seed": job.seed}
+
+
+def _job(x=1, seed=0, tags=()):
+    return Job(kind="echo_cached", params={"x": x}, seed=seed, tags=tags)
+
+
+class TestCacheKeys:
+    def test_identical_jobs_share_a_key(self):
+        assert _job(1).key == _job(1).key
+
+    def test_params_change_the_key(self):
+        assert _job(1).key != _job(2).key
+
+    def test_seed_changes_the_key(self):
+        assert _job(1, seed=0).key != _job(1, seed=1).key
+
+    def test_tags_do_not_change_the_key(self):
+        assert _job(1, tags=("a",)).key == _job(1, tags=("b",)).key
+
+    def test_kind_changes_the_key(self):
+        @runner("echo_cached_v2", version=1)
+        def _echo2(job):  # pragma: no cover - never run
+            return {}
+
+        a = Job(kind="echo_cached", params={"x": 1})
+        b = Job(kind="echo_cached_v2", params={"x": 1})
+        assert a.key != b.key
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+            Job(kind="no_such_kind", params={}).key
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" + "0" * 62) is None
+        cache.put("ab" + "0" * 62, {"v": 1})
+        assert cache.get("ab" + "0" * 62) == {"v": 1}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put(key, {"v": 1})
+        next(iter((tmp_path / "cd").glob("*.json"))).write_text("{broken")
+        assert cache.get(key) is None
+
+    def test_evict_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" + "a" * 62, {"i": i})
+        assert len(cache) == 3
+        assert cache.evict("00" + "a" * 62)
+        assert not cache.evict("00" + "a" * 62)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_rejects_malformed_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.get("../../etc/passwd")
+
+    def test_null_cache_never_stores(self):
+        cache = NullCache()
+        cache.put("ab" + "0" * 62, {"v": 1})
+        assert cache.get("ab" + "0" * 62) is None
+
+
+class TestRunJobsCaching:
+    def test_second_batch_recomputes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [_job(i) for i in range(4)]
+        first = run_jobs(jobs, cache=cache)
+        assert (first.computed, first.cached) == (4, 0)
+        second = run_jobs(jobs, cache=cache)
+        assert (second.computed, second.cached) == (0, 4)
+        assert second.hit_rate == 1.0
+        assert second.results == first.results
+
+    def test_changed_jobs_only_compute_the_delta(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_jobs([_job(i) for i in range(3)], cache=cache)
+        batch = run_jobs([_job(i) for i in range(5)], cache=cache)
+        assert (batch.computed, batch.cached) == (2, 3)
+
+    def test_seed_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_jobs([_job(1, seed=0)], cache=cache)
+        batch = run_jobs([_job(1, seed=1)], cache=cache)
+        assert batch.computed == 1
+
+    def test_results_align_with_job_order(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_jobs([_job(2)], cache=cache)  # warm one key out of order
+        batch = run_jobs([_job(3), _job(2), _job(1)], cache=cache)
+        assert [r["value"]["x"] for r in batch.results] == [3, 2, 1]
+
+
+class TestResultStore:
+    def test_append_and_filter(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_jobs([_job(1, tags=("t1",)), _job(2, tags=("t2",))], store=store)
+        assert len(store) == 2
+        assert len(store.records(kind="echo_cached")) == 2
+        assert len(store.records(tags=("t1",))) == 1
+        assert store.records(kind="load_point") == []
+
+    def test_latest_record_wins_per_key(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_jobs([_job(1)], store=store)
+        run_jobs([_job(1)], store=store)
+        assert len(store) == 2
+        assert len(store.records(kind="echo_cached")) == 1
+        assert len(store.records(kind="echo_cached", latest_only=False)) == 2
+
+    def test_cached_flag_recorded(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_jobs([_job(1)], cache=cache, store=store)
+        run_jobs([_job(1)], cache=cache, store=store)
+        meta = store.run_metadata()
+        assert meta["records"] == 2
+        assert meta["computed"] == 1 and meta["cached"] == 1
+
+    def test_result_for_key(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        job = _job(7)
+        run_jobs([job], store=store)
+        assert store.result_for(job.key)["value"]["x"] == 7
+        assert store.result_for("0" * 64) is None
+
+    def test_records_are_plain_jsonl(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        run_jobs([_job(1)], store=ResultStore(path))
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["kind"] == "echo_cached"
+        assert record["params"] == {"x": 1}
+        assert len(record["key"]) == 64

@@ -1,0 +1,63 @@
+"""Stable hashing: the foundation of cache-key correctness."""
+
+import pytest
+
+from repro.arch.parameters import DEFAULT_PARAMETERS, FlowControlKind
+from repro.lab import canonical_json, derive_seed, stable_hash, to_jsonable
+
+
+class TestToJsonable:
+    def test_plain_types_pass_through(self):
+        assert to_jsonable({"a": [1, 2.5, "x", None, True]}) == {
+            "a": [1, 2.5, "x", None, True]
+        }
+
+    def test_tuples_become_lists(self):
+        assert to_jsonable((1, (2, 3))) == [1, [2, 3]]
+
+    def test_sets_are_sorted(self):
+        assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+
+    def test_enums_use_values(self):
+        assert to_jsonable(FlowControlKind.ACK_NACK) == "ack_nack"
+
+    def test_dataclasses_decompose(self):
+        data = to_jsonable(DEFAULT_PARAMETERS)
+        assert data["flit_width"] == 32
+        assert data["flow_control"] == "on_off"
+
+    def test_rejects_noncanonical_objects(self):
+        with pytest.raises(TypeError):
+            to_jsonable(lambda: None)
+        with pytest.raises(TypeError):
+            to_jsonable({1: "non-string key"})
+
+
+class TestStableHash:
+    def test_key_order_is_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_values_matter(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_salt_changes_digest(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 1}, salt="v2")
+
+    def test_digest_is_reproducible_across_calls(self):
+        payload = {"spec": ["x", "y"], "rate": 0.25}
+        assert stable_hash(payload) == stable_hash(payload)
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": (2,)}) == '{"a":[2],"b":1}'
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "mc", 7) == derive_seed(1, "mc", 7)
+
+    def test_streams_are_independent(self):
+        seeds = {derive_seed(1, "mc", i) for i in range(50)}
+        assert len(seeds) == 50
+
+    def test_base_seed_matters(self):
+        assert derive_seed(1, "mc", 0) != derive_seed(2, "mc", 0)

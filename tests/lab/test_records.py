@@ -1,0 +1,101 @@
+"""Round-trip fidelity of the lab's serialized record forms."""
+
+import pytest
+
+from repro.apps import pip
+from repro.arch.parameters import ArbitrationKind, FlowControlKind, NocParameters
+from repro.core import CommunicationSpec, DesignSpaceExplorer
+from repro.lab import (
+    canonical_json,
+    design_point_from_dict,
+    design_point_to_dict,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    load_point_from_dict,
+    load_point_to_dict,
+    noc_parameters_from_dict,
+    noc_parameters_to_dict,
+)
+from repro.physical.floorplan import Block, Floorplan
+from repro.sim.experiments import LoadPoint
+
+
+@pytest.fixture(scope="module")
+def design_point():
+    spec = CommunicationSpec.from_workload(pip())
+    sweep = DesignSpaceExplorer(spec).explore(
+        switch_counts=(2,), frequencies_hz=(500e6,), include_baselines=False
+    )
+    return sweep.points[0]
+
+
+class TestDesignPointRecords:
+    def test_round_trip_preserves_metrics(self, design_point):
+        restored = design_point_from_dict(design_point_to_dict(design_point))
+        assert restored.name == design_point.name
+        assert restored.power_mw == design_point.power_mw
+        assert restored.avg_latency_ns == design_point.avg_latency_ns
+        assert restored.area_mm2 == design_point.area_mm2
+        assert restored.feasible == design_point.feasible
+
+    def test_round_trip_preserves_topology_and_routes(self, design_point):
+        restored = design_point_from_dict(design_point_to_dict(design_point))
+        assert sorted(restored.topology.cores) == sorted(
+            design_point.topology.cores
+        )
+        assert sorted(restored.topology.links) == sorted(
+            design_point.topology.links
+        )
+        for flow in [("inp_mem_a", "hs_a"), ("jug", "out_mem")]:
+            assert restored.routing_table.route(*flow).path == \
+                design_point.routing_table.route(*flow).path
+
+    def test_serialization_is_a_fixed_point(self, design_point):
+        """to_dict(from_dict(to_dict(p))) == to_dict(p) — the byte
+        identity the cache and the acceptance test rely on."""
+        once = design_point_to_dict(design_point)
+        twice = design_point_to_dict(design_point_from_dict(once))
+        assert canonical_json(once) == canonical_json(twice)
+
+    def test_missing_field_is_a_value_error(self, design_point):
+        data = design_point_to_dict(design_point)
+        del data["power_mw"]
+        with pytest.raises(ValueError):
+            design_point_from_dict(data)
+
+
+class TestLoadPointRecords:
+    def test_round_trip(self):
+        point = LoadPoint(0.2, 0.19, 14.5, 22.0, 812)
+        assert load_point_from_dict(load_point_to_dict(point)) == point
+
+
+class TestNocParametersRecords:
+    def test_round_trip_with_enums(self):
+        params = NocParameters(
+            flit_width=64,
+            num_vcs=2,
+            flow_control=FlowControlKind.ACK_NACK,
+            arbitration=ArbitrationKind.TDMA,
+            output_buffer_depth=4,
+        )
+        restored = noc_parameters_from_dict(noc_parameters_to_dict(params))
+        assert restored == params
+
+    def test_dict_form_is_plain_json(self):
+        data = noc_parameters_to_dict(NocParameters())
+        assert data["flow_control"] == "on_off"
+        assert data["arbitration"] == "round_robin"
+        canonical_json(data)  # must not raise
+
+
+class TestFloorplanRecords:
+    def test_round_trip(self):
+        fp = Floorplan([
+            Block("cpu", 1.0, 2.0, x_mm=0.5, y_mm=0.25),
+            Block("mem", 1.5, 1.5, x_mm=2.0, y_mm=0.0, fixed=True),
+        ])
+        restored = floorplan_from_dict(floorplan_to_dict(fp))
+        assert len(restored) == 2
+        assert restored.block("cpu").center == fp.block("cpu").center
+        assert restored.block("mem").fixed

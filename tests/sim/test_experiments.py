@@ -67,3 +67,92 @@ class TestSaturation:
             large, xy_routing(large), cycles=500, warmup=80, tolerance=0.05
         )
         assert sat_large <= sat_small
+
+
+class TestSaturationEdgeCases:
+    def test_never_saturating_network_returns_full_rate(self):
+        """With a huge latency-factor bound, the full sweepable range
+        never crosses the knee: the search must report the upper bound
+        rather than bisect forever."""
+        m = mesh(2, 2)
+        sat = saturation_throughput(
+            m, xy_routing(m), latency_factor=1000.0,
+            cycles=500, warmup=80, tolerance=0.05,
+        )
+        assert sat == 1.0
+
+    def test_no_packets_at_probe_rate_is_an_error(self):
+        """A window too short to deliver anything at the 2% zero-load
+        probe cannot define the latency threshold."""
+        m = mesh(2, 2)
+        with pytest.raises(RuntimeError):
+            saturation_throughput(m, xy_routing(m), cycles=2, warmup=1)
+
+    def test_near_zero_load_saturation_stays_in_low_rate_region(self):
+        """A latency factor barely above 1 declares saturation almost
+        immediately: the knee must land in the low-rate region, at or
+        above the probe floor, far below the conventional factor-3
+        saturation point."""
+        m = mesh(3, 3)
+        sat = saturation_throughput(
+            m, xy_routing(m), latency_factor=1.01,
+            cycles=500, warmup=80, tolerance=0.1,
+        )
+        assert 0.02 <= sat < 0.5
+
+    def test_result_always_within_sweepable_band(self):
+        m = mesh(3, 3)
+        for factor in (1.5, 3.0, 10.0):
+            sat = saturation_throughput(
+                m, xy_routing(m), latency_factor=factor,
+                cycles=400, warmup=80, tolerance=0.1,
+            )
+            assert 0.02 <= sat <= 1.0
+
+    def test_tighter_latency_bound_saturates_no_later(self):
+        m = mesh(3, 3)
+        tight = saturation_throughput(
+            m, xy_routing(m), latency_factor=2.0,
+            cycles=500, warmup=80, tolerance=0.05,
+        )
+        loose = saturation_throughput(
+            m, xy_routing(m), latency_factor=8.0,
+            cycles=500, warmup=80, tolerance=0.05,
+        )
+        assert tight <= loose
+
+
+class TestSinglePointSweep:
+    def test_single_rate_curve(self, net):
+        """The degenerate one-point sweep is a valid curve."""
+        m, t = net
+        curve = load_latency_curve(m, t, [0.1], cycles=500, warmup=80)
+        assert len(curve) == 1
+        assert curve[0].offered_rate == 0.1
+        assert curve[0].packets > 0
+
+
+class TestSeedReproducibility:
+    """Explicit-seed determinism — the contract the repro.lab
+    content-addressed cache depends on: a cache key includes the seed,
+    so identical seeds MUST reproduce identical results."""
+
+    def test_identical_seeds_identical_load_points(self, net):
+        m, t = net
+        a = load_latency_curve(m, t, [0.1, 0.25], cycles=500, warmup=80,
+                               seed=42)
+        b = load_latency_curve(m, t, [0.1, 0.25], cycles=500, warmup=80,
+                               seed=42)
+        assert a == b  # LoadPoint is frozen: field-for-field equality
+
+    def test_different_seeds_differ(self, net):
+        m, t = net
+        a = load_latency_curve(m, t, [0.25], cycles=500, warmup=80, seed=1)
+        b = load_latency_curve(m, t, [0.25], cycles=500, warmup=80, seed=2)
+        assert a != b
+
+    def test_saturation_deterministic_under_seed(self, net):
+        m, t = net
+        kw = dict(cycles=400, warmup=80, tolerance=0.1, seed=9)
+        assert saturation_throughput(m, t, **kw) == \
+            saturation_throughput(m, t, **kw)

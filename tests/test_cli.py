@@ -153,3 +153,69 @@ class TestChips:
         for chip in ("teraflops", "tile_gx", "faust", "bone", "spin"):
             assert chip in out
         assert "1.62 Tb/s" in out
+
+
+class TestBatch:
+    def _synthesis_args(self, tmp_path, extra=()):
+        return [
+            "batch", "synthesis", "--workload", "pip",
+            "--switches", "2", "--frequencies", "500",
+            "--cache-dir", str(tmp_path / "cache"),
+            *extra,
+        ]
+
+    def test_synthesis_sweep_prints_front(self, tmp_path, capsys):
+        assert main(self._synthesis_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "3 computed, 0 from cache" in out
+        assert "Pareto front" in out
+        assert "pip-custom-k2" in out
+        assert "[ref] pip-mesh3x3" in out
+
+    def test_second_invocation_is_all_cache_hits(self, tmp_path, capsys):
+        assert main(self._synthesis_args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._synthesis_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 3 from cache (100% hit rate)" in out
+
+    def test_no_cache_always_recomputes(self, tmp_path, capsys):
+        args = self._synthesis_args(tmp_path, extra=["--no-cache"])
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "3 computed, 0 from cache" in capsys.readouterr().out
+
+    def test_store_records_sweep(self, tmp_path, capsys):
+        from repro.lab import ResultStore
+
+        store_path = tmp_path / "results.jsonl"
+        args = self._synthesis_args(
+            tmp_path, extra=["--store", str(store_path), "--jobs", "2"]
+        )
+        assert main(args) == 0
+        store = ResultStore(store_path)
+        assert store.run_metadata()["by_kind"] == {
+            "baseline": 2, "synthesis": 1,
+        }
+        assert len(store.pareto()) == 1
+
+    def test_loadcurve_sweep(self, tmp_path, capsys):
+        rc = main([
+            "batch", "loadcurve", "--topology", "mesh", "--size", "3",
+            "--rates", "0.05", "0.1", "--cycles", "300", "--warmup", "60",
+            "--cache-dir", str(tmp_path / "cache"), "--jobs", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 computed" in out
+        assert "offered" in out and "0.050" in out
+
+    def test_saturation_sweep(self, tmp_path, capsys):
+        rc = main([
+            "batch", "saturation", "--topology", "mesh", "--size", "2",
+            "--cycles", "300", "--warmup", "60",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        assert "saturation throughput" in capsys.readouterr().out
