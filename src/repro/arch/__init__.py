@@ -13,6 +13,7 @@ from repro.arch.parameters import (
     NocParameters,
 )
 from repro.arch.packet import (
+    EndToEndAck,
     Flit,
     FlitType,
     MessageClass,
@@ -23,7 +24,12 @@ from repro.arch.packet import (
 from repro.arch.arbiter import FixedPriorityArbiter, RoundRobinArbiter, TdmaArbiter
 from repro.arch.link import AckNackLink, CreditLink, Link, OnOffLink, make_link
 from repro.arch.switch import InputPort, SwitchModel
-from repro.arch.network_interface import InitiatorNI, RoutingLut, TargetNI
+from repro.arch.network_interface import (
+    InitiatorNI,
+    RetransmissionPolicy,
+    RoutingLut,
+    TargetNI,
+)
 from repro.arch.ocp import (
     OcpCommand,
     OcpTransaction,
@@ -39,6 +45,7 @@ __all__ = [
     "DEFAULT_PARAMETERS",
     "FlowControlKind",
     "NocParameters",
+    "EndToEndAck",
     "Flit",
     "FlitType",
     "MessageClass",
@@ -56,6 +63,7 @@ __all__ = [
     "InputPort",
     "SwitchModel",
     "InitiatorNI",
+    "RetransmissionPolicy",
     "RoutingLut",
     "TargetNI",
     "OcpCommand",

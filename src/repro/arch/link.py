@@ -59,9 +59,92 @@ class Link:
         self._in_flight: Deque[Tuple[int, Flit]] = deque()  # (deliver_at, flit)
         self._last_send_cycle = -1
         self.flits_carried = 0  # lifetime statistics (utilization, power)
+        # Live fault state (see repro.sim.faults).  A hard-failed link is
+        # a *blackhole*: it still grants sends but silently drops every
+        # flit at the receiver boundary.  Refusing sends instead would
+        # park the head flit at the upstream switch forever and head-of-
+        # line-block healthy traffic through the same FIFO — the loss
+        # must stay local so the recovery controller can localize it.  A
+        # transient burst corrupts delivering flits with a seeded
+        # probability until the burst window closes.
+        self.failed = False
+        self.flits_dropped = 0
+        self._burst_until = -1
+        self._burst_probability = 0.0
+        self._burst_rng = None
+        # Packets truncated by burst corruption: once a packet's head is
+        # corrupted, its remaining flits die on this link too.  Wormhole
+        # switches cannot digest a headless body (no lock is ever taken)
+        # or a tailless head (the lock is never released), so corruption
+        # is packet-granular — either a whole packet crosses or none of
+        # it does.  Link-level retransmission (AckNackLink) recovers
+        # per-flit instead and does not use this set.
+        self._poisoned: set = set()
 
     def connect(self, receiver: Receiver) -> None:
         self.receiver = receiver
+
+    # -- fault injection -------------------------------------------------
+    def fail(self, cycle: int) -> int:
+        """Hard-fail the link; returns the number of flits lost in flight."""
+        self.failed = True
+        lost = len(self._in_flight)
+        self.flits_dropped += lost
+        self._in_flight.clear()
+        return lost
+
+    def repair(self, cycle: int) -> None:
+        """Bring a failed link back up with reset flow-control state."""
+        self.failed = False
+        self._in_flight.clear()
+        self._poisoned.clear()
+        self._on_repair(cycle)
+
+    def _on_repair(self, cycle: int) -> None:
+        """Subclass hook: reset protocol state after a repair."""
+
+    def start_corruption_burst(
+        self, until_cycle: int, probability: float, rng
+    ) -> None:
+        """Corrupt delivering packets with ``probability`` until ``until_cycle``.
+
+        Corruption is sampled once per packet, at its head flit; a hit
+        truncates the whole packet on this link (see ``_poisoned``).
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("corruption probability must be in [0, 1]")
+        self._burst_until = until_cycle
+        self._burst_probability = probability
+        self._burst_rng = rng
+
+    def _burst_corrupts(self, cycle: int) -> bool:
+        return (
+            cycle < self._burst_until
+            and self._burst_rng is not None
+            and self._burst_rng.random() < self._burst_probability
+        )
+
+    def purge(self, predicate, cycle: int) -> int:
+        """Drop in-flight flits whose packet matches ``predicate``.
+
+        Used by the recovery controller to quiesce flows that can no
+        longer reach their destination; flow-control state is repaired
+        per subclass (credits returned, occupancy counters adjusted).
+        """
+        keep: Deque[Tuple[int, Flit]] = deque()
+        purged = 0
+        for at, flit in self._in_flight:
+            if predicate(flit.packet):
+                self._discard(flit, cycle)
+                purged += 1
+            else:
+                keep.append((at, flit))
+        self._in_flight = keep
+        return purged
+
+    def _discard(self, flit: Flit, cycle: int) -> None:
+        """Drop one flit at the receiver boundary (CRC fail / dead sink)."""
+        self.flits_dropped += 1
 
     # -- sender interface ------------------------------------------------
     def can_send(self, vc: int, cycle: int) -> bool:
@@ -85,7 +168,19 @@ class Link:
         """Deliver flits whose traversal completes this cycle."""
         while self._in_flight and self._in_flight[0][0] <= cycle:
             __, flit = self._in_flight.popleft()
-            self._deliver(flit, cycle)
+            packet_id = flit.packet.packet_id
+            if self.failed:
+                self._discard(flit, cycle)
+            elif packet_id in self._poisoned:
+                self._discard(flit, cycle)
+                if flit.is_tail:
+                    self._poisoned.discard(packet_id)
+            elif flit.is_head and self._burst_corrupts(cycle):
+                self._discard(flit, cycle)
+                if not flit.is_tail:
+                    self._poisoned.add(packet_id)
+            else:
+                self._deliver(flit, cycle)
 
     def _deliver(self, flit: Flit, cycle: int) -> None:
         raise NotImplementedError
@@ -102,10 +197,13 @@ class CreditLink(Link):
         super().__init__(name, delay_cycles, num_vcs)
         if buffer_depth < 1:
             raise ValueError("downstream buffer depth must be >= 1")
+        self.buffer_depth = buffer_depth
         self.credits = [buffer_depth] * num_vcs
         self._returning: Deque[Tuple[int, int]] = deque()  # (arrive_at, vc)
 
     def can_send(self, vc: int, cycle: int) -> bool:
+        if self.failed:
+            return True  # blackhole: the flit will be dropped on arrival
         self._collect_credits(cycle)
         return self.credits[vc] > 0
 
@@ -132,6 +230,17 @@ class CreditLink(Link):
             raise RuntimeError(
                 f"link {self.name}: receiver overflow under credit flow control"
             )
+
+    def _discard(self, flit: Flit, cycle: int) -> None:
+        # The flit dies at the receiver boundary without occupying a
+        # buffer slot, so the credit the sender spent flows back (the
+        # receiver's CRC check frees the reserved slot immediately).
+        self.flits_dropped += 1
+        self._returning.append((cycle + self.delay_cycles, flit.vc))
+
+    def _on_repair(self, cycle: int) -> None:
+        self.credits = [self.buffer_depth] * self.num_vcs
+        self._returning.clear()
 
 
 class OnOffLink(Link):
@@ -166,6 +275,8 @@ class OnOffLink(Link):
         self._in_flight_per_vc = [0] * num_vcs
 
     def can_send(self, vc: int, cycle: int) -> bool:
+        if self.failed:
+            return True  # blackhole: the flit will be dropped on arrival
         observed = self._history[vc][0]
         effective = observed - self._in_flight_per_vc[vc]
         return effective > max(0, self.threshold - 1)
@@ -188,6 +299,21 @@ class OnOffLink(Link):
             raise RuntimeError(
                 f"link {self.name}: receiver overflow under ON/OFF flow control"
             )
+
+    def _discard(self, flit: Flit, cycle: int) -> None:
+        self._in_flight_per_vc[flit.vc] -= 1
+        self.flits_dropped += 1
+
+    def fail(self, cycle: int) -> int:
+        lost = super().fail(cycle)
+        self._in_flight_per_vc = [0] * self.num_vcs
+        return lost
+
+    def _on_repair(self, cycle: int) -> None:
+        for history in self._history:
+            history.clear()
+            history.extend([self.buffer_depth] * self.delay_cycles)
+        self._in_flight_per_vc = [0] * self.num_vcs
 
 
 class AckNackLink(Link):
@@ -239,16 +365,45 @@ class AckNackLink(Link):
     def can_send(self, vc: int, cycle: int) -> bool:
         # Accept a *new* flit only when the window has room; actual wire
         # transmission is scheduled by tick().
+        if self.failed:
+            return True  # blackhole: the flit will be dropped on arrival
         self._process_control(cycle)
         return len(self._buffer) < self.window
 
     def send(self, flit: Flit, cycle: int) -> None:
+        if self.failed:
+            # Blackhole: never buffered, never acknowledged, just gone.
+            self.flits_dropped += 1
+            return
         if not self.can_send(flit.vc, cycle):
             raise RuntimeError(f"link {self.name}: window full")
         self._buffer.append(flit)
         self.flits_carried += 1
 
+    def fail(self, cycle: int) -> int:
+        lost = len(self._in_flight) + len(self._buffer)
+        self.failed = True
+        self.flits_dropped += lost
+        self._in_flight.clear()
+        self._buffer.clear()
+        self._control.clear()
+        self._base_seq = self._expected_seq = 0
+        self._send_ptr = self._high_water = 0
+        self._last_nacked = None
+        return lost
+
+    def _on_repair(self, cycle: int) -> None:
+        self._last_event_cycle = cycle
+
+    def purge(self, predicate, cycle: int) -> int:
+        # Go-back-N sequence numbering cannot tolerate holes in the
+        # retransmission window, so quiescing leaves ACK/NACK links
+        # alone; end-to-end retransmission still recovers the packets.
+        return 0
+
     def tick(self, cycle: int) -> None:
+        if self.failed:
+            return
         self._process_control(cycle)
         # Timeout recovery: everything transmitted, nothing in flight, no
         # control responses pending, yet flits remain unacknowledged —
@@ -280,6 +435,12 @@ class AckNackLink(Link):
 
     # -- receiver ------------------------------------------------------------
     def _receive(self, seq: int, flit: Flit, cycle: int) -> None:
+        if self._burst_corrupts(cycle):
+            # Injected burst corruption: same CRC-failure path as the
+            # steady-state error model — discard and replay.
+            self.flits_corrupted += 1
+            self._nack(self._expected_seq, cycle)
+            return
         if (
             self.flit_error_probability > 0.0
             and self._error_rng.random() < self.flit_error_probability

@@ -20,15 +20,21 @@ slaves." (Section 3)
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.arch.link import Link
-from repro.arch.packet import Flit, MessageClass, Packet
+from repro.arch.packet import EndToEndAck, Flit, MessageClass, Packet
 from repro.arch.parameters import NocParameters
 
 
 class RoutingLut:
-    """The NI look-up table: destination core -> (route, vc path)."""
+    """The NI look-up table: destination core -> (route, vc path).
+
+    The LUT is the hardware the paper's reconfigurable-NoC claims hinge
+    on: recovery from hard faults is a LUT rewrite, so entries can be
+    replaced or removed at run time (:meth:`set` / :meth:`remove`).
+    """
 
     def __init__(self):
         self._entries: Dict[str, Tuple[Tuple[str, ...], Optional[Tuple[int, ...]]]] = {}
@@ -36,6 +42,13 @@ class RoutingLut:
     def set(self, destination: str, route: Tuple[str, ...],
             vc_path: Optional[Tuple[int, ...]] = None) -> None:
         self._entries[destination] = (route, vc_path)
+
+    def remove(self, destination: str) -> None:
+        """Drop the entry (the destination became unreachable)."""
+        self._entries.pop(destination, None)
+
+    def destinations(self) -> List[str]:
+        return sorted(self._entries)
 
     def lookup(self, destination: str) -> Tuple[Tuple[str, ...], Optional[Tuple[int, ...]]]:
         try:
@@ -48,6 +61,55 @@ class RoutingLut:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+@dataclass(frozen=True)
+class RetransmissionPolicy:
+    """End-to-end NI retransmission: timeout, bounded retries, backoff.
+
+    The link-level ACK/NACK scheme recovers single-hop losses; this is
+    the NI-level transport that survives *component* loss: every
+    best-effort/request packet carries a transfer id, the target NI
+    acks completed packets, and an unacknowledged transfer is re-sent
+    over whatever route the (possibly hot-swapped) LUT currently holds.
+    """
+
+    timeout_cycles: int = 256
+    max_retries: int = 12
+    backoff: float = 2.0
+    max_timeout_cycles: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.timeout_cycles < 1:
+            raise ValueError("retransmission timeout must be >= 1 cycle")
+        if self.max_retries < 0:
+            raise ValueError("max retries must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.max_timeout_cycles < self.timeout_cycles:
+            raise ValueError("timeout cap must be >= the base timeout")
+
+    def timeout_after(self, retries: int) -> int:
+        """Deadline distance for the (retries+1)-th attempt."""
+        return min(
+            self.max_timeout_cycles,
+            int(self.timeout_cycles * self.backoff ** retries),
+        )
+
+
+@dataclass
+class _PendingTransfer:
+    """Book-keeping for one unacknowledged logical transfer."""
+
+    transfer_id: Tuple[str, int]
+    destination: str
+    size_flits: int
+    message_class: MessageClass
+    connection_id: Optional[int]
+    payload: Optional[object]
+    injection_cycle: int
+    deadline: int
+    retries: int = 0
 
 
 class InitiatorNI:
@@ -76,6 +138,16 @@ class InitiatorNI:
         self.trace = None  # optional callback(cycle, flit) on injection
         self.packets_injected = 0
         self.flits_injected = 0
+        # End-to-end retransmission (None = disabled, the default).
+        self.retransmission: Optional[RetransmissionPolicy] = None
+        self._pending: Dict[Tuple[str, int], _PendingTransfer] = {}
+        self._next_transfer_seq = 0
+        self.packets_retransmitted = 0
+        self.packets_recovered = 0     # delivered after >= 1 retransmission
+        self.packets_lost = 0          # retries exhausted
+        self.packets_abandoned_unreachable = 0  # destination left the LUT
+        self.on_timeout: Optional[Callable[[str, str, int], None]] = None
+        self.on_ack: Optional[Callable[[str, str, int], None]] = None
 
     def connect(self, link: Link) -> None:
         self.injection_link = link
@@ -89,6 +161,23 @@ class InitiatorNI:
         route, vc_path = self.lut.lookup(destination)
         if message_class is MessageClass.GUARANTEED and self.gt_vc is not None:
             vc_path = tuple([self.gt_vc] * (len(route) - 1))
+        transfer_id = None
+        if self.retransmission is not None and message_class in (
+            MessageClass.BEST_EFFORT,
+            MessageClass.REQUEST,
+        ):
+            transfer_id = (self.core, self._next_transfer_seq)
+            self._next_transfer_seq += 1
+            self._pending[transfer_id] = _PendingTransfer(
+                transfer_id=transfer_id,
+                destination=destination,
+                size_flits=size_flits,
+                message_class=message_class,
+                connection_id=connection_id,
+                payload=payload,
+                injection_cycle=cycle,
+                deadline=cycle + self.retransmission.timeout_after(0),
+            )
         packet = Packet(
             source=self.core,
             destination=destination,
@@ -99,6 +188,7 @@ class InitiatorNI:
             connection_id=connection_id,
             vc_path=vc_path,
             payload=payload,
+            transfer_id=transfer_id,
         )
         self.enqueue(packet)
         return packet
@@ -196,6 +286,122 @@ class InitiatorNI:
         if self.trace is not None:
             self.trace(cycle, flit)
 
+    # ------------------------------------------------------------------
+    # End-to-end retransmission (transport layer)
+    # ------------------------------------------------------------------
+    @property
+    def pending_transfers(self) -> int:
+        """Transfers sent but not yet acknowledged end to end."""
+        return len(self._pending)
+
+    def confirm_delivery(self, transfer_id: Tuple[str, int], cycle: int) -> None:
+        """An end-to-end ack arrived: the transfer is complete."""
+        transfer = self._pending.pop(transfer_id, None)
+        if transfer is None:
+            return  # duplicate ack, or the transfer was already abandoned
+        if transfer.retries > 0:
+            self.packets_recovered += 1
+        if self.on_ack is not None:
+            self.on_ack(self.core, transfer.destination, cycle)
+
+    def check_timeouts(self, cycle: int) -> None:
+        """Retransmit transfers whose ack deadline passed (with backoff)."""
+        policy = self.retransmission
+        if policy is None or not self._pending:
+            return
+        for transfer in list(self._pending.values()):
+            if cycle < transfer.deadline:
+                continue
+            transfer.retries += 1
+            if self.on_timeout is not None:
+                self.on_timeout(self.core, transfer.destination, cycle)
+            if transfer.retries > policy.max_retries:
+                del self._pending[transfer.transfer_id]
+                self.packets_lost += 1
+                continue
+            transfer.deadline = cycle + policy.timeout_after(transfer.retries)
+            if self._is_queued(transfer.transfer_id):
+                # A copy is still waiting to serialize (the NI may be
+                # head-of-line blocked toward the fault); re-queueing
+                # another would only duplicate backlog.
+                continue
+            if transfer.destination not in self.lut:
+                del self._pending[transfer.transfer_id]
+                self.packets_abandoned_unreachable += 1
+                continue
+            route, vc_path = self.lut.lookup(transfer.destination)
+            copy = Packet(
+                source=self.core,
+                destination=transfer.destination,
+                size_flits=transfer.size_flits,
+                route=route,
+                injection_cycle=transfer.injection_cycle,
+                message_class=transfer.message_class,
+                connection_id=transfer.connection_id,
+                vc_path=vc_path,
+                payload=transfer.payload,
+                transfer_id=transfer.transfer_id,
+            )
+            self.enqueue(copy)
+            self.packets_retransmitted += 1
+
+    def abandon_unreachable(self, cycle: int) -> int:
+        """Give up on transfers whose destination left the LUT.
+
+        Called after a routing hot-swap: destinations severed by the
+        fault have no entry in the reconfigured table, so waiting for
+        their acks (or retransmitting toward them) is futile.
+        """
+        abandoned = 0
+        for transfer_id in sorted(self._pending):
+            if self._pending[transfer_id].destination not in self.lut:
+                del self._pending[transfer_id]
+                self.packets_abandoned_unreachable += 1
+                abandoned += 1
+        return abandoned
+
+    def _is_queued(self, transfer_id: Tuple[str, int]) -> bool:
+        if self._current_be and self._current_be[0].packet.transfer_id == transfer_id:
+            return True
+        if any(p.transfer_id == transfer_id for p in self._be_queue):
+            return True
+        for flits in self._current_gt.values():
+            if flits and flits[0].packet.transfer_id == transfer_id:
+                return True
+        return any(
+            p.transfer_id == transfer_id
+            for queue in self._gt_queues.values()
+            for p in queue
+        )
+
+    def purge_queued(self, predicate, cycle: int) -> int:
+        """Drop queued/serializing packets matching ``predicate``.
+
+        The flits already injected are purged from the network by the
+        simulator; the pending-transfer entry survives, so the transfer
+        retransmits over the post-recovery route at its next timeout.
+        """
+        purged = 0
+        kept = deque(p for p in self._be_queue if not predicate(p))
+        purged += len(self._be_queue) - len(kept)
+        self._be_queue = kept
+        if self._current_be and predicate(self._current_be[0].packet):
+            self._current_be = None
+            purged += 1
+        for cid in list(self._gt_queues):
+            kept = deque(p for p in self._gt_queues[cid] if not predicate(p))
+            purged += len(self._gt_queues[cid]) - len(kept)
+            if kept:
+                self._gt_queues[cid] = kept
+            else:
+                del self._gt_queues[cid]
+        for cid in list(self._current_gt):
+            flits = self._current_gt[cid]
+            if flits and predicate(flits[0].packet):
+                del self._current_gt[cid]
+                purged += 1
+        return purged
+
 
 class TargetNI:
     """Slave-side NI: sink, reassembly, optional response generation.
@@ -221,6 +427,20 @@ class TargetNI:
         self.response_ni: Optional[InitiatorNI] = None
         self.packets_received: List[Tuple[Packet, int]] = []  # (packet, arrival)
         self.flits_received = 0
+        # Transport-layer state (end-to-end retransmission).
+        self._seen_transfers: Set[Tuple[str, int]] = set()
+        self.duplicates_discarded = 0
+        self.acks_sent = 0
+
+    @property
+    def idle(self) -> bool:
+        """Nothing buffered and no response awaiting its service latency."""
+        return not self._buffer and not self._pending_responses
+
+    @property
+    def backlog(self) -> int:
+        """Flits waiting in the ejection buffer (drain census)."""
+        return len(self._buffer)
 
     def set_responder(
         self,
@@ -278,6 +498,24 @@ class TargetNI:
             self.trace(cycle, flit)
         if flit.is_tail:
             packet = flit.packet
+            if isinstance(packet.payload, EndToEndAck):
+                # Transport control: confirm the transfer on the
+                # co-located initiator NI; acks never enter statistics.
+                if self.response_ni is not None:
+                    self.response_ni.confirm_delivery(
+                        packet.payload.transfer_id, cycle
+                    )
+                return
+            if packet.transfer_id is not None:
+                duplicate = packet.transfer_id in self._seen_transfers
+                self._seen_transfers.add(packet.transfer_id)
+                self._acknowledge(packet, cycle)
+                if duplicate:
+                    # A retransmitted copy of an already-delivered
+                    # packet (its ack was lost or slow): re-ack above,
+                    # but never double-count the delivery.
+                    self.duplicates_discarded += 1
+                    return
             self.packets_received.append((packet, cycle))
             if (
                 self._responder is not None
@@ -296,3 +534,21 @@ class TargetNI:
                         self._pending_responses.append(
                             (cycle + self._service_cycles, response)
                         )
+
+    def _acknowledge(self, packet: Packet, cycle: int) -> None:
+        """Send the one-flit end-to-end ack back to the packet source."""
+        if self.response_ni is None or packet.source not in self.response_ni.lut:
+            return  # source unreachable (severed by a fault): it will give up
+        route, vc_path = self.response_ni.lut.lookup(packet.source)
+        ack = Packet(
+            source=self.core,
+            destination=packet.source,
+            size_flits=1,
+            route=route,
+            injection_cycle=cycle,
+            message_class=MessageClass.RESPONSE,
+            vc_path=vc_path,
+            payload=EndToEndAck(packet.transfer_id),
+        )
+        self.response_ni.enqueue(ack)
+        self.acks_sent += 1

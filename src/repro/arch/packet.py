@@ -35,6 +35,21 @@ class MessageClass(Enum):
     RESPONSE = "response"
 
 
+@dataclass(frozen=True)
+class EndToEndAck:
+    """Payload of a transport-level delivery acknowledgement.
+
+    When NI end-to-end retransmission is enabled, the target NI answers
+    every completed data packet with a one-flit packet carrying this
+    marker back to the source; the source NI clears the matching entry
+    from its retransmission queue.  Ack packets are pure transport
+    control: they consume network bandwidth like any flit but never
+    appear in delivery statistics.
+    """
+
+    transfer_id: Tuple[str, int]  # (source core, per-source sequence)
+
+
 _packet_ids = itertools.count()
 
 
@@ -58,6 +73,11 @@ class Packet:
     vc_path: Optional[Tuple[int, ...]] = None  # VC per link, len(route) - 1
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     payload: Optional[object] = None
+    #: Transport-level identity for end-to-end retransmission: all
+    #: (re)transmissions of one logical transfer share this id, so the
+    #: target NI can discard duplicates and ack the original.  ``None``
+    #: when retransmission is disabled (the default).
+    transfer_id: Optional[Tuple[str, int]] = None
 
     def __post_init__(self) -> None:
         if self.size_flits < 1:

@@ -90,11 +90,17 @@ class SwitchModel:
         self.outputs: Dict[str, Link] = {}
         # Wormhole ownership: (output node, vc) -> (input node, input vc)
         self._locks: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        # Which packet holds each lock — needed to release locks of
+        # packets purged by the recovery controller without disturbing
+        # healthy in-flight wormholes.
+        self._lock_owner: Dict[Tuple[str, int], "object"] = {}
         self._arbiters: Dict[str, RoundRobinArbiter] = {}
         self._tdma: Dict[str, TdmaArbiter] = {}
         self.now = -1  # updated at each tick; used for pipeline timing
         self.trace = None  # optional callback(cycle, flit) on forward
         self.flits_forwarded = 0
+        self.failed = False  # a dead switch neither buffers nor forwards
+        self.flits_dropped = 0
 
     # ------------------------------------------------------------------
     # Wiring (done by the simulator builder)
@@ -131,6 +137,8 @@ class SwitchModel:
         bandwidth constraint) and each output link carries at most one.
         """
         self.now = cycle
+        if self.failed:
+            return
         if not hasattr(self, "_sorted_inputs"):
             self._sorted_inputs = sorted(self.inputs)
             self._sorted_outputs = sorted(self.outputs)
@@ -178,8 +186,10 @@ class SwitchModel:
             if flit.packet.message_class is not MessageClass.GUARANTEED:
                 if flit.is_head:
                     self._locks[(downstream, out_vc)] = (upstream, vc)
+                    self._lock_owner[(downstream, out_vc)] = flit.packet
                 if flit.is_tail:
                     self._locks.pop((downstream, out_vc), None)
+                    self._lock_owner.pop((downstream, out_vc), None)
             self.outputs[downstream].send(flit, cycle)
             flit.hop += 1
             self.flits_forwarded += 1
@@ -230,6 +240,51 @@ class SwitchModel:
         return by_slot[granted]
 
     # ------------------------------------------------------------------
+    # Fault injection and recovery support
+    # ------------------------------------------------------------------
+    def fail(self, cycle: int) -> int:
+        """Kill the switch: drop all buffered flits, stop forwarding."""
+        self.failed = True
+        dropped = 0
+        for port in self.inputs.values():
+            for buf in port.buffers:
+                dropped += len(buf)
+                buf.clear()
+        self.flits_dropped += dropped
+        self._locks.clear()
+        self._lock_owner.clear()
+        return dropped
+
+    def repair(self, cycle: int) -> None:
+        """Bring a dead switch back (buffers start empty)."""
+        self.failed = False
+
+    def purge(self, predicate, cycle: int) -> int:
+        """Drop buffered flits whose packet matches ``predicate``.
+
+        Credits for purged flits return upstream (the slot is freed),
+        and wormhole locks owned by purged packets are released so the
+        output VCs they were holding become available again.
+        """
+        purged = 0
+        for port in self.inputs.values():
+            for buf in port.buffers:
+                keep = deque()
+                for flit, ready in buf:
+                    if predicate(flit.packet):
+                        if isinstance(port.upstream_link, CreditLink):
+                            port.upstream_link.return_credit(flit.vc, cycle)
+                        purged += 1
+                    else:
+                        keep.append((flit, ready))
+                buf.clear()
+                buf.extend(keep)
+        for key, owner in list(self._lock_owner.items()):
+            if predicate(owner):
+                self._locks.pop(key, None)
+                self._lock_owner.pop(key, None)
+        return purged
+
     @property
     def occupancy(self) -> int:
         """Total flits buffered in this switch (stats/idle detection)."""

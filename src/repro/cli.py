@@ -193,6 +193,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         NullCache,
         ResultCache,
         ResultStore,
+        fault_campaign_jobs,
+        fault_summary_from_batch,
         load_curve_from_batch,
         load_curve_jobs,
         run_jobs,
@@ -222,6 +224,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
         print(f"Batch load curve on {args.topology} (size {args.size}), "
               f"{len(jobs)} rates")
+    elif args.sweep == "faults":
+        jobs = fault_campaign_jobs(
+            args.topology, args.size, runs=args.runs,
+            pattern=args.pattern, rate=args.rate, cycles=args.cycles,
+            packet_size=args.packet_size, link_faults=args.link_faults,
+            switch_faults=args.switch_faults,
+            transient_bursts=args.transient_bursts,
+            repair_after=args.repair_after, seed=args.seed,
+        )
+        print(f"Batch fault campaign on {args.topology} "
+              f"(size {args.size}), {len(jobs)} runs")
     else:  # saturation
         jobs = [saturation_job(
             args.topology, args.size,
@@ -252,6 +265,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for point in load_curve_from_batch(batch):
             print(f"{point.offered_rate:>8.3f} {point.accepted_rate:>9.3f} "
                   f"{point.mean_latency:>9.1f} {point.p95_latency:>6.0f}")
+    elif args.sweep == "faults":
+        summary = fault_summary_from_batch(batch)
+        print(f"survived {summary['survived']}/{summary['runs']} runs "
+              f"({summary['faults_injected']} faults, "
+              f"{summary['recoveries']} recoveries, "
+              f"{summary['gave_up']} gave up)")
+        if summary["mean_survival_rate"] is not None:
+            print(f"survival rate: mean {summary['mean_survival_rate']:.4f}, "
+                  f"min {summary['min_survival_rate']:.4f}")
+        print(f"packets: {summary['packets_delivered']} delivered, "
+              f"{summary['packets_lost']} lost, "
+              f"{summary['packets_abandoned_unreachable']} unreachable, "
+              f"{summary['packets_retransmitted']} retransmitted")
+        if summary["mean_detection_latency"] is not None:
+            print("detection latency: "
+                  f"{summary['mean_detection_latency']:.0f} cycles mean")
+        if summary["mean_latency_inflation"] is not None:
+            print("degraded-mode latency inflation: "
+                  f"{summary['mean_latency_inflation']:+.1%}")
     else:
         rate = batch.results[0]["saturation_rate"]
         print(f"saturation throughput: {rate:.3f} flits/cycle/core")
@@ -318,7 +350,8 @@ def build_parser() -> argparse.ArgumentParser:
         "batch",
         help="parallel experiment sweeps with result caching (repro.lab)",
     )
-    p.add_argument("sweep", choices=("synthesis", "loadcurve", "saturation"),
+    p.add_argument("sweep",
+                   choices=("synthesis", "loadcurve", "saturation", "faults"),
                    help="which sweep to run as a job batch")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (1 = serial)")
@@ -352,6 +385,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=1500)
     p.add_argument("--warmup", type=int, default=250)
     p.add_argument("--packet-size", type=int, default=4)
+    # fault campaign knobs
+    p.add_argument("--runs", type=int, default=4,
+                   help="seeded fault-campaign runs (faults sweep)")
+    p.add_argument("--rate", type=float, default=0.1,
+                   help="injection rate during the fault campaign")
+    p.add_argument("--link-faults", type=int, default=0)
+    p.add_argument("--switch-faults", type=int, default=1)
+    p.add_argument("--transient-bursts", type=int, default=0)
+    p.add_argument("--repair-after", type=int, default=None,
+                   help="repair each hard fault after this many cycles")
     p.set_defaults(func=_cmd_batch)
 
     return parser

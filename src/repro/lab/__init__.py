@@ -52,6 +52,8 @@ from repro.lab.records import (
 from repro.lab.store import ResultStore
 from repro.lab.sweeps import (
     default_switch_counts,
+    fault_campaign_jobs,
+    fault_summary_from_batch,
     load_curve_from_batch,
     load_curve_jobs,
     run_synthesis_sweep,
@@ -74,6 +76,8 @@ __all__ = [
     "default_switch_counts",
     "derive_seed",
     "design_point_from_dict",
+    "fault_campaign_jobs",
+    "fault_summary_from_batch",
     "design_point_to_dict",
     "floorplan_from_dict",
     "floorplan_to_dict",

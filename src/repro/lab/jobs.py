@@ -14,12 +14,13 @@ handles library-wide invalidation).
 
 Built-in runners cover the sweeps the tool flow actually performs:
 
-=============  ======================================================
-``synthesis``  one SunFloor design point (Fig. 6 flow)
-``baseline``   one standard-topology reference (mesh or star)
-``load_point`` one injection-rate point of a load-latency curve
-``saturation`` a full bisection saturation search
-=============  ======================================================
+==================  ======================================================
+``synthesis``       one SunFloor design point (Fig. 6 flow)
+``baseline``        one standard-topology reference (mesh or star)
+``load_point``      one injection-rate point of a load-latency curve
+``saturation``      a full bisection saturation search
+``fault_campaign``  one seeded live-fault run with online recovery
+==================  ======================================================
 """
 
 from __future__ import annotations
@@ -219,6 +220,111 @@ def _run_saturation(job: Job) -> dict:
         tolerance=p.get("tolerance", 0.02),
     )
     return {"saturation_rate": rate}
+
+
+@runner("fault_campaign", version=1)
+def _run_fault_campaign(job: Job) -> dict:
+    """One seeded fault-injection run with live recovery (robustness).
+
+    Traffic draws from ``job.seed``; the fault schedule from
+    ``derive_seed(job.seed, "faults")`` — two campaigns with the same
+    seed are byte-identical, while traffic and faults stay decoupled.
+    """
+    from repro.arch.packet import reset_packet_ids
+    from repro.lab.hashing import derive_seed
+    from repro.sim import (
+        DrainTimeoutError,
+        FaultSchedule,
+        NocSimulator,
+        RecoveryController,
+        RetransmissionPolicy,
+        SyntheticTraffic,
+    )
+    from repro.topology.presets import standard_instance
+
+    p = job.params
+    inst = standard_instance(p["topology"], p["size"])
+    params = _effective_sim_parameters(p, inst.min_vcs)
+    cycles = p.get("cycles", 4000)
+    window = (
+        p.get("fault_start", cycles // 4),
+        p.get("fault_end", max(cycles // 4 + 1, cycles // 2)),
+    )
+    schedule = FaultSchedule.random(
+        inst.topology,
+        seed=derive_seed(job.seed, "faults"),
+        link_faults=p.get("link_faults", 0),
+        switch_faults=p.get("switch_faults", 1),
+        transient_bursts=p.get("transient_bursts", 0),
+        window=window,
+        repair_after=p.get("repair_after"),
+    )
+
+    reset_packet_ids()
+    sim = NocSimulator(
+        inst.topology, inst.table, params, vc_assignment=inst.vc_assignment
+    )
+    sim.attach_fault_schedule(schedule)
+    # Bounded retries keep the drain finite even when the controller
+    # gives up and the run degrades to best-effort loss.
+    sim.enable_retransmission(RetransmissionPolicy(max_retries=8))
+    controller = RecoveryController()
+    sim.attach_recovery_controller(controller)
+    traffic = SyntheticTraffic(
+        p.get("pattern", "uniform"),
+        p.get("rate", 0.1),
+        packet_size_flits=p.get("packet_size", 4),
+        seed=job.seed,
+    )
+    survived = True
+    try:
+        sim.run(cycles, traffic, drain=True)
+    except DrainTimeoutError:
+        survived = False
+
+    stats = sim.stats
+    inis = sim.initiators.values()
+    delivered = stats.packets_delivered
+    lost = sum(ni.packets_lost for ni in inis)
+    abandoned = sum(ni.packets_abandoned_unreachable for ni in inis)
+    reachable = delivered + lost
+    degraded = stats.degraded_latency_summary()
+    return {
+        "survived": survived,
+        "survival_rate": delivered / reachable if reachable else None,
+        "delivered": delivered,
+        "lost": lost,
+        "abandoned_unreachable": abandoned,
+        "retransmitted": sum(ni.packets_retransmitted for ni in inis),
+        "recovered": sum(ni.packets_recovered for ni in inis),
+        "duplicates_discarded": sum(
+            t.duplicates_discarded for t in sim.targets.values()
+        ),
+        "flits_dropped_by_faults": stats.flits_dropped_by_faults,
+        "unroutable_injections": stats.unroutable_injections,
+        "gave_up": controller.gave_up,
+        "faults": [
+            {"cycle": f.cycle, "kind": f.kind, "component": f.component}
+            for f in stats.fault_events
+        ],
+        "recoveries": [
+            {
+                "detected_cycle": r.detected_cycle,
+                "completed_cycle": r.completed_cycle,
+                "detection_latency": r.detection_latency,
+                "recovery_cycles": r.recovery_cycles,
+                "blamed_links": r.blamed_links,
+                "blamed_switches": r.blamed_switches,
+                "routes_changed": r.routes_changed,
+                "packets_purged": r.packets_purged,
+                "transfers_abandoned": r.transfers_abandoned,
+            }
+            for r in stats.recoveries
+        ],
+        "healthy_latency_mean": degraded.healthy_mean,
+        "degraded_latency_mean": degraded.degraded_mean,
+        "latency_inflation": degraded.inflation,
+    }
 
 
 def _effective_sim_parameters(p: Mapping[str, Any], min_vcs: int):

@@ -223,6 +223,103 @@ def load_curve_from_batch(batch: BatchResult) -> List[LoadPoint]:
     return points
 
 
+def fault_campaign_jobs(
+    topology: str,
+    size: int,
+    runs: int = 4,
+    pattern: str = "uniform",
+    rate: float = 0.1,
+    cycles: int = 4000,
+    packet_size: int = 4,
+    link_faults: int = 0,
+    switch_faults: int = 1,
+    transient_bursts: int = 0,
+    repair_after: Optional[int] = None,
+    seed: int = 1,
+    noc_params: Optional[dict] = None,
+    tags: Sequence[str] = (),
+) -> List[Job]:
+    """A robustness campaign: ``runs`` seeded live-fault simulations.
+
+    Run *i* uses seed ``seed + i`` for both its traffic and (via
+    :func:`~repro.lab.hashing.derive_seed`) its fault schedule, so every
+    run explores a different fault placement yet the whole campaign
+    replays byte-identically from the same base seed.
+    """
+    if topology not in STANDARD_KINDS:
+        raise ValueError(
+            f"unknown topology {topology!r}; choose from {STANDARD_KINDS}"
+        )
+    if runs < 1:
+        raise ValueError("a campaign needs at least one run")
+    base_tags = tuple(tags) + (f"faults:{topology}{size}:{pattern}",)
+    return [
+        Job(
+            kind="fault_campaign",
+            params={
+                "topology": topology,
+                "size": size,
+                "pattern": pattern,
+                "rate": rate,
+                "cycles": cycles,
+                "packet_size": packet_size,
+                "link_faults": link_faults,
+                "switch_faults": switch_faults,
+                "transient_bursts": transient_bursts,
+                "repair_after": repair_after,
+                "noc_params": noc_params,
+            },
+            seed=seed + i,
+            tags=base_tags,
+        )
+        for i in range(runs)
+    ]
+
+
+def fault_summary_from_batch(batch: BatchResult) -> dict:
+    """Aggregate survival statistics over a finished fault campaign."""
+    results = [
+        r for j, r in zip(batch.jobs, batch.results)
+        if j.kind == "fault_campaign"
+    ]
+    if not results:
+        raise ValueError("batch contains no fault_campaign jobs")
+    survived = sum(1 for r in results if r["survived"])
+    rates = [r["survival_rate"] for r in results if r["survival_rate"] is not None]
+    detections = [
+        rec["detection_latency"]
+        for r in results
+        for rec in r["recoveries"]
+        if rec["detection_latency"] is not None
+    ]
+    inflations = [
+        r["latency_inflation"]
+        for r in results
+        if r["latency_inflation"] is not None
+    ]
+    return {
+        "runs": len(results),
+        "survived": survived,
+        "faults_injected": sum(len(r["faults"]) for r in results),
+        "recoveries": sum(len(r["recoveries"]) for r in results),
+        "gave_up": sum(1 for r in results if r["gave_up"]),
+        "mean_survival_rate": sum(rates) / len(rates) if rates else None,
+        "min_survival_rate": min(rates) if rates else None,
+        "packets_delivered": sum(r["delivered"] for r in results),
+        "packets_lost": sum(r["lost"] for r in results),
+        "packets_abandoned_unreachable": sum(
+            r["abandoned_unreachable"] for r in results
+        ),
+        "packets_retransmitted": sum(r["retransmitted"] for r in results),
+        "mean_detection_latency": (
+            sum(detections) / len(detections) if detections else None
+        ),
+        "mean_latency_inflation": (
+            sum(inflations) / len(inflations) if inflations else None
+        ),
+    }
+
+
 def saturation_job(
     topology: str,
     size: int,

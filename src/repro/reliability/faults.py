@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+import networkx as nx
+
 from repro.topology.graph import NodeKind, Route, RoutingTable, Topology
 from repro.topology.routing import up_down_routing
 
@@ -76,26 +78,83 @@ def surviving_topology(topo: Topology, scenario: FaultScenario) -> Topology:
     return survivor
 
 
+def _largest_island(survivor: Topology) -> Topology:
+    """Restrict a partitioned survivor to its best-connected piece.
+
+    Keeps the connected switch component with the most switches (ties
+    broken by sorted switch names) and drops every core that lost its
+    bidirectional attachment to a kept switch — a core that can only
+    send or only receive is as unreachable as one fully cut off.
+    """
+    fabric = survivor.switch_subgraph().to_undirected()
+    components = sorted(
+        (sorted(c) for c in nx.connected_components(fabric)),
+        key=lambda c: (-len(c), c),
+    )
+    if not components:
+        raise UnrecoverableFaultError("no switch survives the fault scenario")
+    keep = set(components[0])
+    island = Topology(survivor.name, flit_width=survivor.flit_width)
+    for sw in survivor.switches:
+        if sw in keep:
+            island.add_switch(
+                sw,
+                **{k: v for k, v in survivor.node_attrs(sw).items() if k != "kind"},
+            )
+    for core in survivor.cores:
+        graph = survivor.graph
+        sends = any(sw in keep for sw in graph.successors(core))
+        receives = any(sw in keep for sw in graph.predecessors(core))
+        if sends and receives:
+            island.add_core(
+                core,
+                **{k: v for k, v in survivor.node_attrs(core).items() if k != "kind"},
+            )
+    for src, dst in survivor.links:
+        if src in island and dst in island:
+            attrs = survivor.link_attrs(src, dst)
+            island.add_link(
+                src, dst,
+                length_mm=attrs.length_mm,
+                pipeline_stages=attrs.pipeline_stages,
+                width_bits=attrs.width_bits,
+                bidirectional=False,
+            )
+    if not island.cores:
+        raise UnrecoverableFaultError(
+            "no core keeps a bidirectional attachment to the surviving fabric"
+        )
+    return island
+
+
 def reconfigure_routing(
-    topo: Topology, scenario: FaultScenario
+    topo: Topology, scenario: FaultScenario, allow_partial: bool = False
 ) -> RoutingTable:
     """Deadlock-free routes over the surviving fabric.
 
     Routes are expressed against the *original* topology object (so an
     existing simulator/netlist can consume them) but never use a failed
     component.  Raises :class:`UnrecoverableFaultError` when cores are
-    cut off.
+    cut off — unless ``allow_partial`` is set, in which case unreachable
+    cores are silently dropped from the table (no routes to or from
+    them) and a partitioned fabric degrades to its largest connected
+    island.  Partial tables are what the *online* recovery path wants: a
+    dead switch orphans its core in a mesh, and the right response is to
+    keep the rest of the chip running, not to refuse to reconfigure.
     """
     survivor = surviving_topology(topo, scenario)
-    for core in survivor.cores:
-        if not survivor.attached_switches(core):
+    if allow_partial:
+        survivor = _largest_island(survivor)
+    else:
+        for core in survivor.cores:
+            if not survivor.attached_switches(core):
+                raise UnrecoverableFaultError(
+                    f"core {core!r} lost every switch attachment"
+                )
+        if not survivor.is_connected():
             raise UnrecoverableFaultError(
-                f"core {core!r} lost every switch attachment"
+                "faults disconnect the network; spare components required"
             )
-    if not survivor.is_connected():
-        raise UnrecoverableFaultError(
-            "faults disconnect the network; spare components required"
-        )
     degraded = up_down_routing(survivor)
     table = RoutingTable(topo)
     for route in degraded:

@@ -1,12 +1,30 @@
 """Cycle-accurate flit-level NoC simulation."""
 
-from repro.sim.simulator import NocSimulator
+from repro.sim.simulator import (
+    DrainTimeoutError,
+    NocSimulator,
+    RecoveryOutcome,
+)
 from repro.sim.experiments import (
     LoadPoint,
     load_latency_curve,
     saturation_throughput,
 )
-from repro.sim.stats import LatencySummary, PacketRecord, StatsCollector
+from repro.sim.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    RecoveryController,
+    RetransmissionPolicy,
+)
+from repro.sim.stats import (
+    DegradedLatencyReport,
+    FaultRecord,
+    LatencySummary,
+    PacketRecord,
+    RecoveryRecord,
+    StatsCollector,
+)
 from repro.sim.tracing import FlitEvent, TraceEventKind, TraceRecorder
 from repro.sim.traffic import (
     CompositeTraffic,
@@ -19,12 +37,22 @@ from repro.sim.traffic import (
 )
 
 __all__ = [
+    "DrainTimeoutError",
     "NocSimulator",
+    "RecoveryOutcome",
     "LoadPoint",
     "load_latency_curve",
     "saturation_throughput",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "RecoveryController",
+    "RetransmissionPolicy",
+    "DegradedLatencyReport",
+    "FaultRecord",
     "LatencySummary",
     "PacketRecord",
+    "RecoveryRecord",
     "StatsCollector",
     "FlitEvent",
     "TraceEventKind",

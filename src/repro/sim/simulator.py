@@ -21,15 +21,69 @@ which is the level all the reproduced claims live at.
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.link import AckNackLink, Link, make_link
-from repro.arch.network_interface import InitiatorNI, RoutingLut, TargetNI
+from repro.arch.network_interface import (
+    InitiatorNI,
+    RetransmissionPolicy,
+    RoutingLut,
+    TargetNI,
+)
 from repro.arch.packet import MessageClass, Packet
 from repro.arch.parameters import DEFAULT_PARAMETERS, NocParameters
 from repro.arch.switch import SwitchModel
+from repro.reliability.faults import FaultScenario, reconfigure_routing
 from repro.topology.graph import NodeKind, RoutingTable, Topology
 from repro.sim.stats import StatsCollector
+
+
+class DrainTimeoutError(RuntimeError):
+    """The network failed to drain: deadlock, or traffic stuck on faults.
+
+    Carries a census of where the in-flight state sits, so the caller
+    (or a test) can tell a routing deadlock from a slow drain or a
+    fault-stranded flow without poking at simulator internals.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: int,
+        ni_backlog: Dict[str, int],
+        pending_transfers: Dict[str, int],
+        busy_links: List[str],
+        switch_occupancy: Dict[str, int],
+        target_backlog: Dict[str, int],
+    ):
+        super().__init__(message)
+        self.cycle = cycle
+        self.ni_backlog = ni_backlog
+        self.pending_transfers = pending_transfers
+        self.busy_links = busy_links
+        self.switch_occupancy = switch_occupancy
+        self.target_backlog = target_backlog
+
+    @property
+    def flits_stuck(self) -> int:
+        """Flits sitting in links, switches and ejection buffers."""
+        return (
+            len(self.busy_links)
+            + sum(self.switch_occupancy.values())
+            + sum(self.target_backlog.values())
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """What one live reconfiguration did to the running network."""
+
+    routes_changed: int
+    packets_purged: int
+    transfers_abandoned: int
 
 
 class NocSimulator:
@@ -70,6 +124,13 @@ class NocSimulator:
         self.links: Dict[Tuple[str, str], Link] = {}
         self.initiators: Dict[str, InitiatorNI] = {}
         self.targets: Dict[str, TargetNI] = {}
+
+        # Live fault-injection layer (all optional; see repro.sim.faults).
+        self._fault_schedule = None
+        self._corruption_rng: Optional[random.Random] = None
+        self._retransmission: Optional[RetransmissionPolicy] = None
+        self._controller = None
+        self._recorder = None  # TraceRecorder, when tracing is enabled
 
         self._build(vc_assignment)
         self._switch_order = sorted(self.switches)
@@ -142,19 +203,31 @@ class NocSimulator:
         message_class: MessageClass = MessageClass.BEST_EFFORT,
         connection_id: Optional[int] = None,
         payload: Optional[object] = None,
-    ) -> Packet:
-        """Queue one packet at the source NI (at the current cycle)."""
+    ) -> Optional[Packet]:
+        """Queue one packet at the source NI (at the current cycle).
+
+        When the fault layer is active a destination may legitimately
+        have no route (its switch died and recovery dropped it from the
+        LUTs): the injection is then counted and discarded rather than
+        raised, since traffic generators cannot know the live topology.
+        """
         ni = self.initiators.get(source)
         if ni is None:
             raise KeyError(f"unknown source core {source!r}")
-        packet = ni.send(
-            destination,
-            size_flits,
-            self.cycle if cycle is None else cycle,
-            message_class=message_class,
-            connection_id=connection_id,
-            payload=payload,
-        )
+        try:
+            packet = ni.send(
+                destination,
+                size_flits,
+                self.cycle if cycle is None else cycle,
+                message_class=message_class,
+                connection_id=connection_id,
+                payload=payload,
+            )
+        except KeyError:
+            if self._fault_schedule is None and self._controller is None:
+                raise
+            self.stats.unroutable_injections += 1
+            return None
         self.stats.flits_injected += size_flits
         return packet
 
@@ -166,6 +239,7 @@ class NocSimulator:
         """
         from repro.sim.tracing import TraceEventKind
 
+        self._recorder = recorder
         for name, ni in self.initiators.items():
             ni.trace = (
                 lambda cycle, flit, _n=name: recorder.record(
@@ -208,6 +282,8 @@ class NocSimulator:
         def responder(request: Packet, cycle: int) -> Optional[Packet]:
             from repro.arch.ocp import OcpTransaction, make_response_packet
 
+            if request.source not in ni.lut:
+                return None  # requester severed by a fault: drop the reply
             route, vc_path = ni.lut.lookup(request.source)
             if isinstance(request.payload, OcpTransaction):
                 response = make_response_packet(
@@ -232,6 +308,8 @@ class NocSimulator:
     def step(self) -> None:
         """Advance one clock cycle."""
         c = self.cycle
+        if self._fault_schedule is not None:
+            self._apply_due_faults(c)
         for name in self._switch_order:
             self.switches[name].tick(c)
         for name in self._initiator_order:
@@ -244,6 +322,24 @@ class NocSimulator:
             target.tick(c)
             for packet, arrival in target.packets_received[before:]:
                 self.stats.record_packet(packet, arrival)
+        if self._retransmission is not None:
+            for name in self._initiator_order:
+                ni = self.initiators[name]
+                before_rt = ni.packets_retransmitted
+                ni.check_timeouts(c)
+                if self._recorder is not None and (
+                    ni.packets_retransmitted > before_rt
+                ):
+                    from repro.sim.tracing import TraceEventKind
+
+                    self._recorder.record_note(
+                        c,
+                        TraceEventKind.RETRANSMIT,
+                        name,
+                        f"{ni.packets_retransmitted - before_rt} transfer(s)",
+                    )
+        if self._controller is not None:
+            self._controller.tick(c)
         self.cycle += 1
 
     def run(
@@ -266,25 +362,263 @@ class NocSimulator:
                 self.step()
                 drained += 1
             if not self.idle:
-                raise RuntimeError(
+                raise DrainTimeoutError(
                     f"network failed to drain within {max_drain_cycles} cycles "
                     "(possible deadlock — check the routing table with "
-                    "repro.topology.deadlock)"
+                    "repro.topology.deadlock; the exception carries an "
+                    "in-flight census)",
+                    cycle=self.cycle,
+                    ni_backlog={
+                        name: ni.backlog
+                        for name, ni in sorted(self.initiators.items())
+                        if ni.backlog
+                    },
+                    pending_transfers={
+                        name: ni.pending_transfers
+                        for name, ni in sorted(self.initiators.items())
+                        if ni.pending_transfers
+                    },
+                    busy_links=[
+                        self.links[key].name
+                        for key in self._link_order
+                        if self.links[key].busy
+                    ],
+                    switch_occupancy={
+                        name: self.switches[name].occupancy
+                        for name in self._switch_order
+                        if self.switches[name].occupancy
+                    },
+                    target_backlog={
+                        name: t.backlog
+                        for name, t in sorted(self.targets.items())
+                        if t.backlog
+                    },
                 )
         return self.stats
 
     # ------------------------------------------------------------------
     @property
     def idle(self) -> bool:
-        """No traffic anywhere in the network."""
+        """No traffic anywhere, and no transfer awaiting its end-to-end ack."""
         return (
             all(ni.backlog == 0 for ni in self.initiators.values())
+            and all(
+                ni.pending_transfers == 0 for ni in self.initiators.values()
+            )
             and all(not link.busy for link in self.links.values())
             and all(sw.occupancy == 0 for sw in self.switches.values())
-            and all(len(t._buffer) == 0 for t in self.targets.values())
-            and all(
-                len(t._pending_responses) == 0 for t in self.targets.values()
+            and all(t.idle for t in self.targets.values())
+        )
+
+    # ------------------------------------------------------------------
+    # Live fault injection and online recovery (see repro.sim.faults)
+    # ------------------------------------------------------------------
+    def enable_retransmission(
+        self, policy: Optional[RetransmissionPolicy] = None
+    ) -> RetransmissionPolicy:
+        """Turn on NI-level end-to-end retransmission on every initiator."""
+        policy = policy if policy is not None else RetransmissionPolicy()
+        self._retransmission = policy
+        for ni in self.initiators.values():
+            ni.retransmission = policy
+        return policy
+
+    def attach_fault_schedule(self, schedule) -> None:
+        """Install a :class:`repro.sim.faults.FaultSchedule` to consume.
+
+        Components are validated eagerly: a schedule naming an unknown
+        switch or link is a configuration error, not a mid-run surprise.
+        """
+        from repro.sim.faults import FaultKind
+
+        for event in schedule.events:
+            if event.kind in (FaultKind.SWITCH_DOWN, FaultKind.SWITCH_UP):
+                if event.component not in self.switches:
+                    raise KeyError(
+                        f"fault schedule names unknown switch "
+                        f"{event.component!r}"
+                    )
+            else:
+                if tuple(event.component) not in self.links:
+                    raise KeyError(
+                        f"fault schedule names unknown link "
+                        f"{event.component!r}"
+                    )
+                reverse = (event.component[1], event.component[0])
+                if event.both_directions and reverse not in self.links:
+                    raise KeyError(
+                        f"fault schedule wants both directions of "
+                        f"{event.component!r} but {reverse!r} does not exist"
+                    )
+        schedule.reset()
+        self._fault_schedule = schedule
+        self._corruption_rng = random.Random(schedule.corruption_seed)
+
+    def attach_recovery_controller(self, controller) -> None:
+        """Wire a :class:`repro.sim.faults.RecoveryController` in.
+
+        The controller hears every NI timeout and end-to-end ack (its
+        only sensors — no oracle access to the fault schedule) and gets
+        a tick at the end of each cycle to detect and act.
+        """
+        if self._retransmission is None:
+            self.enable_retransmission()
+        controller.bind(self)
+        self._controller = controller
+        for ni in self.initiators.values():
+            ni.on_timeout = controller.note_timeout
+            ni.on_ack = controller.note_ack
+
+    def _adjacent_links(self, switch: str) -> List[Tuple[str, str]]:
+        return [
+            key for key in self._link_order if switch in key
+        ]
+
+    def _apply_due_faults(self, cycle: int) -> None:
+        from repro.sim.faults import FaultKind
+        from repro.sim.tracing import TraceEventKind
+
+        for event in self._fault_schedule.due(cycle):
+            dropped = 0
+            if event.kind is FaultKind.SWITCH_DOWN:
+                dropped += self.switches[event.component].fail(cycle)
+                for key in self._adjacent_links(event.component):
+                    dropped += self.links[key].fail(cycle)
+                where = event.component
+            elif event.kind is FaultKind.SWITCH_UP:
+                self.switches[event.component].repair(cycle)
+                for key in self._adjacent_links(event.component):
+                    self.links[key].repair(cycle)
+                where = event.component
+            elif event.kind is FaultKind.LINK_DOWN:
+                targets = [tuple(event.component)]
+                if event.both_directions:
+                    targets.append((event.component[1], event.component[0]))
+                for key in targets:
+                    dropped += self.links[key].fail(cycle)
+                where = "->".join(event.component)
+            elif event.kind is FaultKind.LINK_UP:
+                targets = [tuple(event.component)]
+                if event.both_directions:
+                    targets.append((event.component[1], event.component[0]))
+                for key in targets:
+                    self.links[key].repair(cycle)
+                where = "->".join(event.component)
+            else:  # TRANSIENT_BURST
+                targets = [tuple(event.component)]
+                if event.both_directions:
+                    reverse = (event.component[1], event.component[0])
+                    if reverse in self.links:
+                        targets.append(reverse)
+                for key in targets:
+                    self.links[key].start_corruption_burst(
+                        cycle + event.duration,
+                        event.probability,
+                        self._corruption_rng,
+                    )
+                where = "->".join(event.component)
+            self.stats.flits_dropped_by_faults += dropped
+            self.stats.record_fault(cycle, event.kind.value, where)
+            if self._recorder is not None:
+                self._recorder.record_note(
+                    cycle, TraceEventKind.FAULT, where, event.describe()
+                )
+
+    def hot_swap_routing(
+        self, new_table: RoutingTable, cycle: int
+    ) -> Tuple[int, int]:
+        """Replace every NI LUT with the routes of ``new_table`` live.
+
+        Destinations absent from the new table are removed (their
+        endpoints were severed); pending transfers toward them are
+        abandoned.  Returns ``(routes_changed, transfers_abandoned)``.
+
+        VC assignments are reset: recovery tables come from up*/down*
+        routing, which is deadlock-free on a single virtual channel.
+        """
+        cores = self.topology.cores
+        routes_changed = 0
+        abandoned = 0
+        for core in self._initiator_order:
+            ni = self.initiators[core]
+            current = set(ni.lut.destinations())
+            fresh = {
+                dst
+                for dst in cores
+                if dst != core and new_table.has_route(core, dst)
+            }
+            for dst in sorted(current - fresh):
+                ni.lut.remove(dst)
+                routes_changed += 1
+            for dst in sorted(fresh):
+                path = new_table.route(core, dst).path
+                if dst not in current or ni.lut.lookup(dst)[0] != path:
+                    ni.lut.set(dst, path, None)
+                    routes_changed += 1
+            abandoned += ni.abandon_unreachable(cycle)
+        self.routing_table = new_table
+        return routes_changed, abandoned
+
+    def purge_packets(self, predicate, cycle: int) -> int:
+        """Drop every queued/in-flight flit of packets matching ``predicate``.
+
+        Walks links, switch buffers (with credit repair and wormhole
+        lock release) and NI injection queues in deterministic order.
+        Flits already sitting in a target's ejection buffer stay: they
+        made it across and drain harmlessly.
+        """
+        purged = 0
+        for key in self._link_order:
+            purged += self.links[key].purge(predicate, cycle)
+        for name in self._switch_order:
+            purged += self.switches[name].purge(predicate, cycle)
+        for name in self._initiator_order:
+            purged += self.initiators[name].purge_queued(predicate, cycle)
+        return purged
+
+    def recover_from(self, scenario: FaultScenario, cycle: int) -> RecoveryOutcome:
+        """Reconfigure the live network around ``scenario``'s faults.
+
+        1. compute a deadlock-free degraded table (partial: cores cut
+           off by the faults are dropped rather than fatal);
+        2. purge every packet whose route crosses a failed component
+           (their transfers stay pending and will retransmit);
+        3. hot-swap all NI LUTs and abandon transfers whose destination
+           no longer exists.
+
+        Raises :class:`repro.reliability.faults.UnrecoverableFaultError`
+        if nothing routable survives.
+        """
+        new_table = reconfigure_routing(
+            self.topology, scenario, allow_partial=True
+        )
+        failed_links = scenario.failed_links
+        failed_switches = scenario.failed_switches
+
+        def doomed(packet: Packet) -> bool:
+            route = packet.route
+            if any(node in failed_switches for node in route[1:-1]):
+                return True
+            return any(
+                (a, b) in failed_links for a, b in zip(route, route[1:])
             )
+
+        purged = self.purge_packets(doomed, cycle)
+        routes_changed, abandoned = self.hot_swap_routing(new_table, cycle)
+        if self._recorder is not None:
+            from repro.sim.tracing import TraceEventKind
+
+            self._recorder.record_note(
+                cycle,
+                TraceEventKind.RECOVERY,
+                "controller",
+                f"rerouted {routes_changed}, purged {purged}, "
+                f"abandoned {abandoned}",
+            )
+        return RecoveryOutcome(
+            routes_changed=routes_changed,
+            packets_purged=purged,
+            transfers_abandoned=abandoned,
         )
 
     def link_utilization(self) -> Dict[Tuple[str, str], float]:

@@ -51,6 +51,57 @@ class LatencySummary:
     minimum: int
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault event applied to the running network."""
+
+    cycle: int
+    kind: str        # FaultKind value ("link_down", "switch_down", ...)
+    component: str   # "s_1_1" or "s_0_0->s_0_1"
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One completed online recovery (detect -> reconfigure -> swap)."""
+
+    detected_cycle: int
+    completed_cycle: int
+    blamed_links: Tuple[Tuple[str, str], ...]
+    blamed_switches: Tuple[str, ...]
+    routes_changed: int
+    packets_purged: int
+    transfers_abandoned: int
+    detection_latency: Optional[int]  # cycles from last fault to detection
+
+    @property
+    def recovery_cycles(self) -> int:
+        """Cycles from detection to the executed LUT swap."""
+        return self.completed_cycle - self.detected_cycle
+
+
+@dataclass(frozen=True)
+class DegradedLatencyReport:
+    """Mean latency before the first fault vs. after the first recovery.
+
+    Packets injected during the outage itself (between fault and
+    recovery) belong to neither steady state and are excluded from both
+    means; their (honestly long) latencies still appear in the overall
+    :meth:`StatsCollector.latency` summary.
+    """
+
+    healthy_count: int
+    healthy_mean: Optional[float]
+    degraded_count: int
+    degraded_mean: Optional[float]
+
+    @property
+    def inflation(self) -> Optional[float]:
+        """Fractional latency increase of degraded mode (None if unknown)."""
+        if not self.healthy_mean or self.degraded_mean is None:
+            return None
+        return self.degraded_mean / self.healthy_mean - 1.0
+
+
 class StatsCollector:
     """Accumulates packet completions and exposes summaries."""
 
@@ -63,6 +114,11 @@ class StatsCollector:
         self.flits_delivered = 0
         self._first_cycle: Optional[int] = None
         self._last_cycle: Optional[int] = None
+        # Fault-injection and recovery bookkeeping.
+        self.fault_events: List[FaultRecord] = []
+        self.recoveries: List[RecoveryRecord] = []
+        self.flits_dropped_by_faults = 0
+        self.unroutable_injections = 0
 
     # ------------------------------------------------------------------
     def record_packet(self, packet: Packet, arrival_cycle: int) -> None:
@@ -122,6 +178,83 @@ class StatsCollector:
             self.throughput_flits_per_cycle(measured_cycles)
             * flit_width
             * frequency_hz
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection and recovery
+    # ------------------------------------------------------------------
+    def record_fault(self, cycle: int, kind: str, component: str) -> None:
+        """Log one applied fault event (called by the simulator)."""
+        self.fault_events.append(FaultRecord(cycle, kind, component))
+
+    def record_recovery(
+        self,
+        *,
+        detected_cycle: int,
+        completed_cycle: int,
+        blamed_links,
+        blamed_switches,
+        routes_changed: int,
+        packets_purged: int,
+        transfers_abandoned: int,
+    ) -> None:
+        """Log one completed recovery; derives the detection latency.
+
+        Detection latency is measured against the most recent *injected*
+        fault (repairs excluded) at or before the detection cycle — the
+        controller itself has no oracle, but the collector saw both
+        sides and can correlate them.
+        """
+        injections = [
+            f.cycle
+            for f in self.fault_events
+            if f.cycle <= detected_cycle and not f.kind.endswith("_up")
+        ]
+        latency = detected_cycle - max(injections) if injections else None
+        self.recoveries.append(
+            RecoveryRecord(
+                detected_cycle=detected_cycle,
+                completed_cycle=completed_cycle,
+                blamed_links=tuple(tuple(l) for l in blamed_links),
+                blamed_switches=tuple(blamed_switches),
+                routes_changed=routes_changed,
+                packets_purged=packets_purged,
+                transfers_abandoned=transfers_abandoned,
+                detection_latency=latency,
+            )
+        )
+
+    def degraded_latency_summary(self) -> DegradedLatencyReport:
+        """Healthy-mode vs. degraded-mode mean latency.
+
+        Healthy: packets injected before the first fault (all packets
+        when no fault ever fired).  Degraded: packets injected at or
+        after the first recovery completed, i.e. running entirely on
+        the reconfigured routes.
+        """
+        first_fault = min((f.cycle for f in self.fault_events), default=None)
+        first_recovered = min(
+            (r.completed_cycle for r in self.recoveries), default=None
+        )
+        healthy = [
+            r.latency
+            for r in self.records
+            if first_fault is None or r.injection_cycle < first_fault
+        ]
+        degraded = (
+            []
+            if first_recovered is None
+            else [
+                r.latency
+                for r in self.records
+                if r.injection_cycle >= first_recovered
+            ]
+        )
+        return DegradedLatencyReport(
+            healthy_count=len(healthy),
+            healthy_mean=sum(healthy) / len(healthy) if healthy else None,
+            degraded_count=len(degraded),
+            degraded_mean=sum(degraded) / len(degraded) if degraded else None,
         )
 
     def per_flow_counts(self) -> Dict[Tuple[str, str], int]:

@@ -20,6 +20,11 @@ class TraceEventKind(Enum):
     INJECT = "inject"
     FORWARD = "forward"
     DELIVER = "deliver"
+    # Fault-injection and recovery annotations (note events: no flit).
+    FAULT = "fault"
+    RECOVERY = "recovery"
+    RETRANSMIT = "retransmit"
+    DROP = "drop"
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,33 @@ class TraceRecorder:
                 destination=packet.destination,
             )
         )
+
+    def record_note(
+        self, cycle: int, kind: TraceEventKind, location: str, note: str
+    ) -> None:
+        """Log a flit-less annotation (fault applied, recovery done...).
+
+        Notes share the event stream so they interleave with flit
+        movements in :meth:`to_text`; ``packet_id == -1`` marks them.
+        """
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            FlitEvent(
+                cycle=cycle,
+                kind=kind,
+                location=location,
+                packet_id=-1,
+                flit_index=-1,
+                source=note,
+                destination="",
+            )
+        )
+
+    def notes(self) -> List[FlitEvent]:
+        """All flit-less annotations, in order."""
+        return [e for e in self.events if e.packet_id == -1]
 
     # ------------------------------------------------------------------
     def events_for_packet(self, packet_id: int) -> List[FlitEvent]:

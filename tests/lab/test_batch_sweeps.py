@@ -18,6 +18,8 @@ from repro.lab import (
     SerialExecutor,
     canonical_json,
     design_point_to_dict,
+    fault_campaign_jobs,
+    fault_summary_from_batch,
     load_curve_from_batch,
     load_curve_jobs,
     run_jobs,
@@ -153,6 +155,47 @@ class TestLoadCurveJobs:
         second = run_jobs([job], cache=cache)
         assert second.cached == 1
         assert second.results[0]["saturation_rate"] == rate
+
+
+class TestFaultCampaignJobs:
+    def test_runs_get_distinct_seeds(self):
+        jobs = fault_campaign_jobs("mesh", 4, runs=3, seed=10)
+        assert [j.kind for j in jobs] == ["fault_campaign"] * 3
+        assert [j.seed for j in jobs] == [10, 11, 12]
+        assert len({j.key for j in jobs}) == 3
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            fault_campaign_jobs("hypercube", 4)
+
+    def test_campaign_is_deterministic_and_cacheable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = fault_campaign_jobs("mesh", 3, runs=1, cycles=1200, seed=4)
+        first = run_jobs(jobs, cache=cache)
+        fresh = run_jobs(fault_campaign_jobs(
+            "mesh", 3, runs=1, cycles=1200, seed=4))
+        assert canonical_json(first.results) == canonical_json(fresh.results)
+        warm = run_jobs(jobs, cache=cache)
+        assert warm.computed == 0 and warm.cached == 1
+        assert canonical_json(warm.results) == canonical_json(first.results)
+
+    def test_campaign_survives_and_summarizes(self, tmp_path):
+        jobs = fault_campaign_jobs("mesh", 3, runs=2, cycles=1600, seed=4)
+        batch = run_jobs(jobs)
+        summary = fault_summary_from_batch(batch)
+        assert summary["runs"] == 2
+        assert summary["faults_injected"] >= 2
+        assert summary["survived"] == 2
+        assert summary["packets_lost"] == 0
+        for result in batch.results:
+            assert result["survived"]
+            assert result["survival_rate"] == 1.0
+
+    def test_summary_requires_campaign_jobs(self):
+        batch = run_jobs(load_curve_jobs("mesh", 3, [0.05], cycles=200,
+                                         warmup=40))
+        with pytest.raises(ValueError):
+            fault_summary_from_batch(batch)
 
 
 class TestExperimentExecutorEntryPoint:

@@ -117,6 +117,113 @@ class TestReconfiguration:
             reconfigure_routing(m, sc)
 
 
+class TestPartialReconfiguration:
+    """allow_partial=True: keep the largest island, drop orphaned cores."""
+
+    def test_mesh_switch_death_drops_only_its_core(self):
+        m = mesh(4, 4)
+        sc = FaultScenario()
+        sc.add_switch("s_1_1")
+        with pytest.raises(UnrecoverableFaultError):
+            reconfigure_routing(m, sc)  # strict mode still refuses
+        table = reconfigure_routing(m, sc, allow_partial=True)
+        sources = {src for src, __ in table.pairs()}
+        destinations = {dst for __, dst in table.pairs()}
+        assert "c_1_1" not in sources | destinations
+        survivors = set(m.cores) - {"c_1_1"}
+        assert sources == survivors
+        assert destinations == survivors
+        for src, dst in table.pairs():
+            assert "s_1_1" not in table.route(src, dst).path
+        assert check_routing_deadlock(m, table)
+
+    def test_mesh_partial_table_delivers_end_to_end(self):
+        """The degraded table actually carries packets on the live fabric."""
+        from repro.sim import FaultEvent, FaultKind, FaultSchedule, NocSimulator
+
+        m = mesh(4, 4)
+        sc = FaultScenario()
+        sc.add_switch("s_1_1")
+        table = reconfigure_routing(m, sc, allow_partial=True)
+        sim = NocSimulator(m, table)
+        # The dead switch is physically dead, not just routed around.
+        sim.attach_fault_schedule(FaultSchedule([
+            FaultEvent(0, FaultKind.SWITCH_DOWN, "s_1_1"),
+        ]))
+        survivors = sorted(set(m.cores) - {"c_1_1"})
+        expected = 0
+        sim.run(1)  # apply the fault before any traffic moves
+        for i, src in enumerate(survivors):
+            dst = survivors[(i + 5) % len(survivors)]
+            if dst != src:
+                sim.inject(src, dst, 4)
+                expected += 1
+        sim.run(0, drain=True)
+        assert sim.stats.packets_delivered == expected
+
+    def test_mesh_split_keeps_largest_island(self):
+        m = mesh(4, 4)
+        sc = FaultScenario()
+        # Cut off the leftmost column entirely (4 cores, 4 switches).
+        for row in range(4):
+            sc.add_link("s_0_%d" % row, "s_1_%d" % row)
+        table = reconfigure_routing(m, sc, allow_partial=True)
+        sources = {src for src, __ in table.pairs()}
+        left = {"c_0_%d" % row for row in range(4)}
+        assert sources == set(m.cores) - left
+        assert check_routing_deadlock(m, table)
+
+    def test_fattree_leaf_switch_death(self):
+        from repro.topology import fat_tree, fat_tree_routing
+
+        t = fat_tree(2, 3)
+        sc = FaultScenario()
+        sc.add_switch("s_0_00")  # a leaf switch and its attached cores
+        with pytest.raises(UnrecoverableFaultError):
+            reconfigure_routing(t, sc)
+        table = reconfigure_routing(t, sc, allow_partial=True)
+        orphans = {
+            c for c in t.cores if t.attached_switches(c) == ["s_0_00"]
+        }
+        assert orphans  # leaf switches own cores in this fat tree
+        sources = {src for src, __ in table.pairs()}
+        assert sources == set(t.cores) - orphans
+        for src, dst in table.pairs():
+            assert "s_0_00" not in table.route(src, dst).path
+        assert check_routing_deadlock(t, table)
+
+    def test_fattree_partial_table_delivers_end_to_end(self):
+        from repro.sim import FaultEvent, FaultKind, FaultSchedule, NocSimulator
+        from repro.topology import fat_tree
+
+        t = fat_tree(2, 3)
+        sc = FaultScenario()
+        sc.add_switch("s_0_00")
+        table = reconfigure_routing(t, sc, allow_partial=True)
+        sim = NocSimulator(t, table)
+        sim.attach_fault_schedule(FaultSchedule([
+            FaultEvent(0, FaultKind.SWITCH_DOWN, "s_0_00"),
+        ]))
+        survivors = sorted({src for src, __ in table.pairs()})
+        sim.run(1)
+        expected = 0
+        for i, src in enumerate(survivors):
+            dst = survivors[(i + 3) % len(survivors)]
+            if dst != src:
+                sim.inject(src, dst, 4)
+                expected += 1
+        sim.run(0, drain=True)
+        assert sim.stats.packets_delivered == expected
+
+    def test_nothing_survives_still_raises(self):
+        m = mesh(2, 2)
+        sc = FaultScenario()
+        for sw in m.switches:
+            sc.add_switch(sw)
+        with pytest.raises(UnrecoverableFaultError):
+            reconfigure_routing(m, sc, allow_partial=True)
+
+
 class TestDegradation:
     def test_reports_inflation(self):
         m = mesh(4, 4)
