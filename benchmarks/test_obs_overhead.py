@@ -1,0 +1,74 @@
+"""OBS — the zero-overhead-when-disabled contract of repro.obs.
+
+The observability subsystem promises that *not* using it is free: with
+no probe attached the simulator hot loop pays exactly one ``is not
+None`` test per cycle, and the only always-on additions sit on blocked
+or per-packet paths (stall/contention/lock accounting in the switch,
+injection-stall counts in the NI).
+
+This benchmark pins that promise to a number: metrics-off throughput on
+the reference workload must stay within 5% of the throughput measured
+on this machine class immediately before the observability layer was
+added.  It also reports (without asserting — sampling cost is a
+documented, configurable trade-off) the metrics-on throughput at the
+default interval.
+
+Workload: 8x8 mesh preset, uniform 0.30 flits/cycle/core, 1000 cycles
+plus drain, seed 7 — the same seeded run the `repro observe` CI smoke
+uses.
+"""
+
+import time
+
+import pytest
+
+from repro.sim import NocSimulator, SyntheticTraffic
+from repro.topology.presets import standard_instance
+
+# Best-of-3 cycles/second on the CI container measured at the commit
+# immediately before src/repro/obs existed (8x8 mesh preset, uniform
+# 0.30, 1000 cycles + drain, seed 7).  Re-record if the reference
+# hardware changes.
+PRE_PR_BASELINE_CYCLES_PER_SEC = 771.0
+
+#: Allowed slowdown for the metrics-off path vs the pre-obs baseline.
+MAX_OVERHEAD = 0.05
+
+RUNS = 3
+
+
+def _throughput(metrics_interval=None) -> float:
+    inst = standard_instance("mesh", 8)
+    sim = NocSimulator(
+        inst.topology, inst.table, vc_assignment=inst.vc_assignment
+    )
+    if metrics_interval is not None:
+        sim.enable_metrics(interval=metrics_interval)
+    traffic = SyntheticTraffic("uniform", 0.30, 4, seed=7)
+    start = time.perf_counter()
+    sim.run(1000, traffic, drain=True)
+    return sim.cycle / (time.perf_counter() - start)
+
+
+def _best(metrics_interval=None) -> float:
+    return max(_throughput(metrics_interval) for __ in range(RUNS))
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_metrics_off_overhead_within_budget(once):
+    best = once(_best)
+    floor = (1.0 - MAX_OVERHEAD) * PRE_PR_BASELINE_CYCLES_PER_SEC
+    assert best >= floor, (
+        f"metrics-off throughput {best:.0f} cycles/s fell below "
+        f"{floor:.0f} (baseline {PRE_PR_BASELINE_CYCLES_PER_SEC:.0f} "
+        f"- {MAX_OVERHEAD:.0%}): the disabled path is no longer free"
+    )
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_metrics_on_throughput_reported(once):
+    """Sampling cost at the default interval, for the record."""
+    best = once(lambda: _best(metrics_interval=100))
+    # Sampling every 100 cycles must not halve throughput — a loose
+    # sanity bound, not a contract; the real knob is the interval.
+    assert best >= 0.5 * PRE_PR_BASELINE_CYCLES_PER_SEC

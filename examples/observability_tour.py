@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Observability tour: metrics, streaming traces, bottleneck attribution.
+
+Walks the `repro.obs` subsystem end to end on a congested 8x8 mesh:
+  1. attach a metrics probe (per-link/switch/NI sampling every 100
+     cycles) with a JSONL metrics stream;
+  2. stream every flit event to JSONL *and* a Chrome trace-event file
+     (open it in https://ui.perfetto.dev — each NI/switch is a thread
+     track, one cycle = one microsecond);
+  3. run under uniform traffic past the saturation knee;
+  4. print the bottleneck report: hottest links by measured busy
+     cycles, the flows that make them hot, the most contended switches,
+     and an ASCII congestion heat map;
+  5. show the utilization-vs-load view the lab store replays.
+
+Run:  python examples/observability_tour.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.lab import load_curve_jobs, run_jobs, utilization_curve_from_batch
+from repro.obs import (
+    ChromeTraceSink,
+    JsonlMetricsSink,
+    JsonlTraceSink,
+    TraceFanout,
+    bottleneck_report,
+)
+from repro.sim import NocSimulator, SyntheticTraffic
+from repro.topology.presets import standard_instance
+
+
+def main() -> None:
+    out_dir = Path(tempfile.mkdtemp(prefix="obs-tour-"))
+    inst = standard_instance("mesh", 8)
+    sim = NocSimulator(
+        inst.topology, inst.table, vc_assignment=inst.vc_assignment
+    )
+
+    # 1. Metrics: the probe samples the always-on component counters at
+    #    a fixed interval.  Disabled, the hot loop pays one `is not
+    #    None` test per cycle; results are identical either way.
+    metrics = JsonlMetricsSink(out_dir / "metrics.jsonl")
+    probe = sim.enable_metrics(interval=100, sink=metrics)
+
+    # 2. Traces: streaming sinks are unbounded by max_events RAM caps;
+    #    the fanout feeds several at once through the one recorder slot.
+    traces = TraceFanout(
+        JsonlTraceSink(out_dir / "trace.jsonl"),
+        ChromeTraceSink(out_dir / "trace.json"),
+    )
+    sim.enable_tracing(traces)
+
+    # 3. Push the mesh hard enough to see contention.
+    print("Simulating an 8x8 mesh at 0.30 flits/cycle/core...")
+    sim.run(
+        2000,
+        SyntheticTraffic("uniform", 0.30, packet_size_flits=4, seed=7),
+        drain=True,
+    )
+    probe.finalize()
+    metrics.close()
+    traces.close()
+
+    # 4. Attribution: busy cycles are measured (flits_carried), not
+    #    predicted; flows are charged to every link their route crosses.
+    report = bottleneck_report(sim, probe, top=5)
+    print()
+    print(report.to_text())
+    (out_dir / "congestion.csv").write_text(report.csv)
+    print()
+    print(f"Artifacts in {out_dir}:")
+    for path in sorted(out_dir.iterdir()):
+        print(f"  {path.name:<16} {path.stat().st_size:>10,} bytes")
+    print("Load trace.json in https://ui.perfetto.dev to browse the run.")
+
+    # 5. Utilization vs load: the same probe rides inside lab sweeps.
+    print()
+    print("Utilization vs offered load (4x4 mesh, via repro.lab):")
+    jobs = load_curve_jobs(
+        "mesh", 4, [0.05, 0.15, 0.25], cycles=800, warmup=150,
+        metrics_interval=100,
+    )
+    rows = utilization_curve_from_batch(run_jobs(jobs))
+    print(f"{'offered':>8} {'mean util':>10} {'peak util':>10} {'stalls':>8}")
+    for row in rows:
+        print(
+            f"{row['offered_rate']:>8.2f} "
+            f"{row['mean_link_utilization']:>10.3f} "
+            f"{row['peak_link_utilization']:>10.3f} "
+            f"{row['total_stall_cycles']:>8}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -138,6 +138,7 @@ class InitiatorNI:
         self.trace = None  # optional callback(cycle, flit) on injection
         self.packets_injected = 0
         self.flits_injected = 0
+        self.injection_stall_cycles = 0  # flit ready but link refused (obs)
         # End-to-end retransmission (None = disabled, the default).
         self.retransmission: Optional[RetransmissionPolicy] = None
         self._pending: Dict[Tuple[str, int], _PendingTransfer] = {}
@@ -256,6 +257,7 @@ class InitiatorNI:
                 continue
             flit.vc = flit.packet.vc_on_link(0)
             if not self.injection_link.can_send_flit(flit, cycle):
+                self.injection_stall_cycles += 1
                 return False
             self._current_gt[connection_id].pop(0)
             self._transmit(flit, cycle)
@@ -273,6 +275,7 @@ class InitiatorNI:
         flit = self._current_be[0]
         flit.vc = flit.packet.vc_on_link(0)
         if not self.injection_link.can_send_flit(flit, cycle):
+            self.injection_stall_cycles += 1
             return
         self._current_be.pop(0)
         self._transmit(flit, cycle)

@@ -101,6 +101,15 @@ class SwitchModel:
         self.flits_forwarded = 0
         self.failed = False  # a dead switch neither buffers nor forwards
         self.flits_dropped = 0
+        # Observability counters (repro.obs): cheap always-on integers in
+        # the same spirit as flits_forwarded/peak_occupancy.  They live
+        # on blocked or per-packet paths, never on the per-flit fast path.
+        self.stall_cycles_by_output: Dict[str, int] = {}  # downstream link refused
+        self.contention_cycles_by_output: Dict[str, int] = {}  # >1 candidates
+        self.contention_losers = 0  # candidates denied by arbitration
+        self.lock_hold_cycles = 0   # accumulated wormhole-lock hold time
+        self.locks_taken = 0        # completed (head..tail) wormhole locks
+        self._lock_since: Dict[Tuple[str, int], int] = {}
 
     # ------------------------------------------------------------------
     # Wiring (done by the simulator builder)
@@ -119,6 +128,8 @@ class SwitchModel:
         if downstream in self.outputs:
             raise ValueError(f"duplicate output to {downstream!r}")
         self.outputs[downstream] = link
+        self.stall_cycles_by_output[downstream] = 0
+        self.contention_cycles_by_output[downstream] = 0
 
     def set_tdma_table(self, downstream: str, arbiter: TdmaArbiter) -> None:
         """Install an Aethereal slot table on one output port."""
@@ -143,6 +154,7 @@ class SwitchModel:
             self._sorted_inputs = sorted(self.inputs)
             self._sorted_outputs = sorted(self.outputs)
         requests: Dict[str, List[Tuple[str, int, Flit]]] = {}
+        stalled_outputs = None  # outputs whose link refused a ready flit
         for upstream in self._sorted_inputs:
             port = self.inputs[upstream]
             for vc in range(self.params.num_vcs):
@@ -168,14 +180,24 @@ class SwitchModel:
                     elif lock != (upstream, vc):
                         continue  # only the owner may send body/tail
                 if not link.can_send(out_vc, cycle):
+                    if stalled_outputs is None:
+                        stalled_outputs = {downstream}
+                    else:
+                        stalled_outputs.add(downstream)
                     continue
                 requests.setdefault(downstream, []).append(
                     (upstream, vc, flit)
                 )
+        if stalled_outputs is not None:
+            for downstream in stalled_outputs:
+                self.stall_cycles_by_output[downstream] += 1
         for downstream in self._sorted_outputs:
             candidates = requests.get(downstream)
             if not candidates:
                 continue
+            if len(candidates) > 1:
+                self.contention_cycles_by_output[downstream] += 1
+                self.contention_losers += len(candidates) - 1
             winner = self._arbitrate(downstream, candidates, cycle)
             if winner is None:
                 continue
@@ -187,9 +209,14 @@ class SwitchModel:
                 if flit.is_head:
                     self._locks[(downstream, out_vc)] = (upstream, vc)
                     self._lock_owner[(downstream, out_vc)] = flit.packet
+                    self._lock_since[(downstream, out_vc)] = cycle
                 if flit.is_tail:
                     self._locks.pop((downstream, out_vc), None)
                     self._lock_owner.pop((downstream, out_vc), None)
+                    since = self._lock_since.pop((downstream, out_vc), None)
+                    if since is not None:
+                        self.lock_hold_cycles += cycle - since + 1
+                        self.locks_taken += 1
             self.outputs[downstream].send(flit, cycle)
             flit.hop += 1
             self.flits_forwarded += 1
@@ -253,6 +280,7 @@ class SwitchModel:
         self.flits_dropped += dropped
         self._locks.clear()
         self._lock_owner.clear()
+        self._lock_since.clear()
         return dropped
 
     def repair(self, cycle: int) -> None:
@@ -283,9 +311,33 @@ class SwitchModel:
             if predicate(owner):
                 self._locks.pop(key, None)
                 self._lock_owner.pop(key, None)
+                self._lock_since.pop(key, None)
         return purged
 
     @property
     def occupancy(self) -> int:
         """Total flits buffered in this switch (stats/idle detection)."""
         return sum(port.occupancy for port in self.inputs.values())
+
+    # ------------------------------------------------------------------
+    # Observability aggregates (repro.obs reads these)
+    # ------------------------------------------------------------------
+    @property
+    def stall_cycles(self) -> int:
+        """Cycles in which a ready flit was refused by downstream flow
+        control (credit exhaustion / OFF backpressure), summed over
+        output ports."""
+        return sum(self.stall_cycles_by_output.values())
+
+    @property
+    def contention_cycles(self) -> int:
+        """Cycles in which an output port had more than one candidate
+        flit, summed over output ports."""
+        return sum(self.contention_cycles_by_output.values())
+
+    @property
+    def mean_lock_hold_cycles(self) -> float:
+        """Average wormhole-lock hold time of completed packets."""
+        if self.locks_taken == 0:
+            return 0.0
+        return self.lock_hold_cycles / self.locks_taken

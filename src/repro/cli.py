@@ -1,13 +1,16 @@
 """Command-line interface: the tool flow without writing Python.
 
-Four subcommands mirror the designer-facing entry points:
+The subcommands mirror the designer-facing entry points:
 
 * ``characterize`` — the Fig. 2 switch radix sweep for a technology node;
 * ``simulate``     — cycle-accurate simulation of a standard topology
                      under a synthetic pattern;
 * ``synthesize``   — the Fig. 6 flow on a bundled workload, printing the
                      Pareto front and optionally writing the Verilog;
-* ``chips``        — the Section 5 case-study summaries.
+* ``chips``        — the Section 5 case-study summaries;
+* ``batch``        — parallel experiment sweeps with result caching;
+* ``observe``      — instrumented simulation: streaming metrics/trace
+                     files plus a bottleneck-attribution report.
 
 Examples::
 
@@ -15,6 +18,8 @@ Examples::
     python -m repro simulate --topology mesh --size 4 --rate 0.2
     python -m repro synthesize --workload vopd --verilog-out vopd.v
     python -m repro chips
+    python -m repro observe --topology mesh --size 8 --rate 0.3 \
+        --out-dir obs-out
 """
 
 from __future__ import annotations
@@ -188,6 +193,88 @@ def _cmd_chips(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_observe(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.arch import FlowControlKind, NocParameters
+    from repro.obs import (
+        ChromeTraceSink,
+        JsonlMetricsSink,
+        JsonlTraceSink,
+        TraceFanout,
+        bottleneck_report,
+    )
+    from repro.sim import NocSimulator, SyntheticTraffic
+
+    topo, table, vca, min_vcs = _build_topology(args.topology, args.size)
+    params = NocParameters(
+        flow_control=FlowControlKind(args.flow_control),
+        num_vcs=max(min_vcs, args.vcs),
+        buffer_depth=args.buffer_depth,
+        output_buffer_depth=(
+            args.buffer_depth if args.flow_control == "ack_nack" else 0
+        ),
+    )
+    sim = NocSimulator(topo, table, params, vc_assignment=vca,
+                       warmup_cycles=args.warmup)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    metrics_sink = JsonlMetricsSink(out_dir / "metrics.jsonl")
+    probe = sim.enable_metrics(interval=args.interval, sink=metrics_sink)
+    trace_fanout = None
+    if not args.no_trace:
+        trace_fanout = TraceFanout(
+            JsonlTraceSink(out_dir / "trace.jsonl"),
+            ChromeTraceSink(out_dir / "trace.json"),
+        )
+        sim.enable_tracing(trace_fanout)
+
+    traffic = SyntheticTraffic(
+        args.pattern, args.rate, args.packet_size, seed=args.seed
+    )
+    sim.run(args.cycles, traffic, drain=True)
+    probe.finalize()
+    metrics_sink.close()
+    if trace_fanout is not None:
+        trace_fanout.close()
+
+    report = bottleneck_report(sim, probe, top=args.top)
+    (out_dir / "congestion.csv").write_text(report.csv)
+    latency = sim.stats.latency()
+    summary = {
+        "config": {
+            "topology": args.topology,
+            "size": args.size,
+            "pattern": args.pattern,
+            "rate": args.rate,
+            "cycles": args.cycles,
+            "warmup": args.warmup,
+            "packet_size": args.packet_size,
+            "seed": args.seed,
+            "interval": args.interval,
+        },
+        "packets_delivered": sim.stats.packets_delivered,
+        "mean_latency": latency.mean,
+        "p95_latency": latency.p95,
+        "metrics": probe.compact_summary(top=args.top),
+    }
+    (out_dir / "summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+
+    print(report.to_text())
+    print()
+    print(f"Simulated {args.cycles} cycles (+drain) -> {sim.cycle} total, "
+          f"{sim.stats.packets_delivered} packets delivered")
+    written = ["metrics.jsonl", "congestion.csv", "summary.json"]
+    if trace_fanout is not None:
+        written += ["trace.jsonl", "trace.json (Perfetto-loadable)"]
+    print(f"Wrote {', '.join(written)} to {out_dir}/")
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.lab import (
         NullCache,
@@ -201,6 +288,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         saturation_job,
         sweep_result_from_batch,
         synthesis_sweep_jobs,
+        utilization_curve_from_batch,
     )
 
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
@@ -221,6 +309,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             args.topology, args.size, args.rates,
             pattern=args.pattern, cycles=args.cycles, warmup=args.warmup,
             packet_size=args.packet_size, seed=args.seed,
+            metrics_interval=args.metrics_interval,
         )
         print(f"Batch load curve on {args.topology} (size {args.size}), "
               f"{len(jobs)} rates")
@@ -265,6 +354,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for point in load_curve_from_batch(batch):
             print(f"{point.offered_rate:>8.3f} {point.accepted_rate:>9.3f} "
                   f"{point.mean_latency:>9.1f} {point.p95_latency:>6.0f}")
+        util = utilization_curve_from_batch(batch)
+        if util:
+            print(f"{'offered':>8} {'mean util':>10} {'peak util':>10} "
+                  f"{'stalls':>8}")
+            for row in util:
+                print(f"{row['offered_rate']:>8.3f} "
+                      f"{row['mean_link_utilization']:>10.3f} "
+                      f"{row['peak_link_utilization']:>10.3f} "
+                      f"{row['total_stall_cycles']:>8}")
     elif args.sweep == "faults":
         summary = fault_summary_from_batch(batch)
         print(f"survived {summary['survived']}/{summary['runs']} runs "
@@ -347,6 +445,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_chips)
 
     p = sub.add_parser(
+        "observe",
+        help="instrumented simulation: metrics + traces + bottleneck report",
+    )
+    p.add_argument("--topology", default="mesh",
+                   choices=("mesh", "torus", "spidergon", "fattree"))
+    p.add_argument("--size", type=int, default=8,
+                   help="mesh/torus side, spidergon nodes, fat-tree levels")
+    p.add_argument("--pattern", default="uniform",
+                   choices=("uniform", "transpose", "bit-complement",
+                            "neighbor", "hotspot", "shuffle"))
+    p.add_argument("--rate", type=float, default=0.3)
+    p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--warmup", type=int, default=0)
+    p.add_argument("--packet-size", type=int, default=4)
+    p.add_argument("--flow-control", default="on_off",
+                   choices=("credit", "on_off", "ack_nack"))
+    p.add_argument("--vcs", type=int, default=1)
+    p.add_argument("--buffer-depth", type=int, default=4)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--interval", type=int, default=100,
+                   help="metric sampling interval in cycles")
+    p.add_argument("--top", type=int, default=5,
+                   help="hot links / switches to rank in the report")
+    p.add_argument("--out-dir", default="obs-out",
+                   help="directory for metrics.jsonl, trace.json*, "
+                        "congestion.csv, summary.json")
+    p.add_argument("--no-trace", action="store_true",
+                   help="skip per-flit trace files (metrics only)")
+    p.set_defaults(func=_cmd_observe)
+
+    p = sub.add_parser(
         "batch",
         help="parallel experiment sweeps with result caching (repro.lab)",
     )
@@ -382,6 +511,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "neighbor", "hotspot", "shuffle"))
     p.add_argument("--rates", type=float, nargs="+",
                    default=[0.05, 0.1, 0.15, 0.2, 0.25, 0.3])
+    p.add_argument("--metrics-interval", type=int, default=None,
+                   help="sample loadcurve sims with repro.obs at this "
+                        "cycle interval (adds utilization summaries)")
     p.add_argument("--cycles", type=int, default=1500)
     p.add_argument("--warmup", type=int, default=250)
     p.add_argument("--packet-size", type=int, default=4)

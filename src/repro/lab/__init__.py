@@ -61,6 +61,7 @@ from repro.lab.sweeps import (
     sweep_result_from_batch,
     sweep_result_from_store,
     synthesis_sweep_jobs,
+    utilization_curve_from_batch,
 )
 
 __all__ = [
@@ -100,4 +101,5 @@ __all__ = [
     "sweep_result_from_store",
     "synthesis_sweep_jobs",
     "to_jsonable",
+    "utilization_curve_from_batch",
 ]

@@ -174,7 +174,15 @@ def _run_baseline(job: Job) -> dict:
 
 @runner("load_point", version=1)
 def _run_load_point(job: Job) -> dict:
-    """One injection-rate point of a load-latency curve."""
+    """One injection-rate point of a load-latency curve.
+
+    With ``metrics_interval`` in the params, a read-only
+    :class:`repro.obs.MetricsProbe` rides along and its compact summary
+    (per-link utilization, hot links, stall/contention totals) lands in
+    the result next to the point.  The probe never changes simulation
+    outcomes, and the key is absent by default, so pre-existing cache
+    keys and results are untouched.
+    """
     from repro.lab.records import load_point_to_dict
     from repro.sim.experiments import _run_point
     from repro.topology.presets import standard_instance
@@ -182,6 +190,12 @@ def _run_load_point(job: Job) -> dict:
     p = job.params
     inst = standard_instance(p["topology"], p["size"])
     params = _effective_sim_parameters(p, inst.min_vcs)
+    probes = []
+    on_sim = None
+    if p.get("metrics_interval"):
+        on_sim = lambda sim: probes.append(
+            sim.enable_metrics(interval=p["metrics_interval"])
+        )
     point = _run_point(
         inst.topology,
         inst.table,
@@ -193,8 +207,13 @@ def _run_load_point(job: Job) -> dict:
         p.get("warmup", 250),
         p.get("packet_size", 4),
         job.seed,
+        on_sim=on_sim,
     )
-    return {"point": None if point is None else load_point_to_dict(point)}
+    result = {"point": None if point is None else load_point_to_dict(point)}
+    if probes:
+        probes[0].finalize()
+        result["metrics"] = probes[0].compact_summary()
+    return result
 
 
 @runner("saturation", version=1)

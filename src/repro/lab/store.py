@@ -135,6 +135,34 @@ class ResultStore:
         points.sort(key=lambda p: p.offered_rate)
         return points
 
+    def utilization_curve(self, tags: Sequence[str] = ()) -> List[dict]:
+        """Offered rate vs. measured link utilization, from stored metrics.
+
+        Uses load_point records that carry a metrics summary (produced
+        by :func:`~repro.lab.sweeps.load_curve_jobs` with a
+        ``metrics_interval``); records without metrics are skipped.
+        Sorted by offered rate.
+        """
+        rows = []
+        for record in self.records(kind="load_point", tags=tags):
+            metrics = record["result"].get("metrics")
+            if metrics is None:
+                continue
+            rows.append(
+                {
+                    "offered_rate": record["params"]["rate"],
+                    "mean_link_utilization": metrics["mean_link_utilization"],
+                    "peak_link_utilization": metrics["peak_link_utilization"],
+                    "total_stall_cycles": metrics["total_stall_cycles"],
+                    "total_contention_cycles": (
+                        metrics["total_contention_cycles"]
+                    ),
+                    "top_links": metrics["top_links"],
+                }
+            )
+        rows.sort(key=lambda r: r["offered_rate"])
+        return rows
+
     def run_metadata(self) -> Dict[str, Any]:
         """Store-level summary: counts per kind, cache reuse, seeds."""
         kinds: Dict[str, int] = {}

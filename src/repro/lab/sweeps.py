@@ -182,32 +182,41 @@ def load_curve_jobs(
     packet_size: int = 4,
     seed: int = 1,
     noc_params: Optional[dict] = None,
+    metrics_interval: Optional[int] = None,
     tags: Sequence[str] = (),
 ) -> List[Job]:
-    """One job per injection rate of a load-latency curve."""
+    """One job per injection rate of a load-latency curve.
+
+    ``metrics_interval`` additionally samples each point's simulation
+    with a :class:`repro.obs.MetricsProbe` at that cycle interval,
+    storing a compact utilization summary in every result — the
+    utilization-vs-load view :meth:`ResultStore.utilization_curve`
+    replays.  ``None`` (the default) leaves the params — and therefore
+    every cache key — exactly as before.
+    """
     if topology not in STANDARD_KINDS:
         raise ValueError(
             f"unknown topology {topology!r}; choose from {STANDARD_KINDS}"
         )
     base_tags = tuple(tags) + (f"curve:{topology}{size}:{pattern}",)
-    return [
-        Job(
-            kind="load_point",
-            params={
-                "topology": topology,
-                "size": size,
-                "rate": rate,
-                "pattern": pattern,
-                "cycles": cycles,
-                "warmup": warmup,
-                "packet_size": packet_size,
-                "noc_params": noc_params,
-            },
-            seed=seed,
-            tags=base_tags,
+    jobs = []
+    for rate in rates:
+        params = {
+            "topology": topology,
+            "size": size,
+            "rate": rate,
+            "pattern": pattern,
+            "cycles": cycles,
+            "warmup": warmup,
+            "packet_size": packet_size,
+            "noc_params": noc_params,
+        }
+        if metrics_interval is not None:
+            params["metrics_interval"] = metrics_interval
+        jobs.append(
+            Job(kind="load_point", params=params, seed=seed, tags=base_tags)
         )
-        for rate in rates
-    ]
+    return jobs
 
 
 def load_curve_from_batch(batch: BatchResult) -> List[LoadPoint]:
@@ -221,6 +230,34 @@ def load_curve_from_batch(batch: BatchResult) -> List[LoadPoint]:
     ]
     points.sort(key=lambda p: p.offered_rate)
     return points
+
+
+def utilization_curve_from_batch(batch: BatchResult) -> List[dict]:
+    """Offered rate vs. measured utilization from an instrumented batch.
+
+    Companion to :func:`load_curve_from_batch` for curves built with a
+    ``metrics_interval``; jobs without metrics are skipped.  Same row
+    shape as :meth:`ResultStore.utilization_curve`.
+    """
+    rows = []
+    for job, result in zip(batch.jobs, batch.results):
+        if job.kind != "load_point":
+            continue
+        metrics = result.get("metrics")
+        if metrics is None:
+            continue
+        rows.append(
+            {
+                "offered_rate": job.params["rate"],
+                "mean_link_utilization": metrics["mean_link_utilization"],
+                "peak_link_utilization": metrics["peak_link_utilization"],
+                "total_stall_cycles": metrics["total_stall_cycles"],
+                "total_contention_cycles": metrics["total_contention_cycles"],
+                "top_links": metrics["top_links"],
+            }
+        )
+    rows.sort(key=lambda r: r["offered_rate"])
+    return rows
 
 
 def fault_campaign_jobs(

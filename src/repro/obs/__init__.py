@@ -1,0 +1,54 @@
+"""repro.obs — observability for the NoC stack.
+
+Metrics (counters/gauges/windowed histograms), streaming trace sinks
+(JSONL and Chrome trace-event/Perfetto), periodic sampling of live
+simulations, and bottleneck attribution reports.  See
+``docs/tutorial.md`` §8 and ``examples/observability_tour.py``.
+
+Typical use::
+
+    sim = NocSimulator(topology, table, params)
+    probe = sim.enable_metrics(interval=100,
+                               sink=JsonlMetricsSink("metrics.jsonl"))
+    sim.run(10_000, traffic, drain=True)
+    summary = probe.finalize()
+    print(bottleneck_report(sim, probe).to_text())
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricRegistry,
+    WindowedHistogram,
+)
+from repro.obs.probe import MetricsProbe
+from repro.obs.report import (
+    BottleneckReport,
+    HotLink,
+    bottleneck_report,
+    congestion_csv,
+    congestion_heatmap,
+)
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlMetricsSink,
+    JsonlTraceSink,
+    TraceFanout,
+)
+
+__all__ = [
+    "BottleneckReport",
+    "ChromeTraceSink",
+    "Counter",
+    "Gauge",
+    "HotLink",
+    "JsonlMetricsSink",
+    "JsonlTraceSink",
+    "MetricRegistry",
+    "MetricsProbe",
+    "TraceFanout",
+    "WindowedHistogram",
+    "bottleneck_report",
+    "congestion_csv",
+    "congestion_heatmap",
+]

@@ -1,0 +1,173 @@
+"""Lightweight metric primitives: counters, gauges, windowed histograms.
+
+The registry is the in-memory half of the observability subsystem: the
+:class:`~repro.obs.probe.MetricsProbe` owns one, updates it at every
+sampling boundary, and streams the resulting rows to a sink.  Nothing
+here touches the simulator hot loop — metrics are *sampled* from the
+always-on component counters (``flits_carried``, ``stall_cycles``,
+``occupancy``...) at a configurable interval, so a disabled probe costs
+the simulation exactly one ``is not None`` test per cycle.
+
+All three metric kinds are plain Python and JSON-friendly:
+
+* :class:`Counter` — a monotonically increasing total;
+* :class:`Gauge` — a point-in-time value (last write wins), tracking
+  its own maximum;
+* :class:`WindowedHistogram` — fixed bucket bounds, filled during one
+  sampling window and reset when snapshotted, so each emitted row
+  describes exactly one interval.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence
+
+
+class Counter:
+    """Monotonic total (e.g. flits carried, stall cycles)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value with running maximum (e.g. buffer occupancy)."""
+
+    __slots__ = ("name", "value", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.maximum = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.maximum:
+            self.maximum = value
+
+
+class WindowedHistogram:
+    """Histogram over the current sampling window.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    overflow bucket catches everything beyond the last bound.
+    :meth:`snapshot` returns the window's distribution and resets it.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "maximum")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = list(bounds)
+        if ordered != sorted(ordered):
+            raise ValueError("bucket bounds must be sorted ascending")
+        self.name = name
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self, reset: bool = True) -> dict:
+        """The window's distribution as plain data (then reset it)."""
+        snap = {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.maximum,
+        }
+        if reset:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.total = 0.0
+            self.maximum = 0.0
+        return snap
+
+
+class MetricRegistry:
+    """Named metric namespace shared by probe, sinks, and reports.
+
+    Metrics are created on first access (``registry.counter("x")``) and
+    are stable thereafter; asking for an existing name with a different
+    kind is an error — a registry is a flat, typed namespace.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, WindowedHistogram] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        for owner, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if owner != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {owner}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._claim(name, "counter")
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._claim(name, "gauge")
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> WindowedHistogram:
+        if name not in self._histograms:
+            self._claim(name, "histogram")
+            if bounds is None:
+                raise ValueError(
+                    f"first access to histogram {name!r} must supply bounds"
+                )
+            self._histograms[name] = WindowedHistogram(name, bounds)
+        return self._histograms[name]
+
+    def names(self) -> List[str]:
+        return sorted(
+            list(self._counters)
+            + list(self._gauges)
+            + list(self._histograms)
+        )
+
+    def row(self, cycle: int, reset_windows: bool = True) -> dict:
+        """One flat sample row of every registered metric at ``cycle``."""
+        row: dict = {"cycle": cycle}
+        for name in sorted(self._counters):
+            row[name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            row[name] = self._gauges[name].value
+        for name in sorted(self._histograms):
+            row[name] = self._histograms[name].snapshot(reset=reset_windows)
+        return row

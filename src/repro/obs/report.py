@@ -1,0 +1,226 @@
+"""Bottleneck attribution: from raw counters to "what is slow and why".
+
+Reductions over a finished (or paused) simulation:
+
+* :func:`bottleneck_report` — ranks links by measured busy cycles
+  (``Link.flits_carried``: a link moves at most one flit per cycle, so
+  the lifetime carry count *is* the busy-cycle count), ranks switches by
+  contention/stall pressure, and attributes each hot link's load to the
+  flows whose routes cross it;
+* :func:`congestion_csv` — per-link busy cycles and utilization as CSV,
+  for spreadsheets and plotting;
+* :func:`congestion_heatmap` — ASCII mesh heat map of link busy cycles
+  (reuses :func:`repro.report.mesh_heatmap`; non-mesh topologies degrade
+  to a note rather than an error).
+
+Flow attribution uses delivered-packet statistics plus the routing
+table: a flow ``(src, dst)`` contributes its delivered flits to every
+link on its route.  Packets still in flight (or injected during warmup)
+are not counted — attribution explains measured load, it does not
+predict it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class HotLink:
+    """One link in the busy-cycle ranking."""
+
+    link: str
+    busy_cycles: int
+    utilization: float
+    peak_interval_utilization: Optional[float]
+    flows: List[dict] = field(default_factory=list)
+
+
+@dataclass
+class BottleneckReport:
+    """The full attribution bundle; ``to_text()`` renders it."""
+
+    cycles: int
+    total_flits_carried: int
+    hot_links: List[HotLink]
+    switch_ranking: List[dict]
+    heatmap: str
+    csv: str
+
+    @property
+    def top_link(self) -> Optional[HotLink]:
+        return self.hot_links[0] if self.hot_links else None
+
+    def to_text(self) -> str:
+        lines = [
+            f"Bottleneck report ({self.cycles} cycles, "
+            f"{self.total_flits_carried} link-flit transfers)",
+            "",
+            f"Top {len(self.hot_links)} hot links (by measured busy cycles):",
+        ]
+        if not self.hot_links:
+            lines.append("  (no link carried traffic)")
+        for rank, hot in enumerate(self.hot_links, start=1):
+            peak = (
+                f", peak interval {hot.peak_interval_utilization:.2f}"
+                if hot.peak_interval_utilization is not None
+                else ""
+            )
+            lines.append(
+                f"  {rank}. {hot.link:<16} busy {hot.busy_cycles:>7} "
+                f"({hot.utilization:6.1%}{peak})"
+            )
+            for flow in hot.flows:
+                lines.append(
+                    f"       <- {flow['source']} -> {flow['destination']}: "
+                    f"{flow['flits']} flits ({flow['share']:.0%})"
+                )
+        lines.append("")
+        lines.append("Most contended switches:")
+        if not self.switch_ranking:
+            lines.append("  (no switch contention observed)")
+        for entry in self.switch_ranking:
+            lines.append(
+                f"  {entry['switch']:<10} contention {entry['contention_cycles']:>6}  "
+                f"stalls {entry['stall_cycles']:>6}  "
+                f"peak buffer {entry['peak_buffer_occupancy']:>3}"
+            )
+        if self.heatmap:
+            lines.append("")
+            lines.append("Link busy-cycle heat map (0-9 scaled to max):")
+            lines.append(self.heatmap)
+        return "\n".join(lines)
+
+
+def _flow_flits(sim) -> Dict[Tuple[str, str], int]:
+    """Delivered flits per (source, destination) flow."""
+    flows: Dict[Tuple[str, str], int] = {}
+    for record in sim.stats.records:
+        key = (record.source, record.destination)
+        flows[key] = flows.get(key, 0) + record.size_flits
+    return flows
+
+
+def _flows_by_link(sim) -> Dict[Tuple[str, str], List[Tuple[str, str, int]]]:
+    """Map each link key to the flows routed across it (with flit totals)."""
+    by_link: Dict[Tuple[str, str], List[Tuple[str, str, int]]] = {}
+    for (src, dst), flits in sorted(_flow_flits(sim).items()):
+        if not sim.routing_table.has_route(src, dst):
+            continue  # route was severed after delivery (fault recovery)
+        path = sim.routing_table.route(src, dst).path
+        for hop in zip(path, path[1:]):
+            by_link.setdefault(hop, []).append((src, dst, flits))
+    return by_link
+
+
+def bottleneck_report(
+    sim, probe=None, top: int = 5, flows_per_link: int = 3
+) -> BottleneckReport:
+    """Rank links and switches by measured pressure; attribute to flows.
+
+    ``probe`` is optional: with one attached, hot links also report their
+    peak single-interval utilization (a burstiness signal the lifetime
+    average hides).
+    """
+    cycles = max(1, sim.cycle)
+    busy = {key: sim.links[key].flits_carried for key in sim._link_order}
+    ranked = sorted(busy.items(), key=lambda kv: (-kv[1], kv[0]))
+    flows_map = _flows_by_link(sim)
+    peaks = probe.peak_interval_utilization if probe is not None else None
+
+    hot_links: List[HotLink] = []
+    for key, busy_cycles in ranked[:top]:
+        if busy_cycles == 0:
+            break
+        link = sim.links[key]
+        crossing = sorted(
+            flows_map.get(key, ()), key=lambda f: (-f[2], f[0], f[1])
+        )
+        total_crossing = sum(f[2] for f in crossing) or 1
+        hot_links.append(
+            HotLink(
+                link=link.name,
+                busy_cycles=busy_cycles,
+                utilization=busy_cycles / cycles,
+                peak_interval_utilization=(
+                    peaks.get(key) if peaks is not None else None
+                ),
+                flows=[
+                    {
+                        "source": src,
+                        "destination": dst,
+                        "flits": flits,
+                        "share": flits / total_crossing,
+                    }
+                    for src, dst, flits in crossing[:flows_per_link]
+                ],
+            )
+        )
+
+    switch_ranking = sorted(
+        (
+            {
+                "switch": name,
+                "contention_cycles": sim.switches[name].contention_cycles,
+                "stall_cycles": sim.switches[name].stall_cycles,
+                "peak_buffer_occupancy": max(
+                    (
+                        p.peak_occupancy
+                        for p in sim.switches[name].inputs.values()
+                    ),
+                    default=0,
+                ),
+            }
+            for name in sim._switch_order
+        ),
+        key=lambda e: (
+            -e["contention_cycles"],
+            -e["stall_cycles"],
+            e["switch"],
+        ),
+    )
+    switch_ranking = [
+        e
+        for e in switch_ranking[:top]
+        if e["contention_cycles"] or e["stall_cycles"]
+    ]
+
+    return BottleneckReport(
+        cycles=sim.cycle,
+        total_flits_carried=sum(busy.values()),
+        hot_links=hot_links,
+        switch_ranking=switch_ranking,
+        heatmap=congestion_heatmap(sim),
+        csv=congestion_csv(sim),
+    )
+
+
+def congestion_csv(sim) -> str:
+    """Per-link busy cycles and lifetime utilization, as CSV text."""
+    cycles = max(1, sim.cycle)
+    lines = ["link,src,dst,busy_cycles,utilization"]
+    for key in sim._link_order:
+        link = sim.links[key]
+        lines.append(
+            f"{link.name},{key[0]},{key[1]},{link.flits_carried},"
+            f"{link.flits_carried / cycles:.6f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def congestion_heatmap(sim) -> str:
+    """ASCII heat map of link busy cycles (mesh topologies only).
+
+    Non-mesh topologies (no x/y switch coordinates) return an empty
+    string so callers can print conditionally instead of catching.
+    """
+    from repro.report import mesh_heatmap
+
+    busy = {
+        key: float(sim.links[key].flits_carried) for key in sim._link_order
+    }
+    try:
+        return mesh_heatmap(sim.topology, busy)
+    except ValueError:
+        return ""

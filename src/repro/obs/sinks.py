@@ -1,0 +1,230 @@
+"""Streaming trace and metric sinks.
+
+The in-memory :class:`~repro.sim.tracing.TraceRecorder` is bounded by
+its ``max_events`` RAM cap; these sinks stream events to disk instead,
+so a trace is bounded only by the filesystem:
+
+* :class:`JsonlTraceSink` — one JSON object per line per flit event;
+  greppable, append-friendly, trivially parseable;
+* :class:`ChromeTraceSink` — the Chrome trace-event format (a
+  ``{"traceEvents": [...]}`` JSON document), loadable in Perfetto or
+  ``chrome://tracing``: one simulated cycle maps to one microsecond of
+  trace time and every NI/switch becomes a named thread track;
+* :class:`JsonlMetricsSink` — one JSON object per metric sample row
+  (written by the :class:`~repro.obs.probe.MetricsProbe`);
+* :class:`TraceFanout` — duplicates the recorder interface over several
+  sinks, so one simulation can feed the in-memory recorder, a JSONL
+  stream, and a Chrome trace at once.
+
+Every trace sink implements the recorder contract the simulator's
+:meth:`~repro.sim.NocSimulator.enable_tracing` expects — ``record(cycle,
+kind, location, flit)`` and ``record_note(cycle, kind, location, note)``
+— so they are drop-in replacements for :class:`TraceRecorder`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+
+class _FileSink:
+    """Shared open/close plumbing (context-manager friendly)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[IO[str]] = self.path.open("w")
+        self.events_written = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._finalize(self._fh)
+            self._fh.close()
+            self._fh = None
+
+    def _finalize(self, fh: IO[str]) -> None:
+        """Subclass hook: write any trailer before closing."""
+
+    def _write(self, text: str) -> None:
+        if self._fh is None:
+            raise RuntimeError(f"sink {self.path} is closed")
+        self._fh.write(text)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class JsonlTraceSink(_FileSink):
+    """One JSON line per flit event; unbounded, stream-parseable."""
+
+    def record(self, cycle: int, kind, location: str, flit) -> None:
+        packet = flit.packet
+        self._write(
+            json.dumps(
+                {
+                    "cycle": cycle,
+                    "kind": kind.value,
+                    "location": location,
+                    "packet_id": packet.packet_id,
+                    "flit_index": flit.index,
+                    "source": packet.source,
+                    "destination": packet.destination,
+                },
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        self.events_written += 1
+
+    def record_note(self, cycle: int, kind, location: str, note: str) -> None:
+        self._write(
+            json.dumps(
+                {
+                    "cycle": cycle,
+                    "kind": kind.value,
+                    "location": location,
+                    "packet_id": -1,
+                    "note": note,
+                },
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        self.events_written += 1
+
+
+class ChromeTraceSink(_FileSink):
+    """Chrome trace-event JSON, loadable in Perfetto/chrome://tracing.
+
+    Flit events become instant events (``"ph": "i"``) on per-location
+    thread tracks; notes become global instant events.  Timestamps are
+    cycles read as microseconds, so the Perfetto timeline reads directly
+    in cycles.  The document is a complete, valid JSON object once
+    :meth:`close` has written the trailer.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        super().__init__(path)
+        self._tids: Dict[str, int] = {}
+        self._write('{"displayTimeUnit":"ms","traceEvents":[\n')
+        self._write(
+            json.dumps(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"name": "noc-sim"},
+                },
+                separators=(",", ":"),
+            )
+        )
+
+    def _tid(self, location: str) -> int:
+        tid = self._tids.get(location)
+        if tid is None:
+            tid = len(self._tids) + 1  # tid 0 is the process metadata row
+            self._tids[location] = tid
+            self._emit(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": location},
+                }
+            )
+        return tid
+
+    def _emit(self, event: dict) -> None:
+        self._write(",\n" + json.dumps(event, separators=(",", ":")))
+
+    def record(self, cycle: int, kind, location: str, flit) -> None:
+        packet = flit.packet
+        tid = self._tid(location)
+        self._emit(
+            {
+                "name": f"{kind.value} p{packet.packet_id}#{flit.index}",
+                "cat": kind.value,
+                "ph": "i",
+                "s": "t",
+                "ts": cycle,
+                "pid": 0,
+                "tid": tid,
+                "args": {
+                    "packet_id": packet.packet_id,
+                    "flit_index": flit.index,
+                    "source": packet.source,
+                    "destination": packet.destination,
+                },
+            }
+        )
+        self.events_written += 1
+
+    def record_note(self, cycle: int, kind, location: str, note: str) -> None:
+        self._emit(
+            {
+                "name": f"{kind.value}: {note}",
+                "cat": kind.value,
+                "ph": "i",
+                "s": "g",
+                "ts": cycle,
+                "pid": 0,
+                "tid": self._tid(location),
+                "args": {"note": note},
+            }
+        )
+        self.events_written += 1
+
+    def _finalize(self, fh: IO[str]) -> None:
+        fh.write("\n]}\n")
+
+
+class JsonlMetricsSink(_FileSink):
+    """One JSON line per metric sample row (probe output)."""
+
+    def emit(self, row: dict) -> None:
+        self._write(json.dumps(row, separators=(",", ":")) + "\n")
+        self.events_written += 1
+
+
+class TraceFanout:
+    """Duplicate trace events over several sinks/recorders.
+
+    Implements the same recorder contract, so the simulator needs no
+    multi-sink awareness: ``sim.enable_tracing(TraceFanout(a, b, c))``.
+    """
+
+    def __init__(self, *sinks):
+        if not sinks:
+            raise ValueError("fanout needs at least one sink")
+        self.sinks = list(sinks)
+
+    def record(self, cycle: int, kind, location: str, flit) -> None:
+        for sink in self.sinks:
+            sink.record(cycle, kind, location, flit)
+
+    def record_note(self, cycle: int, kind, location: str, note: str) -> None:
+        for sink in self.sinks:
+            sink.record_note(cycle, kind, location, note)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

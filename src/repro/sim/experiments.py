@@ -53,11 +53,16 @@ def _run_point(
     warmup: int,
     packet_size: int,
     seed: int,
+    on_sim=None,
 ) -> Optional[LoadPoint]:
     sim = NocSimulator(
         topology, table, params, vc_assignment=vc_assignment,
         warmup_cycles=warmup,
     )
+    if on_sim is not None:
+        # Observability hook: attach read-only instrumentation (e.g. a
+        # repro.obs.MetricsProbe) without forking the simulation path.
+        on_sim(sim)
     traffic = SyntheticTraffic(pattern, rate, packet_size, seed=seed)
     sim.run(cycles, traffic)
     if sim.stats.packets_delivered == 0:

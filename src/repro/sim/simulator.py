@@ -131,6 +131,7 @@ class NocSimulator:
         self._retransmission: Optional[RetransmissionPolicy] = None
         self._controller = None
         self._recorder = None  # TraceRecorder, when tracing is enabled
+        self._obs = None  # MetricsProbe, when metrics are enabled
 
         self._build(vc_assignment)
         self._switch_order = sorted(self.switches)
@@ -259,6 +260,29 @@ class NocSimulator:
                 )
             )
 
+    def enable_metrics(
+        self, interval: int = 100, registry=None, sink=None
+    ):
+        """Attach a :class:`repro.obs.MetricsProbe` and return it.
+
+        The probe samples the always-on component counters every
+        ``interval`` cycles, streaming per-link/switch/NI rows to
+        ``sink`` (a :class:`repro.obs.JsonlMetricsSink`) when one is
+        given.  With no probe attached the hot loop pays exactly one
+        ``is not None`` test per cycle, and simulation results are
+        identical either way — the probe only reads.
+        """
+        from repro.obs.probe import MetricsProbe
+
+        self._obs = MetricsProbe(
+            self, interval=interval, registry=registry, sink=sink
+        )
+        return self._obs
+
+    def disable_metrics(self) -> None:
+        """Detach the metrics probe (its summaries remain usable)."""
+        self._obs = None
+
     def attach_memory(
         self,
         core: str,
@@ -340,6 +364,8 @@ class NocSimulator:
                     )
         if self._controller is not None:
             self._controller.tick(c)
+        if self._obs is not None:
+            self._obs.on_cycle(c)
         self.cycle += 1
 
     def run(

@@ -29,7 +29,12 @@ class TraceEventKind(Enum):
 
 @dataclass(frozen=True)
 class FlitEvent:
-    """One observed flit movement."""
+    """One observed flit movement (or a flit-less annotation).
+
+    Annotations (faults applied, recoveries, retransmissions) carry
+    ``packet_id == -1`` and their text in :attr:`note`; flit movements
+    leave ``note`` as ``None``.
+    """
 
     cycle: int
     kind: TraceEventKind
@@ -38,6 +43,7 @@ class FlitEvent:
     flit_index: int
     source: str
     destination: str
+    note: Optional[str] = None
 
 
 class TraceRecorder:
@@ -75,7 +81,8 @@ class TraceRecorder:
         """Log a flit-less annotation (fault applied, recovery done...).
 
         Notes share the event stream so they interleave with flit
-        movements in :meth:`to_text`; ``packet_id == -1`` marks them.
+        movements in :meth:`to_text`; ``packet_id == -1`` marks them and
+        the text travels in the explicit :attr:`FlitEvent.note` field.
         """
         if len(self.events) >= self.max_events:
             self.dropped += 1
@@ -87,27 +94,34 @@ class TraceRecorder:
                 location=location,
                 packet_id=-1,
                 flit_index=-1,
-                source=note,
+                source="",
                 destination="",
+                note=note,
             )
         )
 
     def notes(self) -> List[FlitEvent]:
         """All flit-less annotations, in order."""
-        return [e for e in self.events if e.packet_id == -1]
+        return [e for e in self.events if e.note is not None]
 
     # ------------------------------------------------------------------
     def events_for_packet(self, packet_id: int) -> List[FlitEvent]:
         return [e for e in self.events if e.packet_id == packet_id]
 
     def observed_path(self, packet_id: int) -> List[str]:
-        """The node sequence the packet's head flit actually visited."""
+        """The node sequence the packet's head flit actually visited.
+
+        Events are kept in insertion order, which is the order the
+        simulator observed them; a stable sort on the cycle alone keeps
+        same-cycle events in that order (sorting on the kind name would
+        put "deliver" before "inject" whenever both land on one cycle).
+        """
         head_events = [
             e
             for e in self.events
             if e.packet_id == packet_id and e.flit_index == 0
         ]
-        head_events.sort(key=lambda e: (e.cycle, e.kind.value))
+        head_events.sort(key=lambda e: e.cycle)
         return [e.location for e in head_events]
 
     def packet_latency(self, packet_id: int) -> Optional[int]:
@@ -122,11 +136,17 @@ class TraceRecorder:
         """Human-readable dump (one line per event)."""
         lines = []
         for event in self.events[: limit or len(self.events)]:
-            lines.append(
-                f"cycle {event.cycle:>6}  {event.kind.value:<8} "
-                f"{event.location:<12} p{event.packet_id}#{event.flit_index} "
-                f"({event.source} -> {event.destination})"
-            )
+            if event.note is not None:
+                lines.append(
+                    f"cycle {event.cycle:>6}  {event.kind.value:<8} "
+                    f"{event.location:<12} {event.note}"
+                )
+            else:
+                lines.append(
+                    f"cycle {event.cycle:>6}  {event.kind.value:<8} "
+                    f"{event.location:<12} p{event.packet_id}#{event.flit_index} "
+                    f"({event.source} -> {event.destination})"
+                )
         if self.dropped:
             lines.append(f"... {self.dropped} events dropped (cap reached)")
         return "\n".join(lines)

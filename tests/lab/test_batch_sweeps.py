@@ -144,6 +144,38 @@ class TestLoadCurveJobs:
         again = run_jobs(jobs, cache=cache)
         assert again.computed == 0 and again.cached == 1
 
+    def test_metrics_interval_rides_along_without_changing_points(self):
+        plain = load_curve_jobs("mesh", 3, [0.1], cycles=300, warmup=60)
+        instrumented = load_curve_jobs(
+            "mesh", 3, [0.1], cycles=300, warmup=60, metrics_interval=50
+        )
+        # The probe is read-only: the measured curve point is identical.
+        plain_result = run_jobs(plain).results[0]
+        inst_result = run_jobs(instrumented).results[0]
+        assert inst_result["point"] == plain_result["point"]
+        assert "metrics" not in plain_result
+        metrics = inst_result["metrics"]
+        assert metrics["peak_link_utilization"] > 0
+        assert metrics["top_links"]
+
+    def test_default_jobs_keep_pre_metrics_cache_keys(self):
+        """No metrics_interval -> params (and cache keys) unchanged."""
+        job = load_curve_jobs("mesh", 3, [0.1], cycles=300, warmup=60)[0]
+        assert "metrics_interval" not in job.params
+
+    def test_utilization_curve_from_batch(self):
+        from repro.lab import utilization_curve_from_batch
+
+        jobs = load_curve_jobs(
+            "mesh", 3, [0.15, 0.05], cycles=300, warmup=60,
+            metrics_interval=50,
+        )
+        rows = utilization_curve_from_batch(run_jobs(jobs))
+        assert [r["offered_rate"] for r in rows] == [0.05, 0.15]
+        assert rows[0]["mean_link_utilization"] <= (
+            rows[1]["mean_link_utilization"]
+        )
+
     def test_saturation_job_round_trip(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = saturation_job(

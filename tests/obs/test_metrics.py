@@ -1,0 +1,87 @@
+"""Unit tests for the metric primitives and the registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, MetricRegistry, WindowedHistogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("flits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("flits").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins_and_max_tracks(self):
+        g = Gauge("occupancy")
+        g.set(3.0)
+        g.set(1.0)
+        assert g.value == 1.0
+        assert g.maximum == 3.0
+
+
+class TestWindowedHistogram:
+    def test_bucketing(self):
+        h = WindowedHistogram("util", bounds=[0.5, 1.0])
+        for v in (0.1, 0.5, 0.7, 2.0):
+            h.observe(v)
+        # bisect_left: <=0.5 in bucket 0 only if strictly below; 0.5 is
+        # the bound itself -> bucket 0 (inclusive upper edge).
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.mean == pytest.approx((0.1 + 0.5 + 0.7 + 2.0) / 4)
+        assert h.maximum == 2.0
+
+    def test_snapshot_resets_window(self):
+        h = WindowedHistogram("util", bounds=[1.0])
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert h.count == 0
+        assert h.snapshot()["counts"] == [0, 0]
+
+    def test_requires_sorted_bounds(self):
+        with pytest.raises(ValueError):
+            WindowedHistogram("bad", bounds=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            WindowedHistogram("empty", bounds=[])
+
+
+class TestMetricRegistry:
+    def test_create_once_then_stable(self):
+        r = MetricRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("b") is r.gauge("b")
+        assert r.histogram("c", [1.0]) is r.histogram("c")
+
+    def test_kind_collision_rejected(self):
+        r = MetricRegistry()
+        r.counter("x")
+        with pytest.raises(ValueError):
+            r.gauge("x")
+        with pytest.raises(ValueError):
+            r.histogram("x", [1.0])
+
+    def test_histogram_needs_bounds_on_first_access(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().histogram("h")
+
+    def test_row_is_flat_and_sorted(self):
+        r = MetricRegistry()
+        r.counter("n").inc(2)
+        r.gauge("g").set(1.5)
+        r.histogram("h", [1.0]).observe(0.5)
+        row = r.row(cycle=100)
+        assert row["cycle"] == 100
+        assert row["n"] == 2
+        assert row["g"] == 1.5
+        assert row["h"]["count"] == 1
+        assert r.names() == ["g", "h", "n"]
+        # windows reset by the row snapshot
+        assert r.row(cycle=200)["h"]["count"] == 0

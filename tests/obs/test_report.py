@@ -1,0 +1,166 @@
+"""Probe sampling and bottleneck attribution on live simulations."""
+
+import json
+
+from repro.obs import JsonlMetricsSink, bottleneck_report, congestion_csv
+from repro.sim import NocSimulator, SyntheticTraffic
+from repro.topology import mesh, xy_routing
+from repro.topology.presets import standard_instance
+
+
+def _instrumented_run(tmp_path=None, interval=50, cycles=400, rate=0.25):
+    m = mesh(4, 4)
+    table = xy_routing(m)
+    sim = NocSimulator(m, table)
+    sink = (
+        JsonlMetricsSink(tmp_path / "metrics.jsonl")
+        if tmp_path is not None
+        else None
+    )
+    probe = sim.enable_metrics(interval=interval, sink=sink)
+    sim.run(cycles, SyntheticTraffic("uniform", rate, 4, seed=9), drain=True)
+    probe.finalize()
+    if sink is not None:
+        sink.close()
+    return sim, probe, sink
+
+
+class TestMetricsProbe:
+    def test_samples_cover_the_run(self):
+        sim, probe, __ = _instrumented_run(interval=50)
+        # one sample per full window plus the finalize flush
+        assert probe.samples_taken >= sim.cycle // 50
+        assert probe.summary()["cycles"] == sim.cycle
+
+    def test_summary_covers_every_component(self):
+        sim, probe, __ = _instrumented_run()
+        summary = probe.summary()
+        assert set(summary["links"]) == {
+            sim.links[k].name for k in sim._link_order
+        }
+        assert set(summary["switches"]) == set(sim.switches)
+        assert set(summary["nis"]) == set(sim.initiators)
+
+    def test_busy_cycles_match_link_counters(self):
+        sim, probe, __ = _instrumented_run()
+        for key in sim._link_order:
+            link = sim.links[key]
+            entry = probe.summary()["links"][link.name]
+            assert entry["busy_cycles"] == link.flits_carried
+            assert entry["utilization"] == link.flits_carried / sim.cycle
+
+    def test_interval_rows_for_every_link_and_switch(self, tmp_path):
+        sim, probe, sink = _instrumented_run(tmp_path, interval=50)
+        rows = [
+            json.loads(line)
+            for line in (tmp_path / "metrics.jsonl").read_text().splitlines()
+        ]
+        link_rows = [r for r in rows if r["kind"] == "link"]
+        switch_rows = [r for r in rows if r["kind"] == "switch"]
+        # every link and switch appears in every sampling window
+        assert len(link_rows) == probe.samples_taken * len(sim.links)
+        assert len(switch_rows) == probe.samples_taken * len(sim.switches)
+        assert all("utilization" in r for r in link_rows)
+        assert all("occupancy" in r and "port_occupancy" in r
+                   for r in switch_rows)
+        aggregate_rows = [r for r in rows if r["kind"] == "aggregate"]
+        assert len(aggregate_rows) == probe.samples_taken
+        assert all("link_utilization_max" in r for r in aggregate_rows)
+
+    def test_window_deltas_sum_to_lifetime_totals(self, tmp_path):
+        sim, probe, __ = _instrumented_run(tmp_path, interval=50)
+        rows = [
+            json.loads(line)
+            for line in (tmp_path / "metrics.jsonl").read_text().splitlines()
+        ]
+        per_link = {}
+        for r in rows:
+            if r["kind"] == "link":
+                per_link[r["name"]] = per_link.get(r["name"], 0) + r["flits"]
+        for key in sim._link_order:
+            link = sim.links[key]
+            assert per_link[link.name] == link.flits_carried
+
+    def test_stall_and_contention_counters_move_under_load(self):
+        sim, probe, __ = _instrumented_run(rate=0.35)
+        summary = probe.compact_summary()
+        assert summary["total_stall_cycles"] > 0
+        assert summary["total_contention_cycles"] > 0
+        assert 0.0 < summary["peak_link_utilization"] <= 1.0
+
+    def test_lock_hold_accounting(self):
+        sim, probe, __ = _instrumented_run()
+        switches = probe.summary()["switches"]
+        locked = [s for s in switches.values() if s["locks_taken"]]
+        assert locked, "wormhole locks should have been taken under load"
+        for s in locked:
+            assert s["lock_hold_cycles"] >= s["locks_taken"]
+            assert s["mean_lock_hold_cycles"] >= 1.0
+
+
+class TestBottleneckReport:
+    def test_top_hot_link_is_the_busiest_link(self):
+        sim, probe, __ = _instrumented_run()
+        report = bottleneck_report(sim, probe)
+        max_busy = max(
+            sim.links[k].flits_carried for k in sim._link_order
+        )
+        assert report.top_link.busy_cycles == max_busy
+
+    def test_flow_attribution_crosses_the_link(self):
+        sim, probe, __ = _instrumented_run()
+        report = bottleneck_report(sim, probe)
+        for hot in report.hot_links:
+            for flow in hot.flows:
+                path = sim.routing_table.route(
+                    flow["source"], flow["destination"]
+                ).path
+                hops = [f"{a}->{b}" for a, b in zip(path, path[1:])]
+                assert hot.link in hops
+
+    def test_text_rendering(self):
+        sim, probe, __ = _instrumented_run()
+        text = bottleneck_report(sim, probe).to_text()
+        assert "hot links" in text
+        assert "Most contended switches" in text
+        assert "heat map" in text  # mesh topology -> heatmap present
+
+    def test_csv_parses_and_covers_all_links(self):
+        sim, __, __ = _instrumented_run()
+        csv_text = congestion_csv(sim)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "link,src,dst,busy_cycles,utilization"
+        assert len(lines) == 1 + len(sim.links)
+        for line in lines[1:]:
+            name, src, dst, busy, util = line.split(",")
+            assert sim.links[(src, dst)].flits_carried == int(busy)
+
+    def test_non_mesh_topology_degrades_gracefully(self):
+        from repro.arch.parameters import DEFAULT_PARAMETERS
+
+        inst = standard_instance("spidergon", 8)
+        params = DEFAULT_PARAMETERS
+        if params.num_vcs < inst.min_vcs:
+            params = params.with_(num_vcs=inst.min_vcs)
+        sim = NocSimulator(
+            inst.topology, inst.table, params,
+            vc_assignment=inst.vc_assignment,
+        )
+        probe = sim.enable_metrics(interval=50)
+        sim.run(
+            200,
+            SyntheticTraffic("uniform", 0.1, 4, seed=3),
+            drain=True,
+        )
+        probe.finalize()
+        report = bottleneck_report(sim, probe)
+        assert report.heatmap == ""
+        assert "heat map" not in report.to_text()
+
+    def test_report_without_probe(self):
+        m = mesh(3, 3)
+        sim = NocSimulator(m, xy_routing(m))
+        sim.run(200, SyntheticTraffic("uniform", 0.15, 4, seed=2), drain=True)
+        report = bottleneck_report(sim)
+        assert report.top_link is not None
+        assert report.top_link.peak_interval_utilization is None

@@ -1,0 +1,151 @@
+"""Streaming sink round-trips and the metrics-off identity guarantee."""
+
+import json
+
+import pytest
+
+from repro.arch.packet import reset_packet_ids
+from repro.obs import ChromeTraceSink, JsonlMetricsSink, JsonlTraceSink, TraceFanout
+from repro.sim import NocSimulator, SyntheticTraffic, TraceRecorder
+from repro.topology import mesh, xy_routing
+
+
+def _seeded_run(sim_setup=None, cycles=300, seed=11):
+    reset_packet_ids()
+    m = mesh(4, 4)
+    table = xy_routing(m)
+    sim = NocSimulator(m, table)
+    if sim_setup is not None:
+        sim_setup(sim)
+    sim.run(cycles, SyntheticTraffic("uniform", 0.2, 4, seed=seed), drain=True)
+    return sim
+
+
+def _stats_fingerprint(sim):
+    """Every externally observable outcome of a run, as plain data."""
+    return json.dumps(
+        {
+            "cycle": sim.cycle,
+            "records": [
+                (r.source, r.destination, r.size_flits,
+                 r.injection_cycle, r.arrival_cycle)
+                for r in sim.stats.records
+            ],
+            "flits_injected": sim.stats.flits_injected,
+            "flits_delivered": sim.stats.flits_delivered,
+            "link_busy": {
+                sim.links[k].name: sim.links[k].flits_carried
+                for k in sim._link_order
+            },
+        },
+        sort_keys=True,
+    )
+
+
+class TestTraceSinkRoundTrip:
+    def test_jsonl_and_chrome_agree_on_the_same_run(self, tmp_path):
+        jsonl_path = tmp_path / "trace.jsonl"
+        chrome_path = tmp_path / "trace.json"
+
+        def setup(sim):
+            sim.enable_tracing(
+                TraceFanout(JsonlTraceSink(jsonl_path),
+                            ChromeTraceSink(chrome_path))
+            )
+
+        sim = _seeded_run(setup)
+        for sink in sim._recorder.sinks:
+            sink.close()
+
+        jsonl_events = [
+            json.loads(line) for line in jsonl_path.read_text().splitlines()
+        ]
+        chrome_doc = json.loads(chrome_path.read_text())
+        chrome_events = [
+            e for e in chrome_doc["traceEvents"] if e["ph"] == "i"
+        ]
+        assert len(jsonl_events) == len(chrome_events) > 0
+        assert [e["cycle"] for e in jsonl_events] == [
+            e["ts"] for e in chrome_events
+        ]
+        # Same packets, flit by flit.
+        assert [
+            (e["packet_id"], e["flit_index"]) for e in jsonl_events
+        ] == [
+            (e["args"]["packet_id"], e["args"]["flit_index"])
+            for e in chrome_events
+        ]
+
+    def test_fanout_matches_in_memory_recorder(self, tmp_path):
+        recorder = TraceRecorder(max_events=10_000_000)
+        sink = JsonlTraceSink(tmp_path / "trace.jsonl")
+
+        def setup(sim):
+            sim.enable_tracing(TraceFanout(recorder, sink))
+
+        _seeded_run(setup)
+        sink.close()
+        lines = sink.path.read_text().splitlines()
+        assert len(lines) == len(recorder.events)
+
+    def test_chrome_trace_is_valid_json_with_metadata(self, tmp_path):
+        path = tmp_path / "trace.json"
+
+        def setup(sim):
+            sink = ChromeTraceSink(path)
+            sim.enable_tracing(sink)
+            sim._obs_sink = sink  # keep a handle for closing
+
+        sim = _seeded_run(setup, cycles=50)
+        sim._obs_sink.close()
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        names = [
+            e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"
+        ]
+        assert "noc-sim" in names  # process metadata
+        assert any(n.startswith("c_") for n in names)  # NI thread tracks
+
+    def test_closed_sink_rejects_writes(self, tmp_path):
+        sink = JsonlMetricsSink(tmp_path / "m.jsonl")
+        sink.close()
+        assert sink.closed
+        with pytest.raises(RuntimeError):
+            sink.emit({"cycle": 0})
+
+    def test_fanout_needs_sinks(self):
+        with pytest.raises(ValueError):
+            TraceFanout()
+
+
+class TestMetricsOffIdentity:
+    def test_disabled_metrics_run_identical_to_uninstrumented(self):
+        baseline = _stats_fingerprint(_seeded_run())
+        instrumented = _stats_fingerprint(
+            _seeded_run(lambda sim: sim.enable_metrics(interval=50))
+        )
+        with_probe_detached = _stats_fingerprint(
+            _seeded_run(
+                lambda sim: (sim.enable_metrics(interval=50),
+                             sim.disable_metrics())
+            )
+        )
+        assert instrumented == baseline
+        assert with_probe_detached == baseline
+
+    def test_metrics_sink_rows_are_deterministic(self, tmp_path):
+        def run(path):
+            sink = JsonlMetricsSink(path)
+
+            def setup(sim):
+                probe = sink.probe = sim.enable_metrics(
+                    interval=50, sink=sink
+                )
+                return probe
+
+            sim = _seeded_run(setup)
+            sim._obs.finalize()
+            sink.close()
+            return path.read_bytes()
+
+        assert run(tmp_path / "a.jsonl") == run(tmp_path / "b.jsonl")

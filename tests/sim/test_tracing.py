@@ -83,3 +83,55 @@ class TestTraceRecorder:
     def test_cap_validation(self):
         with pytest.raises(ValueError):
             TraceRecorder(max_events=0)
+
+
+class _FakePacket:
+    packet_id = 5
+    source = "c_0_0"
+    destination = "c_1_0"
+
+
+class _FakeFlit:
+    packet = _FakePacket()
+    index = 0
+
+
+class TestSameCycleOrdering:
+    def test_observed_path_keeps_insertion_order_within_a_cycle(self):
+        """Regression: same-cycle events must stay in observation order.
+
+        Sorting on (cycle, kind.value) put "deliver" before "forward"
+        alphabetically whenever both landed on one cycle, reversing the
+        tail of the observed path.
+        """
+        recorder = TraceRecorder()
+        flit = _FakeFlit()
+        recorder.record(3, TraceEventKind.INJECT, "c_0_0", flit)
+        # Both remaining hops observed on the same cycle, in hop order.
+        recorder.record(7, TraceEventKind.FORWARD, "s_0_0", flit)
+        recorder.record(7, TraceEventKind.DELIVER, "c_1_0", flit)
+        assert recorder.observed_path(5) == ["c_0_0", "s_0_0", "c_1_0"]
+
+
+class TestNoteEvents:
+    def test_note_travels_in_note_field(self):
+        recorder = TraceRecorder()
+        recorder.record_note(11, TraceEventKind.FAULT, "s_1_1", "link down")
+        (event,) = recorder.notes()
+        assert event.note == "link down"
+        assert event.packet_id == -1
+        assert event.source == "" and event.destination == ""
+
+    def test_flit_events_have_no_note(self):
+        recorder = TraceRecorder()
+        recorder.record(1, TraceEventKind.INJECT, "c_0_0", _FakeFlit())
+        assert recorder.events[0].note is None
+        assert recorder.notes() == []
+
+    def test_to_text_renders_note(self):
+        recorder = TraceRecorder()
+        recorder.record_note(4, TraceEventKind.RECOVERY, "controller",
+                             "rerouted 3")
+        text = recorder.to_text()
+        assert "rerouted 3" in text
+        assert "p-1" not in text  # not rendered as a fake packet

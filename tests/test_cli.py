@@ -219,3 +219,72 @@ class TestBatch:
         ])
         assert rc == 0
         assert "saturation throughput" in capsys.readouterr().out
+
+
+class TestObserve:
+    def _run(self, tmp_path, name, extra=()):
+        out_dir = tmp_path / name
+        rc = main([
+            "observe", "--size", "3", "--rate", "0.15",
+            "--cycles", "300", "--interval", "50",
+            "--out-dir", str(out_dir), *extra,
+        ])
+        assert rc == 0
+        return out_dir
+
+    def test_writes_all_artifacts(self, tmp_path, capsys):
+        import json
+
+        out_dir = self._run(tmp_path, "obs")
+        out = capsys.readouterr().out
+        assert "Bottleneck report" in out
+        assert "hot links" in out
+        for name in ("metrics.jsonl", "trace.jsonl", "trace.json",
+                     "congestion.csv", "summary.json"):
+            assert (out_dir / name).exists(), name
+        # Chrome trace is one valid JSON document (Perfetto-loadable).
+        doc = json.loads((out_dir / "trace.json").read_text())
+        assert doc["traceEvents"]
+        # JSONL files parse line by line.
+        for line in (out_dir / "metrics.jsonl").read_text().splitlines():
+            json.loads(line)
+        summary = json.loads((out_dir / "summary.json").read_text())
+        assert summary["packets_delivered"] > 0
+        assert summary["metrics"]["top_links"]
+
+    def test_no_trace_skips_flit_files(self, tmp_path, capsys):
+        out_dir = self._run(tmp_path, "obs", extra=["--no-trace"])
+        assert (out_dir / "metrics.jsonl").exists()
+        assert not (out_dir / "trace.jsonl").exists()
+        assert not (out_dir / "trace.json").exists()
+
+    def test_metrics_outputs_deterministic(self, tmp_path, capsys):
+        a = self._run(tmp_path, "a", extra=["--no-trace"])
+        b = self._run(tmp_path, "b", extra=["--no-trace"])
+        assert (a / "summary.json").read_bytes() == (
+            b / "summary.json"
+        ).read_bytes()
+        assert (a / "metrics.jsonl").read_bytes() == (
+            b / "metrics.jsonl"
+        ).read_bytes()
+        assert (a / "congestion.csv").read_bytes() == (
+            b / "congestion.csv"
+        ).read_bytes()
+
+    def test_loadcurve_with_metrics_interval(self, tmp_path, capsys):
+        rc = main([
+            "batch", "loadcurve", "--topology", "mesh", "--size", "3",
+            "--rates", "0.05", "0.1", "--cycles", "300", "--warmup", "60",
+            "--metrics-interval", "50",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--store", str(tmp_path / "store.jsonl"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean util" in out
+
+        from repro.lab import ResultStore
+
+        rows = ResultStore(tmp_path / "store.jsonl").utilization_curve()
+        assert [r["offered_rate"] for r in rows] == [0.05, 0.1]
+        assert all(r["peak_link_utilization"] > 0 for r in rows)
