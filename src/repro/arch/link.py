@@ -189,6 +189,30 @@ class Link:
     def busy(self) -> bool:
         return bool(self._in_flight)
 
+    # -- fast-kernel support ----------------------------------------------
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle at which tick() can change observable state.
+
+        The base pipeline only acts when the head of the delay queue
+        completes its traversal (delivery, blackhole drop and burst
+        corruption all happen at that moment), so that cycle is the
+        whole story.  Credit returns stay out of the horizon on purpose:
+        ``_collect_credits`` is lazy and nothing reads the credit count
+        while the network is quiescent.  ``None`` means the link is
+        inert for any jump the other horizon terms allow.
+        """
+        if self._in_flight:
+            return self._in_flight[0][0]
+        return None
+
+    def on_idle_skip(self, elapsed: int) -> None:
+        """The clock is jumping ``elapsed`` cycles over provably idle time.
+
+        Subclasses whose tick() has per-cycle side effects even when no
+        flit moves (ON/OFF backpressure sampling) fast-forward here; the
+        base pipeline has none.
+        """
+
 
 class CreditLink(Link):
     """Exact credit-based flow control with credit-return latency."""
@@ -314,6 +338,21 @@ class OnOffLink(Link):
             history.clear()
             history.extend([self.buffer_depth] * self.delay_cycles)
         self._in_flight_per_vc = [0] * self.num_vcs
+
+    def on_idle_skip(self, elapsed: int) -> None:
+        # The backpressure wire samples every cycle even while the
+        # network is idle; replay the samples the skipped ticks would
+        # have taken.  Nothing delivers or drains inside a skipped
+        # interval, so the downstream free-slot counts are frozen at
+        # their current values, and only the last ``delay_cycles``
+        # samples can survive the ring buffer anyway.
+        if self.receiver is None:
+            return
+        for vc in range(self.num_vcs):
+            sample = self.receiver.free_slots(vc)
+            history = self._history[vc]
+            for __ in range(min(elapsed, self.delay_cycles)):
+                history.append(sample)
 
 
 class AckNackLink(Link):
@@ -487,6 +526,18 @@ class AckNackLink(Link):
     @property
     def busy(self) -> bool:
         return bool(self._in_flight) or bool(self._buffer) or bool(self._control)
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        # Go-back-N is live on every cycle while anything is buffered,
+        # flying, or awaiting a control response: transmissions, window
+        # timeouts and control processing can all fire next tick.
+        # Report "active right now" so the fast kernel falls back to
+        # stepping instead of modelling the protocol's timers here.
+        if self.failed:
+            return None  # fail() cleared all state; repairs are fault events
+        if self._buffer or self._in_flight or self._control:
+            return cycle
+        return None
 
 
 def make_link(

@@ -297,6 +297,18 @@ class InitiatorNI:
         """Transfers sent but not yet acknowledged end to end."""
         return len(self._pending)
 
+    def next_timeout_cycle(self) -> Optional[int]:
+        """Earliest retransmission deadline among pending transfers.
+
+        A term of the fast kernel's idle-skip horizon:
+        :meth:`check_timeouts` is a no-op strictly before this cycle,
+        because deadlines only move when a timeout fires or an ack
+        lands — both of which happen on executed cycles.
+        """
+        if not self._pending:
+            return None
+        return min(t.deadline for t in self._pending.values())
+
     def confirm_delivery(self, transfer_id: Tuple[str, int], cycle: int) -> None:
         """An end-to-end ack arrived: the transfer is complete."""
         transfer = self._pending.pop(transfer_id, None)
@@ -444,6 +456,17 @@ class TargetNI:
     def backlog(self) -> int:
         """Flits waiting in the ejection buffer (drain census)."""
         return len(self._buffer)
+
+    def next_response_cycle(self) -> Optional[int]:
+        """Release cycle of the oldest pending response.
+
+        A term of the fast kernel's idle-skip horizon.  Responses enter
+        the deque in release order (one fixed service latency per
+        target), so the head is always the earliest.
+        """
+        if not self._pending_responses:
+            return None
+        return self._pending_responses[0][0]
 
     def set_responder(
         self,

@@ -137,6 +137,20 @@ class SwitchModel:
             raise KeyError(f"no output to {downstream!r}")
         self._tdma[downstream] = arbiter
 
+    def finalize_wiring(self) -> None:
+        """Precompute the sorted port views tick() otherwise builds lazily.
+
+        The simulator calls this once its wiring is complete (ports are
+        never added afterwards), so the first simulated cycle pays no
+        construction cost and the hot loop's ``hasattr`` guards always
+        hit their caches.
+        """
+        self._sorted_inputs = sorted(self.inputs)
+        self._sorted_outputs = sorted(self.outputs)
+        self._input_index = {
+            name: i for i, name in enumerate(self._sorted_inputs)
+        }
+
     # ------------------------------------------------------------------
     # Per-cycle operation
     # ------------------------------------------------------------------

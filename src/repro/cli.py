@@ -76,7 +76,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ),
     )
     sim = NocSimulator(topo, table, params, vc_assignment=vca,
-                       warmup_cycles=args.warmup)
+                       warmup_cycles=args.warmup, kernel=args.kernel)
     traffic = SyntheticTraffic(
         args.pattern, args.rate, args.packet_size, seed=args.seed
     )
@@ -217,7 +217,7 @@ def _cmd_observe(args: argparse.Namespace) -> int:
         ),
     )
     sim = NocSimulator(topo, table, params, vc_assignment=vca,
-                       warmup_cycles=args.warmup)
+                       warmup_cycles=args.warmup, kernel=args.kernel)
 
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -310,6 +310,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             pattern=args.pattern, cycles=args.cycles, warmup=args.warmup,
             packet_size=args.packet_size, seed=args.seed,
             metrics_interval=args.metrics_interval,
+            kernel=(None if args.kernel == "fast" else args.kernel),
         )
         print(f"Batch load curve on {args.topology} (size {args.size}), "
               f"{len(jobs)} rates")
@@ -321,6 +322,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             switch_faults=args.switch_faults,
             transient_bursts=args.transient_bursts,
             repair_after=args.repair_after, seed=args.seed,
+            kernel=(None if args.kernel == "fast" else args.kernel),
         )
         print(f"Batch fault campaign on {args.topology} "
               f"(size {args.size}), {len(jobs)} runs")
@@ -329,6 +331,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             args.topology, args.size,
             pattern=args.pattern, cycles=args.cycles, warmup=args.warmup,
             packet_size=args.packet_size, seed=args.seed,
+            kernel=(None if args.kernel == "fast" else args.kernel),
         )]
         print(f"Batch saturation search on {args.topology} "
               f"(size {args.size})")
@@ -422,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vcs", type=int, default=1)
     p.add_argument("--buffer-depth", type=int, default=4)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--kernel", default="fast",
+                   choices=("fast", "reference"),
+                   help="simulation kernel (identical results; 'fast' "
+                        "skips provably idle cycles)")
     p.add_argument("--heatmap", action="store_true",
                    help="print an ASCII link-load heat map (mesh/torus)")
     p.set_defaults(func=_cmd_simulate)
@@ -473,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "congestion.csv, summary.json")
     p.add_argument("--no-trace", action="store_true",
                    help="skip per-flit trace files (metrics only)")
+    p.add_argument("--kernel", default="fast",
+                   choices=("fast", "reference"),
+                   help="simulation kernel (identical results; 'fast' "
+                        "skips provably idle cycles)")
     p.set_defaults(func=_cmd_observe)
 
     p = sub.add_parser(
@@ -527,6 +538,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transient-bursts", type=int, default=0)
     p.add_argument("--repair-after", type=int, default=None,
                    help="repair each hard fault after this many cycles")
+    p.add_argument("--kernel", default="fast",
+                   choices=("fast", "reference"),
+                   help="simulation kernel for the sweep jobs (identical "
+                        "results; cache keys are unchanged for 'fast')")
     p.set_defaults(func=_cmd_batch)
 
     return parser

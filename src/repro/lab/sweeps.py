@@ -183,6 +183,7 @@ def load_curve_jobs(
     seed: int = 1,
     noc_params: Optional[dict] = None,
     metrics_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
     tags: Sequence[str] = (),
 ) -> List[Job]:
     """One job per injection rate of a load-latency curve.
@@ -192,7 +193,10 @@ def load_curve_jobs(
     storing a compact utilization summary in every result — the
     utilization-vs-load view :meth:`ResultStore.utilization_curve`
     replays.  ``None`` (the default) leaves the params — and therefore
-    every cache key — exactly as before.
+    every cache key — exactly as before.  The same absent-by-default
+    convention applies to ``kernel`` (``"fast"`` / ``"reference"``);
+    both kernels produce byte-identical results, so cached points stay
+    valid either way.
     """
     if topology not in STANDARD_KINDS:
         raise ValueError(
@@ -213,6 +217,8 @@ def load_curve_jobs(
         }
         if metrics_interval is not None:
             params["metrics_interval"] = metrics_interval
+        if kernel is not None:
+            params["kernel"] = kernel
         jobs.append(
             Job(kind="load_point", params=params, seed=seed, tags=base_tags)
         )
@@ -274,6 +280,7 @@ def fault_campaign_jobs(
     repair_after: Optional[int] = None,
     seed: int = 1,
     noc_params: Optional[dict] = None,
+    kernel: Optional[str] = None,
     tags: Sequence[str] = (),
 ) -> List[Job]:
     """A robustness campaign: ``runs`` seeded live-fault simulations.
@@ -290,22 +297,25 @@ def fault_campaign_jobs(
     if runs < 1:
         raise ValueError("a campaign needs at least one run")
     base_tags = tuple(tags) + (f"faults:{topology}{size}:{pattern}",)
+    params = {
+        "topology": topology,
+        "size": size,
+        "pattern": pattern,
+        "rate": rate,
+        "cycles": cycles,
+        "packet_size": packet_size,
+        "link_faults": link_faults,
+        "switch_faults": switch_faults,
+        "transient_bursts": transient_bursts,
+        "repair_after": repair_after,
+        "noc_params": noc_params,
+    }
+    if kernel is not None:  # absent by default: cache keys unchanged
+        params["kernel"] = kernel
     return [
         Job(
             kind="fault_campaign",
-            params={
-                "topology": topology,
-                "size": size,
-                "pattern": pattern,
-                "rate": rate,
-                "cycles": cycles,
-                "packet_size": packet_size,
-                "link_faults": link_faults,
-                "switch_faults": switch_faults,
-                "transient_bursts": transient_bursts,
-                "repair_after": repair_after,
-                "noc_params": noc_params,
-            },
+            params=dict(params),
             seed=seed + i,
             tags=base_tags,
         )
@@ -368,6 +378,7 @@ def saturation_job(
     seed: int = 1,
     tolerance: float = 0.02,
     noc_params: Optional[dict] = None,
+    kernel: Optional[str] = None,
     tags: Sequence[str] = (),
 ) -> Job:
     """A single saturation bisection as a cacheable job."""
@@ -375,19 +386,22 @@ def saturation_job(
         raise ValueError(
             f"unknown topology {topology!r}; choose from {STANDARD_KINDS}"
         )
+    params = {
+        "topology": topology,
+        "size": size,
+        "pattern": pattern,
+        "latency_factor": latency_factor,
+        "cycles": cycles,
+        "warmup": warmup,
+        "packet_size": packet_size,
+        "tolerance": tolerance,
+        "noc_params": noc_params,
+    }
+    if kernel is not None:  # absent by default: cache keys unchanged
+        params["kernel"] = kernel
     return Job(
         kind="saturation",
-        params={
-            "topology": topology,
-            "size": size,
-            "pattern": pattern,
-            "latency_factor": latency_factor,
-            "cycles": cycles,
-            "warmup": warmup,
-            "packet_size": packet_size,
-            "tolerance": tolerance,
-            "noc_params": noc_params,
-        },
+        params=params,
         seed=seed,
         tags=tuple(tags) + (f"saturation:{topology}{size}:{pattern}",),
     )

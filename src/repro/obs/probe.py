@@ -114,6 +114,15 @@ class MetricsProbe:
         if cycle + 1 - self._window_start >= self.interval:
             self._sample(cycle + 1)
 
+    def next_sample_cycle(self) -> int:
+        """First cycle whose :meth:`on_cycle` closes a window.
+
+        A term of the fast kernel's idle-skip horizon: window boundaries
+        must land on executed cycles so the sampled per-window deltas
+        match the reference kernel byte for byte.
+        """
+        return self._window_start + self.interval - 1
+
     def finalize(self) -> dict:
         """Flush the trailing partial window; returns :meth:`summary`."""
         if self.sim.cycle > self._window_start:

@@ -1,6 +1,7 @@
 """Cycle-accurate flit-level NoC simulation."""
 
 from repro.sim.simulator import (
+    KERNELS,
     DrainTimeoutError,
     NocSimulator,
     RecoveryOutcome,
@@ -37,6 +38,7 @@ from repro.sim.traffic import (
 )
 
 __all__ = [
+    "KERNELS",
     "DrainTimeoutError",
     "NocSimulator",
     "RecoveryOutcome",

@@ -53,11 +53,12 @@ def _run_point(
     warmup: int,
     packet_size: int,
     seed: int,
+    kernel: str = "fast",
     on_sim=None,
 ) -> Optional[LoadPoint]:
     sim = NocSimulator(
         topology, table, params, vc_assignment=vc_assignment,
-        warmup_cycles=warmup,
+        warmup_cycles=warmup, kernel=kernel,
     )
     if on_sim is not None:
         # Observability hook: attach read-only instrumentation (e.g. a
@@ -96,13 +97,16 @@ def load_latency_curve(
     packet_size: int = 4,
     seed: int = 1,
     executor=None,
+    kernel: str = "fast",
 ) -> List[LoadPoint]:
     """The latency/throughput curve across an injection-rate sweep.
 
     Each rate point is an independent simulation, so passing an
     ``executor`` with a ``map(fn, items)`` method (such as
     :class:`repro.lab.ProcessExecutor`) runs them concurrently;
-    point order and values match the serial path exactly.
+    point order and values match the serial path exactly.  ``kernel``
+    selects the simulation kernel per point (results are identical; the
+    fast kernel just reaches the low-load points sooner).
     """
     if not rates:
         raise ValueError("need at least one rate")
@@ -110,7 +114,7 @@ def load_latency_curve(
         raise ValueError("rates must be in (0, 1]")
     calls = [
         (topology, table, params, vc_assignment, pattern, rate,
-         cycles, warmup, packet_size, seed)
+         cycles, warmup, packet_size, seed, kernel)
         for rate in rates
     ]
     if executor is None:
@@ -132,6 +136,7 @@ def saturation_throughput(
     packet_size: int = 4,
     seed: int = 1,
     tolerance: float = 0.02,
+    kernel: str = "fast",
 ) -> float:
     """Saturation injection rate (flits/cycle/core) by bisection.
 
@@ -143,7 +148,7 @@ def saturation_throughput(
         raise ValueError("latency factor must exceed 1.0")
     base = _run_point(
         topology, table, params, vc_assignment, pattern, 0.02,
-        cycles, warmup, packet_size, seed,
+        cycles, warmup, packet_size, seed, kernel,
     )
     if base is None:
         raise RuntimeError("no packets delivered at the probe rate")
@@ -152,7 +157,7 @@ def saturation_throughput(
     lo, hi = 0.02, 1.0
     point_hi = _run_point(
         topology, table, params, vc_assignment, pattern, hi,
-        cycles, warmup, packet_size, seed,
+        cycles, warmup, packet_size, seed, kernel,
     )
     if point_hi is not None and point_hi.mean_latency < threshold:
         return hi  # never saturates within the sweepable range
@@ -160,7 +165,7 @@ def saturation_throughput(
         mid = (lo + hi) / 2.0
         point = _run_point(
             topology, table, params, vc_assignment, pattern, mid,
-            cycles, warmup, packet_size, seed,
+            cycles, warmup, packet_size, seed, kernel,
         )
         if point is not None and point.mean_latency < threshold:
             lo = mid

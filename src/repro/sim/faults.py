@@ -144,6 +144,16 @@ class FaultSchedule:
             self._cursor += 1
         return out
 
+    def next_cycle(self) -> Optional[int]:
+        """Cycle of the next undelivered event, or None when exhausted.
+
+        A term of the fast kernel's idle-skip horizon: the clock must
+        never jump past a scheduled fault.
+        """
+        if self._cursor >= len(self._events):
+            return None
+        return self._events[self._cursor].cycle
+
     # ------------------------------------------------------------------
     @classmethod
     def random(
@@ -300,6 +310,27 @@ class RecoveryController:
         self._timeouts.pop(flow, None)
         self._first_timeout.pop(flow, None)
         self._last_ack[flow] = cycle
+
+    def next_wakeup(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which tick() could change state.
+
+        A term of the fast kernel's idle-skip horizon.  Between executed
+        cycles the controller's only inputs (timeout and ack callbacks)
+        cannot fire, so its next action is fully determined by pending
+        blame, the cooldown, and the current suspect counts.  Returning
+        ``cycle`` means "may act right now — do not skip": blame
+        localization reads the clock (the exoneration window), so any
+        cycle with an over-threshold suspect must be executed.
+        """
+        if self.gave_up or self.simulator is None:
+            return None
+        if self._execute_at is not None:
+            return max(self._execute_at, cycle)
+        if all(c < self.min_timeouts for c in self._timeouts.values()):
+            return None
+        if cycle < self._cooldown_until:
+            return self._cooldown_until
+        return cycle
 
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:

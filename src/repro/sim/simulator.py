@@ -17,6 +17,19 @@ the paper's components implement.
 This simulator is the stand-in for the authors' RTL/SystemC models (see
 DESIGN.md): slower but behaviourally equivalent at flit granularity,
 which is the level all the reproduced claims live at.
+
+Two run kernels share the single ``step()`` implementation:
+
+* ``kernel="reference"`` — execute every cycle, one ``step()`` per tick;
+* ``kernel="fast"`` (the default) — identical per-cycle semantics, but
+  when the network is provably quiescent the clock jumps straight to
+  the *event horizon*: the earliest cycle at which any traffic
+  generator, in-flight link pipeline, NI retransmission timer, pending
+  response, fault-schedule entry, recovery controller or metrics window
+  can act.  Every executed cycle runs the very same ``step()``, and
+  traffic lookahead buffers its draws for verbatim replay, so the two
+  kernels are byte-identical in stats, traces and recovery accounting
+  (``tests/sim/test_kernel_equivalence.py`` enforces this).
 """
 
 from __future__ import annotations
@@ -38,6 +51,15 @@ from repro.arch.switch import SwitchModel
 from repro.reliability.faults import FaultScenario, reconfigure_routing
 from repro.topology.graph import NodeKind, RoutingTable, Topology
 from repro.sim.stats import StatsCollector
+
+#: Valid ``NocSimulator(kernel=...)`` selectors.
+KERNELS = ("fast", "reference")
+
+#: Cap on the idle-check backoff (cycles between quiescence probes while
+#: the network stays busy).  Skipping later than possible is always
+#: correct, so the only cost of a larger cap is a longer tail of
+#: executed no-op cycles after the network empties.
+_MAX_SKIP_BACKOFF = 16
 
 
 class DrainTimeoutError(RuntimeError):
@@ -102,6 +124,9 @@ class NocSimulator:
         :func:`repro.topology.routing.dateline_vc_assignment`.
     warmup_cycles:
         Packets injected before this cycle are excluded from statistics.
+    kernel:
+        ``"fast"`` (default) skips provably idle cycles; ``"reference"``
+        executes every cycle.  Results are byte-identical either way.
     """
 
     def __init__(
@@ -112,12 +137,19 @@ class NocSimulator:
         vc_assignment: Optional[Dict[Tuple[str, str], Sequence[int]]] = None,
         warmup_cycles: int = 0,
         link_error_probability: float = 0.0,
+        kernel: str = "fast",
     ):
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from {KERNELS}"
+            )
         self.topology = topology
         self.routing_table = routing_table
         self.params = params
         self.link_error_probability = link_error_probability
+        self.kernel = kernel
         self.cycle = 0
+        self.cycles_skipped = 0  # idle cycles the fast kernel jumped over
         self.stats = StatsCollector(warmup_cycles=warmup_cycles)
 
         self.switches: Dict[str, SwitchModel] = {}
@@ -133,11 +165,35 @@ class NocSimulator:
         self._recorder = None  # TraceRecorder, when tracing is enabled
         self._obs = None  # MetricsProbe, when metrics are enabled
 
+        # Idle-skip bookkeeping (fast kernel only).  The quiescence check
+        # is O(components); the exponential backoff keeps it off the hot
+        # path while the network is busy.  ``_skip_hook`` is an optional
+        # ``f(from_cycle, to_cycle)`` callback the invariant tests use to
+        # audit every jump.
+        self._skip_backoff = 1
+        self._next_skip_check = 0
+        self._skip_hook: Optional[Callable[[int, int], None]] = None
+
         self._build(vc_assignment)
         self._switch_order = sorted(self.switches)
         self._initiator_order = sorted(self.initiators)
         self._target_order = sorted(self.targets)
         self._link_order = sorted(self.links)
+        # Flat per-topology component sequences: the hot path iterates
+        # these tuples instead of re-resolving dict keys every cycle.
+        # Component objects are never replaced after construction (fault
+        # injection mutates them in place), so the views stay valid.
+        self._switch_seq = tuple(self.switches[n] for n in self._switch_order)
+        self._initiator_seq = tuple(
+            self.initiators[n] for n in self._initiator_order
+        )
+        self._initiator_items = tuple(
+            (n, self.initiators[n]) for n in self._initiator_order
+        )
+        self._target_seq = tuple(self.targets[n] for n in self._target_order)
+        self._link_seq = tuple(self.links[k] for k in self._link_order)
+        for sw in self._switch_seq:
+            sw.finalize_wiring()
 
     # ------------------------------------------------------------------
     # Construction
@@ -334,21 +390,22 @@ class NocSimulator:
         c = self.cycle
         if self._fault_schedule is not None:
             self._apply_due_faults(c)
-        for name in self._switch_order:
-            self.switches[name].tick(c)
-        for name in self._initiator_order:
-            self.initiators[name].tick(c)
-        for key in self._link_order:
-            self.links[key].tick(c)
-        for name in self._target_order:
-            target = self.targets[name]
-            before = len(target.packets_received)
+        for sw in self._switch_seq:
+            sw.tick(c)
+        for ni in self._initiator_seq:
+            ni.tick(c)
+        for link in self._link_seq:
+            link.tick(c)
+        record_packet = self.stats.record_packet
+        for target in self._target_seq:
+            received = target.packets_received
+            before = len(received)
             target.tick(c)
-            for packet, arrival in target.packets_received[before:]:
-                self.stats.record_packet(packet, arrival)
+            if len(received) != before:
+                for packet, arrival in received[before:]:
+                    record_packet(packet, arrival)
         if self._retransmission is not None:
-            for name in self._initiator_order:
-                ni = self.initiators[name]
+            for name, ni in self._initiator_items:
                 before_rt = ni.packets_retransmitted
                 ni.check_timeouts(c)
                 if self._recorder is not None and (
@@ -378,6 +435,8 @@ class NocSimulator:
         """Run ``cycles`` cycles, then optionally drain in-flight traffic."""
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
+        if self.kernel == "fast":
+            return self._run_fast(cycles, traffic, drain, max_drain_cycles)
         for __ in range(cycles):
             if traffic is not None:
                 traffic.tick(self.cycle, self)
@@ -388,39 +447,168 @@ class NocSimulator:
                 self.step()
                 drained += 1
             if not self.idle:
-                raise DrainTimeoutError(
-                    f"network failed to drain within {max_drain_cycles} cycles "
-                    "(possible deadlock — check the routing table with "
-                    "repro.topology.deadlock; the exception carries an "
-                    "in-flight census)",
-                    cycle=self.cycle,
-                    ni_backlog={
-                        name: ni.backlog
-                        for name, ni in sorted(self.initiators.items())
-                        if ni.backlog
-                    },
-                    pending_transfers={
-                        name: ni.pending_transfers
-                        for name, ni in sorted(self.initiators.items())
-                        if ni.pending_transfers
-                    },
-                    busy_links=[
-                        self.links[key].name
-                        for key in self._link_order
-                        if self.links[key].busy
-                    ],
-                    switch_occupancy={
-                        name: self.switches[name].occupancy
-                        for name in self._switch_order
-                        if self.switches[name].occupancy
-                    },
-                    target_backlog={
-                        name: t.backlog
-                        for name, t in sorted(self.targets.items())
-                        if t.backlog
-                    },
-                )
+                raise self._drain_timeout_error(max_drain_cycles)
         return self.stats
+
+    # ------------------------------------------------------------------
+    # Fast kernel: identical per-cycle semantics, idle cycles skipped
+    # ------------------------------------------------------------------
+    def _run_fast(
+        self, cycles: int, traffic, drain: bool, max_drain_cycles: int
+    ) -> StatsCollector:
+        """The ``kernel="fast"`` run loop.
+
+        Every executed cycle goes through the very same :meth:`step` as
+        the reference kernel; the only difference is that the clock may
+        jump from a provably quiescent cycle directly to the event
+        horizon.  Skipping *less* than possible is always safe, so the
+        quiescence probe runs under an exponential backoff instead of
+        every cycle.
+        """
+        end = self.cycle + cycles
+        while self.cycle < end:
+            if self.cycle >= self._next_skip_check:
+                target = self._skip_horizon(traffic, end)
+                if target is not None:
+                    self._skip_to(target)
+                    continue
+                self._skip_backoff = min(
+                    self._skip_backoff * 2, _MAX_SKIP_BACKOFF
+                )
+                self._next_skip_check = self.cycle + self._skip_backoff
+            if traffic is not None:
+                traffic.tick(self.cycle, self)
+            self.step()
+        if drain:
+            end = self.cycle + max_drain_cycles
+            while not self.idle and self.cycle < end:
+                if self.cycle >= self._next_skip_check:
+                    target = self._skip_horizon(None, end)
+                    if target is not None:
+                        self._skip_to(target)
+                        continue
+                    self._skip_backoff = min(
+                        self._skip_backoff * 2, _MAX_SKIP_BACKOFF
+                    )
+                    self._next_skip_check = self.cycle + self._skip_backoff
+                self.step()
+            if not self.idle:
+                raise self._drain_timeout_error(max_drain_cycles)
+        return self.stats
+
+    def _skip_horizon(self, traffic, limit: int) -> Optional[int]:
+        """Jump target ``t`` with ``cycle < t <= limit``, or None.
+
+        Returns a target only when every cycle in ``[cycle, t)`` is
+        provably inert: no component holds work right now, and the
+        earliest timed event (link delivery, retransmission deadline,
+        pending response, scheduled fault, controller wakeup, metrics
+        window boundary, traffic injection) lands at ``t`` or later.
+        Any doubt — an active go-back-N link, an opaque traffic source,
+        a controller with live suspects — collapses the horizon to the
+        current cycle and the kernel falls back to stepping.
+        """
+        c = self.cycle
+        if limit <= c + 1:
+            return None
+        # Work held right now means this cycle is live: bail fast.
+        for ni in self._initiator_seq:
+            if ni.backlog:
+                return None
+        for sw in self._switch_seq:
+            if sw.occupancy:
+                return None
+        for tgt in self._target_seq:
+            if tgt.backlog:
+                return None
+        # Timed events bound the jump from above.
+        horizon = limit
+        for link in self._link_seq:
+            nxt = link.next_event_cycle(c)
+            if nxt is not None and nxt < horizon:
+                horizon = nxt
+        for tgt in self._target_seq:
+            nxt = tgt.next_response_cycle()
+            if nxt is not None and nxt < horizon:
+                horizon = nxt
+        if self._retransmission is not None:
+            for ni in self._initiator_seq:
+                nxt = ni.next_timeout_cycle()
+                if nxt is not None and nxt < horizon:
+                    horizon = nxt
+        if self._fault_schedule is not None:
+            nxt = self._fault_schedule.next_cycle()
+            if nxt is not None and nxt < horizon:
+                horizon = nxt
+        if self._controller is not None:
+            nxt = self._controller.next_wakeup(c)
+            if nxt is not None and nxt < horizon:
+                horizon = nxt
+        if self._obs is not None:
+            nxt = self._obs.next_sample_cycle()
+            if nxt < horizon:
+                horizon = nxt
+        if horizon <= c:
+            return None
+        # Traffic lookahead last: it is the costliest term (it draws the
+        # skipped cycles' randomness), and the horizon found so far
+        # bounds how far ahead it needs to look.
+        if traffic is not None:
+            probe = getattr(traffic, "next_injection_cycle", None)
+            if probe is None:
+                return None  # opaque generator: never skip
+            nxt = probe(c, self, horizon)
+            if nxt is not None and nxt < horizon:
+                horizon = nxt
+        if horizon <= c:
+            return None
+        return horizon
+
+    def _skip_to(self, target: int) -> None:
+        """Jump the clock over ``[cycle, target)`` — all provably inert."""
+        elapsed = target - self.cycle
+        if self._skip_hook is not None:
+            self._skip_hook(self.cycle, target)
+        for link in self._link_seq:
+            link.on_idle_skip(elapsed)
+        self.cycles_skipped += elapsed
+        self.cycle = target
+        self._skip_backoff = 1
+        self._next_skip_check = target
+
+    def _drain_timeout_error(self, max_drain_cycles: int) -> DrainTimeoutError:
+        return DrainTimeoutError(
+            f"network failed to drain within {max_drain_cycles} cycles "
+            "(possible deadlock — check the routing table with "
+            "repro.topology.deadlock; the exception carries an "
+            "in-flight census)",
+            cycle=self.cycle,
+            ni_backlog={
+                name: ni.backlog
+                for name, ni in sorted(self.initiators.items())
+                if ni.backlog
+            },
+            pending_transfers={
+                name: ni.pending_transfers
+                for name, ni in sorted(self.initiators.items())
+                if ni.pending_transfers
+            },
+            busy_links=[
+                self.links[key].name
+                for key in self._link_order
+                if self.links[key].busy
+            ],
+            switch_occupancy={
+                name: self.switches[name].occupancy
+                for name in self._switch_order
+                if self.switches[name].occupancy
+            },
+            target_backlog={
+                name: t.backlog
+                for name, t in sorted(self.targets.items())
+                if t.backlog
+            },
+        )
 
     # ------------------------------------------------------------------
     @property

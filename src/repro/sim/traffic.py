@@ -25,7 +25,22 @@ from repro.arch.packet import MessageClass
 
 
 class TrafficSource(Protocol):
-    """Per-cycle injection callback used by the simulator."""
+    """Per-cycle injection callback used by the simulator.
+
+    Generators may additionally implement the *lookahead protocol* used
+    by the fast kernel's idle-cycle skipping::
+
+        def next_injection_cycle(self, cycle, simulator, limit):
+            '''Earliest cycle in [cycle, limit) with an injection, or
+            None when the generator stays silent over that window.'''
+
+    Implementations must preserve exact determinism: any random draws
+    or credit arithmetic performed while looking ahead are buffered per
+    cycle and replayed verbatim by the corresponding ``tick`` calls, so
+    a run interleaving lookahead and ticks consumes the RNG stream (and
+    accumulates floats) in exactly the same order as a run that only
+    ever ticks.  Sources without the method simply disable skipping.
+    """
 
     def tick(self, cycle: int, simulator) -> None: ...
 
@@ -77,6 +92,10 @@ class SyntheticTraffic:
         self.hotspot_fraction = hotspot_fraction
         self._rng = random.Random(seed)
         self.packets_offered = 0
+        # Lookahead state: draws made ahead of the clock, keyed by the
+        # cycle they belong to, replayed verbatim when tick() reaches it.
+        self._pending: Dict[int, List[Tuple[str, str]]] = {}
+        self._drawn_until = 0
 
     # ------------------------------------------------------------------
     def _destination(self, src: str, cores: List[str], index: Dict[str, int],
@@ -127,17 +146,45 @@ class SyntheticTraffic:
                 return c
         return None
 
-    def tick(self, cycle: int, simulator) -> None:
+    def _draw_cycle(self, simulator) -> List[Tuple[str, str]]:
+        """One cycle's worth of Bernoulli draws, in sorted-core order."""
         cores, index = _core_index_maps(simulator.topology.cores)
         p = self.injection_rate / self.packet_size_flits
+        drawn: List[Tuple[str, str]] = []
         for src in cores:
             if self._rng.random() >= p:
                 continue
             dst = self._destination(src, cores, index, simulator.topology)
             if dst is None:
                 continue
+            drawn.append((src, dst))
+        return drawn
+
+    def tick(self, cycle: int, simulator) -> None:
+        if cycle < self._drawn_until:
+            drawn = self._pending.pop(cycle, ())
+        else:
+            drawn = self._draw_cycle(simulator)
+            self._drawn_until = cycle + 1
+        for src, dst in drawn:
             simulator.inject(src, dst, self.packet_size_flits, cycle)
             self.packets_offered += 1
+
+    def next_injection_cycle(
+        self, cycle: int, simulator, limit: int
+    ) -> Optional[int]:
+        """Earliest cycle in ``[cycle, limit)`` with an injection."""
+        for t in range(cycle, limit):
+            if t < self._drawn_until:
+                if self._pending.get(t):
+                    return t
+                continue
+            drawn = self._draw_cycle(simulator)
+            self._drawn_until = t + 1
+            if drawn:
+                self._pending[t] = drawn
+                return t
+        return None
 
 
 @dataclass(frozen=True)
@@ -171,21 +218,58 @@ class FlowGraphTraffic:
         self.flows = list(flows)
         self._credit = [0.0] * len(self.flows)
         self.packets_offered = 0
+        self._pending: Dict[int, List[int]] = {}
+        self._drawn_until = 0
 
-    def tick(self, cycle: int, simulator) -> None:
+    def _advance_cycle(self) -> List[int]:
+        """Accrue one cycle of credit; returns emitting flow indices.
+
+        The credit arithmetic happens *here*, never analytically over a
+        window: repeated float addition is not associative, so skipping
+        ahead must replay the exact per-cycle additions to stay
+        byte-identical with the reference kernel.
+        """
+        emitted: List[int] = []
         for i, flow in enumerate(self.flows):
             self._credit[i] += flow.flits_per_cycle
             while self._credit[i] >= flow.packet_size_flits:
                 self._credit[i] -= flow.packet_size_flits
-                simulator.inject(
-                    flow.source,
-                    flow.destination,
-                    flow.packet_size_flits,
-                    cycle,
-                    message_class=flow.message_class,
-                    connection_id=flow.connection_id,
-                )
-                self.packets_offered += 1
+                emitted.append(i)
+        return emitted
+
+    def tick(self, cycle: int, simulator) -> None:
+        if cycle < self._drawn_until:
+            emitted = self._pending.pop(cycle, ())
+        else:
+            emitted = self._advance_cycle()
+            self._drawn_until = cycle + 1
+        for i in emitted:
+            flow = self.flows[i]
+            simulator.inject(
+                flow.source,
+                flow.destination,
+                flow.packet_size_flits,
+                cycle,
+                message_class=flow.message_class,
+                connection_id=flow.connection_id,
+            )
+            self.packets_offered += 1
+
+    def next_injection_cycle(
+        self, cycle: int, simulator, limit: int
+    ) -> Optional[int]:
+        """Earliest cycle in ``[cycle, limit)`` with an injection."""
+        for t in range(cycle, limit):
+            if t < self._drawn_until:
+                if self._pending.get(t):
+                    return t
+                continue
+            emitted = self._advance_cycle()
+            self._drawn_until = t + 1
+            if emitted:
+                self._pending[t] = emitted
+                return t
+        return None
 
 
 @dataclass(frozen=True)
@@ -214,6 +298,19 @@ class TraceTraffic:
     @property
     def exhausted(self) -> bool:
         return self._next >= len(self.events)
+
+    def next_injection_cycle(
+        self, cycle: int, simulator, limit: int
+    ) -> Optional[int]:
+        """Earliest cycle in ``[cycle, limit)`` with an injection."""
+        if self._next >= len(self.events):
+            return None
+        nxt = self.events[self._next].cycle
+        if nxt >= limit:
+            return None
+        # Events already due inject at the current cycle (tick drains
+        # everything <= cycle), so clamp from below.
+        return max(nxt, cycle)
 
 
 class RequestResponseTraffic:
@@ -251,6 +348,22 @@ class RequestResponseTraffic:
         self._rng = random.Random(seed)
         self._txn_ids = 0
         self.requests_offered = 0
+        # Lookahead state: (master, slave, is_read) draws per cycle.
+        # Transaction ids are deliberately NOT assigned at draw time —
+        # tick() numbers them in replay order, so the ids a request run
+        # sees are independent of how far ahead the kernel peeked.
+        self._pending: Dict[int, List[Tuple[str, str, bool]]] = {}
+        self._drawn_until = 0
+
+    def _draw_cycle(self) -> List[Tuple[str, str, bool]]:
+        drawn: List[Tuple[str, str, bool]] = []
+        for master in self.masters:
+            if self._rng.random() >= self.request_rate:
+                continue
+            slave = self.slaves[self._rng.randrange(len(self.slaves))]
+            is_read = self._rng.random() < self.read_fraction
+            drawn.append((master, slave, is_read))
+        return drawn
 
     def tick(self, cycle: int, simulator) -> None:
         from repro.arch.ocp import (
@@ -260,15 +373,13 @@ class RequestResponseTraffic:
             split_transaction,
         )
 
-        for master in self.masters:
-            if self._rng.random() >= self.request_rate:
-                continue
-            slave = self.slaves[self._rng.randrange(len(self.slaves))]
-            command = (
-                OcpCommand.READ
-                if self._rng.random() < self.read_fraction
-                else OcpCommand.WRITE
-            )
+        if cycle < self._drawn_until:
+            drawn = self._pending.pop(cycle, ())
+        else:
+            drawn = self._draw_cycle()
+            self._drawn_until = cycle + 1
+        for master, slave, is_read in drawn:
+            command = OcpCommand.READ if is_read else OcpCommand.WRITE
             txn = OcpTransaction(
                 command=command,
                 master=master,
@@ -292,6 +403,22 @@ class RequestResponseTraffic:
                 )
                 self.requests_offered += 1
 
+    def next_injection_cycle(
+        self, cycle: int, simulator, limit: int
+    ) -> Optional[int]:
+        """Earliest cycle in ``[cycle, limit)`` with an injection."""
+        for t in range(cycle, limit):
+            if t < self._drawn_until:
+                if self._pending.get(t):
+                    return t
+                continue
+            drawn = self._draw_cycle()
+            self._drawn_until = t + 1
+            if drawn:
+                self._pending[t] = drawn
+                return t
+        return None
+
 
 class CompositeTraffic:
     """Drive several traffic sources together (e.g. GT flows + BE noise)."""
@@ -304,3 +431,25 @@ class CompositeTraffic:
     def tick(self, cycle: int, simulator) -> None:
         for source in self.sources:
             source.tick(cycle, simulator)
+
+    def next_injection_cycle(
+        self, cycle: int, simulator, limit: int
+    ) -> Optional[int]:
+        """Min over the member sources' next injections.
+
+        Any member without the lookahead protocol makes the composite
+        opaque: report "may inject now" so the kernel never skips.
+        """
+        horizon = limit
+        found = False
+        for source in self.sources:
+            probe = getattr(source, "next_injection_cycle", None)
+            if probe is None:
+                return cycle
+            nxt = probe(cycle, simulator, horizon)
+            if nxt is not None:
+                found = True
+                if nxt <= cycle:
+                    return cycle
+                horizon = nxt
+        return horizon if found else None

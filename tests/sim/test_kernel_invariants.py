@@ -1,0 +1,203 @@
+"""Property-based invariants of the fast simulation kernel.
+
+Three families, per the kernel's correctness argument:
+
+* **Flit conservation** — nothing is duplicated or lost: every packet
+  offered is delivered (fault-free, drained) or accounted for as
+  lost/abandoned (fault runs with bounded retries).
+* **Latency lower bound** — no delivered packet beats the zero-load
+  path latency (hops + serialisation), which a skip-induced time warp
+  would violate.
+* **Skip audit** — via ``NocSimulator._skip_hook``: no jump ever
+  crosses a scheduled fault or a pending retransmission deadline, and
+  every jump moves strictly forward from a quiescent cycle.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import FlowControlKind, NocParameters
+from repro.arch.packet import reset_packet_ids
+from repro.sim import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    NocSimulator,
+    RetransmissionPolicy,
+    SyntheticTraffic,
+)
+from repro.topology.presets import standard_instance
+
+
+def _fresh_sim(topology, size, fc, kernel, warmup=0):
+    inst = standard_instance(topology, size)
+    params = NocParameters(
+        flow_control=FlowControlKind(fc),
+        num_vcs=max(inst.min_vcs, 1),
+        buffer_depth=4,
+        output_buffer_depth=4 if fc == "ack_nack" else 0,
+    )
+    sim = NocSimulator(inst.topology, inst.table, params,
+                       vc_assignment=inst.vc_assignment,
+                       warmup_cycles=warmup, kernel=kernel)
+    return sim, inst.table
+
+
+_CONFIG = st.tuples(
+    st.sampled_from([("mesh", 4), ("torus", 4), ("fattree", 3)]),
+    st.sampled_from(["credit", "on_off"]),
+    st.floats(min_value=0.001, max_value=0.15),
+    st.integers(min_value=1, max_value=6),     # packet size
+    st.integers(min_value=0, max_value=2**16),  # seed
+)
+
+
+class TestConservation:
+    @settings(max_examples=12, deadline=None)
+    @given(_CONFIG)
+    def test_no_flit_lost_or_duplicated_fault_free(self, config):
+        (topology, size), fc, rate, packet_size, seed = config
+        reset_packet_ids()
+        sim, __ = _fresh_sim(topology, size, fc, "fast")
+        traffic = SyntheticTraffic("uniform", rate, packet_size, seed=seed)
+        sim.run(400, traffic, drain=True)
+        assert sim.idle
+        # Packet-level: everything offered arrived, exactly once.
+        assert sim.stats.packets_delivered == traffic.packets_offered
+        assert all(t.duplicates_discarded == 0
+                   for t in sim.targets.values())
+        # Flit-level: source and sink counters agree.
+        injected = sum(ni.flits_injected for ni in sim.initiators.values())
+        received = sum(t.flits_received for t in sim.targets.values())
+        assert injected == received == sim.stats.flits_delivered
+
+    def test_fault_run_fully_accounted(self):
+        """With a mid-run outage and bounded retries, offered packets
+        partition exactly into delivered / lost / abandoned — on both
+        kernels, with identical partitions."""
+        partitions = {}
+        for kernel in ("fast", "reference"):
+            reset_packet_ids()
+            sim, __ = _fresh_sim("mesh", 4, "on_off", kernel)
+            sim.attach_fault_schedule(FaultSchedule([
+                FaultEvent(50, FaultKind.LINK_DOWN, ("s_0_0", "s_1_0")),
+                FaultEvent(400, FaultKind.LINK_UP, ("s_0_0", "s_1_0")),
+            ]))
+            sim.enable_retransmission(RetransmissionPolicy(
+                timeout_cycles=32, max_retries=3, backoff=1.5))
+            traffic = SyntheticTraffic("uniform", 0.04, 4, seed=23)
+            sim.run(900, traffic, drain=True)
+            inis = sim.initiators.values()
+            delivered = sim.stats.packets_delivered
+            lost = sum(ni.packets_lost for ni in inis)
+            abandoned = sum(ni.packets_abandoned_unreachable for ni in inis)
+            # No duplicates in the delivered stats...
+            assert delivered <= traffic.packets_offered
+            # ...and no packet vanishes unaccounted.  The categories can
+            # overlap (a packet whose *ack* died is delivered yet later
+            # declared lost when retries exhaust), so the partition is a
+            # cover, not exact.
+            assert delivered + lost + abandoned >= traffic.packets_offered
+            assert lost + abandoned <= traffic.packets_offered
+            partitions[kernel] = (delivered, lost, abandoned)
+        assert partitions["fast"] == partitions["reference"]
+
+
+class TestLatencyLowerBound:
+    @settings(max_examples=12, deadline=None)
+    @given(_CONFIG)
+    def test_no_packet_beats_zero_load_latency(self, config):
+        (topology, size), fc, rate, packet_size, seed = config
+        reset_packet_ids()
+        sim, table = _fresh_sim(topology, size, fc, "fast")
+        traffic = SyntheticTraffic("uniform", rate, packet_size, seed=seed)
+        sim.run(400, traffic, drain=True)
+        for r in sim.stats.records:
+            hops = len(table.route(r.source, r.destination).path) - 1
+            # Each edge of the route costs at least one cycle, and the
+            # tail flit trails the head by at least size-1 cycles.
+            floor = hops + (r.size_flits - 1)
+            assert r.latency >= floor, (
+                f"{r.source}->{r.destination} took {r.latency} cycles, "
+                f"below the zero-load floor {floor}"
+            )
+
+
+class TestSkipAudit:
+    def _audited_run(self, *, faults=None, retransmission=False,
+                     rate=0.002, cycles=3000, seed=5):
+        reset_packet_ids()
+        sim, __ = _fresh_sim("mesh", 4, "on_off", "fast")
+        if faults:
+            sim.attach_fault_schedule(FaultSchedule(faults))
+        if retransmission:
+            sim.enable_retransmission(RetransmissionPolicy(
+                timeout_cycles=48, max_retries=3, backoff=1.5))
+        jumps = []
+
+        def hook(from_cycle, to_cycle):
+            # Snapshot the timed state *before* the jump lands.
+            sched = sim._fault_schedule
+            next_fault = sched.next_cycle() if sched is not None else None
+            deadlines = [
+                ni.next_timeout_cycle()
+                for ni in sim.initiators.values()
+                if ni.next_timeout_cycle() is not None
+            ]
+            jumps.append((from_cycle, to_cycle, next_fault,
+                          min(deadlines) if deadlines else None))
+
+        sim._skip_hook = hook
+        traffic = SyntheticTraffic("uniform", rate, 4, seed=seed)
+        sim.run(cycles, traffic, drain=True)
+        return sim, jumps
+
+    def test_jumps_move_strictly_forward(self):
+        sim, jumps = self._audited_run()
+        assert jumps, "trickle load should have produced skips"
+        for from_cycle, to_cycle, __, __unused in jumps:
+            assert from_cycle < to_cycle
+        assert sim.cycles_skipped == sum(t - f for f, t, *__ in jumps)
+
+    def test_never_jumps_past_a_scheduled_fault(self):
+        faults = [
+            FaultEvent(500, FaultKind.LINK_DOWN, ("s_0_0", "s_1_0")),
+            FaultEvent(1500, FaultKind.LINK_UP, ("s_0_0", "s_1_0")),
+            FaultEvent(2200, FaultKind.TRANSIENT_BURST, ("s_1_1", "s_2_1"),
+                       duration=100, probability=0.5),
+        ]
+        sim, jumps = self._audited_run(faults=list(faults),
+                                       retransmission=True)
+        assert jumps
+        for from_cycle, to_cycle, next_fault, __ in jumps:
+            if next_fault is not None:
+                # Landing exactly ON the fault cycle is correct: that
+                # step executes and applies it on time.
+                assert to_cycle <= next_fault, (
+                    f"jump {from_cycle}->{to_cycle} crossed the fault "
+                    f"scheduled at {next_fault}"
+                )
+        applied = {f.cycle for f in sim.stats.fault_events}
+        assert applied == {e.cycle for e in faults}, (
+            "every scheduled fault must be applied at its exact cycle"
+        )
+
+    def test_never_jumps_past_a_retransmission_deadline(self):
+        faults = [FaultEvent(300, FaultKind.LINK_DOWN, ("s_0_0", "s_1_0")),
+                  FaultEvent(900, FaultKind.LINK_UP, ("s_0_0", "s_1_0"))]
+        __, jumps = self._audited_run(faults=faults, retransmission=True,
+                                      rate=0.01, cycles=2000)
+        for from_cycle, to_cycle, __unused, next_deadline in jumps:
+            if next_deadline is not None:
+                assert to_cycle <= next_deadline, (
+                    f"jump {from_cycle}->{to_cycle} crossed the pending "
+                    f"retransmission deadline at {next_deadline}"
+                )
+
+    def test_skips_disabled_on_reference_kernel(self):
+        reset_packet_ids()
+        sim, __ = _fresh_sim("mesh", 4, "on_off", "reference")
+        traffic = SyntheticTraffic("uniform", 0.002, 4, seed=5)
+        sim.run(2000, traffic, drain=True)
+        assert sim.cycles_skipped == 0
