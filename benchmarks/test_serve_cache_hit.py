@@ -1,0 +1,86 @@
+"""SERVE — the cache-first contract on a number: hit latency vs cold.
+
+The serving story of the ROADMAP ("millions of users" sharing NoC
+infrastructure) only works if an identical job spec resubmitted by
+anyone costs next to nothing.  This benchmark submits the same spec
+twice against a live server: the cold submission runs a real
+simulation through a worker; the second is answered straight from the
+content-addressed :class:`~repro.lab.ResultCache` with **zero worker
+dispatch**.  The contract: cache-hit latency at least 10x lower than
+the cold path, verified along with the dispatch counter.
+
+Like the kernel benchmark, this avoids pytest-benchmark so the CI
+serve-smoke job can run it with plain pytest; it writes the measured
+latencies to ``BENCH_serve.json`` at the repository root, which CI
+publishes as a build artifact.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.lab import ResultCache
+from repro.serve import ServerThread
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_serve.json"
+
+#: The contract from the issue: a cache hit is >= 10x faster than
+#: computing the same spec cold.
+MIN_SPEEDUP = 10.0
+
+#: Big enough that the cold path takes a solid fraction of a second —
+#: the hit/cold ratio then reflects compute saved, not HTTP noise.
+SPEC = {
+    "topology": "mesh",
+    "size": 4,
+    "rate": 0.15,
+    "cycles": 4000,
+    "warmup": 500,
+}
+SEED = 7
+
+HIT_SAMPLES = 5
+
+
+def test_cache_hit_is_an_order_of_magnitude_faster(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    with ServerThread(worker_mode="thread", workers=1, cache=cache) as srv:
+        client = srv.client(session="bench")
+
+        start = time.perf_counter()
+        cold = client.run("load_point", SPEC, seed=SEED, timeout=300)
+        cold_s = time.perf_counter() - start
+        assert cold["state"] == "done" and not cold["cached"]
+
+        hit_samples = []
+        for _ in range(HIT_SAMPLES):
+            start = time.perf_counter()
+            hit = client.submit("load_point", SPEC, seed=SEED)
+            hit_samples.append(time.perf_counter() - start)
+            assert hit["state"] == "done" and hit["cached"]
+            assert hit["result"] == cold["result"]
+        hit_s = min(hit_samples)
+
+        stats = client.stats()
+
+    # Zero worker dispatch for every one of the identical resubmissions.
+    assert stats["workers"]["dispatched"] == 1
+    assert stats["cache"]["served_from_cache"] == HIT_SAMPLES
+
+    speedup = cold_s / hit_s
+    RESULT_FILE.write_text(json.dumps({
+        "spec": {**SPEC, "seed": SEED},
+        "hit_samples": HIT_SAMPLES,
+        "cold_latency_s": round(cold_s, 4),
+        "cache_hit_latency_s": round(hit_s, 6),
+        "speedup": round(speedup, 1),
+        "worker_dispatches": stats["workers"]["dispatched"],
+        "served_from_cache": stats["cache"]["served_from_cache"],
+    }, indent=2, sort_keys=True) + "\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"cache hit took {hit_s * 1e3:.1f}ms vs {cold_s * 1e3:.0f}ms cold "
+        f"({speedup:.1f}x); the cache-first contract is >= "
+        f"{MIN_SPEEDUP}x on this workload"
+    )

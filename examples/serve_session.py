@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Serving tour: simulation-as-a-service with cache-first answers.
+
+The lab made sweeps declarative and cached; `repro.serve` makes them
+*served*: one long-lived server multiplexing many clients, answering
+identical job specs straight from the content-addressed result cache.
+This walkthrough self-hosts a server in a side thread (the same
+embedding the test suite uses) and drives it as a client:
+
+  1. start a server with a fresh ResultCache;
+  2. submit a load point and block for the result (cold: a worker
+     runs the real simulation);
+  3. submit a second spec with live streaming and watch NDJSON
+     metrics frames arrive while it runs;
+  4. resubmit the first spec — it comes back instantly from the
+     cache, with zero worker dispatch;
+  5. print the server's accounting: cache hit rate, dispatches,
+     per-session quotas.
+
+Against a production endpoint the same calls go through
+``repro serve`` / ``repro submit`` — see docs/tutorial.md §10.
+
+Run:  python examples/serve_session.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.lab import ResultCache
+from repro.serve import ServerThread
+
+SPEC = {"topology": "mesh", "size": 4, "rate": 0.12,
+        "cycles": 1200, "warmup": 200}
+
+
+def main() -> None:
+    cache_dir = Path(tempfile.mkdtemp(prefix="serve-tour-"))
+
+    # 1. Self-hosted server: thread workers, OS-assigned port.
+    with ServerThread(
+        worker_mode="thread", workers=2, cache=ResultCache(cache_dir)
+    ) as srv:
+        client = srv.client(session="tour")
+        print(f"Server listening on {srv.host}:{srv.port} "
+              f"(cache: {cache_dir})")
+
+        # 2. Cold submission: a worker computes the result.
+        start = time.perf_counter()
+        cold = client.run("load_point", SPEC, seed=7)
+        cold_ms = (time.perf_counter() - start) * 1e3
+        point = cold["result"]["point"]
+        print(f"\nCold run {cold['id']}: {cold_ms:.0f}ms, "
+              f"mean latency {point['mean_latency']:.2f} cycles, "
+              f"{point['packets']} packets")
+
+        # 3. Live streaming: metrics frames while the job runs.  The
+        #    stream options ride the submission envelope, never the
+        #    job itself, so they don't change its cache key.
+        doc = client.submit("load_point", {**SPEC, "rate": 0.2},
+                            seed=7, metrics_interval=200)
+        print(f"\nStreaming {doc['id']} (rate 0.20, live metrics):")
+        n_metrics, hottest = 0, None
+        for frame in client.stream(doc["id"]):
+            if frame["type"] == "metrics":
+                n_metrics += 1
+                if frame.get("kind") == "link" and (
+                    hottest is None
+                    or frame["utilization"] > hottest["utilization"]
+                ):
+                    hottest = frame
+            elif frame["type"] == "state":
+                print(f"  state -> {frame['state']}")
+            elif frame["type"] == "result":
+                print(f"  {n_metrics} live metrics frames, "
+                      "then the result frame")
+        if hottest is not None:
+            print(f"  hottest link seen live: {hottest['name']} at "
+                  f"{hottest['utilization']:.2f} utilization "
+                  f"(cycle {hottest['cycle']})")
+
+        # 4. Identical resubmission: answered from the cache.
+        start = time.perf_counter()
+        hit = client.submit("load_point", SPEC, seed=7)
+        hit_ms = (time.perf_counter() - start) * 1e3
+        assert hit["cached"] and hit["result"] == cold["result"]
+        print(f"\nResubmitted the first spec: cache hit in {hit_ms:.1f}ms "
+              f"({cold_ms / max(hit_ms, 1e-6):.0f}x faster, zero dispatch)")
+
+        # 5. The server's own accounting agrees.
+        stats = client.stats()
+        print("\nServer stats:")
+        print(f"  jobs: {stats['jobs']}")
+        print(f"  cache: hit rate {stats['cache']['hit_rate']:.2f}, "
+              f"served_from_cache {stats['cache']['served_from_cache']}")
+        print(f"  workers: dispatched {stats['workers']['dispatched']} "
+              f"of {stats['jobs']['total']} jobs")
+        for sess in stats["per_session"]:
+            print(f"  session {sess['session']!r}: "
+                  f"{sess['submitted']} submitted, "
+                  f"{sess['cache_hits']} cache hits")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,10 @@ The subcommands mirror the designer-facing entry points:
 * ``chips``        — the Section 5 case-study summaries;
 * ``batch``        — parallel experiment sweeps with result caching;
 * ``observe``      — instrumented simulation: streaming metrics/trace
-                     files plus a bottleneck-attribution report.
+                     files plus a bottleneck-attribution report;
+* ``serve``        — the long-lived simulation service (cache-first job
+                     submission, live NDJSON streaming, quotas);
+* ``submit``       — client for a running ``serve`` endpoint.
 
 Examples::
 
@@ -20,6 +23,9 @@ Examples::
     python -m repro chips
     python -m repro observe --topology mesh --size 8 --rate 0.3 \
         --out-dir obs-out
+    python -m repro serve --port 8351 --workers 4
+    python -m repro submit load_point --port 8351 --topology mesh \
+        --size 4 --rate 0.1 --wait
 """
 
 from __future__ import annotations
@@ -394,6 +400,120 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.lab import NullCache, ResultCache, ResultStore
+    from repro.serve import SessionQuota, SimulationServer
+
+    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    store = ResultStore(args.store) if args.store else None
+    server = SimulationServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        worker_mode=args.worker_mode,
+        cache=cache,
+        store=store,
+        quota=SessionQuota(
+            max_concurrent=args.max_concurrent,
+            max_queue_depth=args.max_queue,
+            max_cycles=args.max_cycles,
+        ),
+        max_queue_depth=args.global_queue,
+    )
+
+    async def main() -> None:
+        import signal
+
+        await server.start()
+        print(f"repro serve listening on http://{server.host}:{server.port} "
+              f"({args.workers} {args.worker_mode} workers, "
+              f"cache={'off' if args.no_cache else args.cache_dir})",
+              flush=True)
+        print("POST /jobs, GET /jobs/{id}[/stream], DELETE /jobs/{id}, "
+              "GET /healthz, GET /stats", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        print("\ndraining in-flight jobs...", flush=True)
+        await server.shutdown(drain=True)
+
+    asyncio.run(main())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, session=args.session,
+                         timeout=args.timeout)
+    if args.spec_file:
+        with open(args.spec_file) as fh:
+            spec = json.load(fh)
+        kind = spec["kind"]
+        params = spec.get("params", {})
+        seed = spec.get("seed", args.seed)
+    else:
+        kind = args.kind
+        if kind is None:
+            print("submit: give a job kind or --spec-file", file=sys.stderr)
+            return 2
+        params = {
+            "topology": args.topology,
+            "size": args.size,
+            "pattern": args.pattern,
+            "cycles": args.cycles,
+        }
+        if kind == "load_point":
+            params["rate"] = args.rate
+            params["warmup"] = args.warmup
+        elif kind == "saturation":
+            params["warmup"] = args.warmup
+        elif kind == "fault_campaign":
+            params["rate"] = args.rate
+            params["switch_faults"] = args.switch_faults
+        params["packet_size"] = args.packet_size
+        if args.metrics_interval and kind == "load_point":
+            params["metrics_interval"] = args.metrics_interval
+        seed = args.seed
+
+    try:
+        doc = client.submit(
+            kind, params, seed=seed, tags=("submit",),
+            metrics_interval=args.metrics_interval,
+            trace=args.trace,
+        )
+    except ServeError as exc:
+        print(f"submit rejected: {exc}", file=sys.stderr)
+        return 1
+
+    if doc["state"] == "done":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.stream:
+        try:
+            for frame in client.stream(doc["id"]):
+                print(json.dumps(frame, sort_keys=True))
+        except BrokenPipeError:
+            # Downstream (e.g. `| head`) closed early; that's its call.
+            sys.stderr.close()
+        return 0
+    if args.wait:
+        final = client.wait(doc["id"], timeout=args.timeout)
+        print(json.dumps(final, indent=2, sort_keys=True))
+        return 0 if final["state"] == "done" else 1
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -543,6 +663,73 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulation kernel for the sweep jobs (identical "
                         "results; cache keys are unchanged for 'fast')")
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service: cache-first job server (repro.serve)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8351,
+                   help="listen port (0 picks a free one)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent simulation workers")
+    p.add_argument("--worker-mode", default="process",
+                   choices=("process", "thread"),
+                   help="process isolation per job, or in-process threads")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="content-addressed result cache directory "
+                        "(shared with 'repro batch')")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always compute; disables cache-first answers")
+    p.add_argument("--store", default=None,
+                   help="append every completed job to this JSONL store")
+    p.add_argument("--max-concurrent", type=int, default=8,
+                   help="per-session cap on jobs in flight")
+    p.add_argument("--max-queue", type=int, default=32,
+                   help="per-session cap on queued jobs")
+    p.add_argument("--max-cycles", type=int, default=1_000_000,
+                   help="per-job simulated-cycle budget")
+    p.add_argument("--global-queue", type=int, default=128,
+                   help="server-wide queued-job cap")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a job to a running 'repro serve' endpoint",
+    )
+    p.add_argument("kind", nargs="?", default=None,
+                   choices=("load_point", "saturation", "fault_campaign"),
+                   help="job kind (or use --spec-file)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8351)
+    p.add_argument("--session", default=None,
+                   help="session name for quota accounting (X-Session)")
+    p.add_argument("--spec-file", default=None,
+                   help="raw JSON job spec {kind, params, seed} "
+                        "(overrides the flag-built spec)")
+    p.add_argument("--topology", default="mesh",
+                   choices=("mesh", "torus", "spidergon", "fattree"))
+    p.add_argument("--size", type=int, default=4)
+    p.add_argument("--pattern", default="uniform",
+                   choices=("uniform", "transpose", "bit-complement",
+                            "neighbor", "hotspot", "shuffle"))
+    p.add_argument("--rate", type=float, default=0.1)
+    p.add_argument("--cycles", type=int, default=1500)
+    p.add_argument("--warmup", type=int, default=250)
+    p.add_argument("--packet-size", type=int, default=4)
+    p.add_argument("--switch-faults", type=int, default=1,
+                   help="fault_campaign: hard switch faults to inject")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--metrics-interval", type=int, default=None,
+                   help="stream live metric windows at this cycle interval")
+    p.add_argument("--trace", action="store_true",
+                   help="stream per-flit trace frames too")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is done and print its result")
+    p.add_argument("--stream", action="store_true",
+                   help="print the job's NDJSON frames as they arrive")
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.set_defaults(func=_cmd_submit)
 
     return parser
 

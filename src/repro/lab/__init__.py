@@ -38,7 +38,16 @@ from repro.lab.hashing import (
     stable_hash,
     to_jsonable,
 )
-from repro.lab.jobs import Job, registered_kinds, run_job, runner, runner_version
+from repro.lab.jobs import (
+    Job,
+    JobCancelled,
+    JobObserver,
+    current_observer,
+    registered_kinds,
+    run_job,
+    runner,
+    runner_version,
+)
 from repro.lab.records import (
     design_point_from_dict,
     design_point_to_dict,
@@ -68,12 +77,15 @@ __all__ = [
     "BatchResult",
     "CODE_SALT",
     "Job",
+    "JobCancelled",
+    "JobObserver",
     "NullCache",
     "ProcessExecutor",
     "ResultCache",
     "ResultStore",
     "SerialExecutor",
     "canonical_json",
+    "current_observer",
     "default_switch_counts",
     "derive_seed",
     "design_point_from_dict",

@@ -77,8 +77,27 @@ class ResultCache:
         return sum(1 for _ in self.keys())
 
     def keys(self) -> Iterator[str]:
-        for entry in sorted(self.root.glob("??/*.json")):
-            yield entry.stem
+        """Every cached key; tolerant of concurrent eviction.
+
+        The shard directories and their entries are snapshotted before
+        yielding, and shards that vanish mid-scan (another process
+        evicting or clearing) are silently skipped — iteration never
+        raises because the cache shrank underneath it.
+        """
+        try:
+            shards = sorted(
+                entry
+                for entry in self.root.iterdir()
+                if entry.is_dir() and len(entry.name) == 2
+            )
+        except FileNotFoundError:
+            return
+        for shard in shards:
+            try:
+                names = sorted(p.stem for p in shard.glob("*.json"))
+            except FileNotFoundError:
+                continue
+            yield from names
 
     def evict(self, key: str) -> bool:
         """Drop one entry; True if it existed."""
@@ -90,7 +109,11 @@ class ResultCache:
             return False
 
     def clear(self) -> int:
-        """Drop every entry; returns the number removed."""
+        """Drop every entry; returns the number removed.
+
+        Keys are snapshotted up front and entries already evicted by a
+        concurrent writer are simply not counted.
+        """
         removed = 0
         for key in list(self.keys()):
             removed += self.evict(key)

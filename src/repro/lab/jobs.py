@@ -25,6 +25,7 @@ Built-in runners cover the sweeps the tool flow actually performs:
 
 from __future__ import annotations
 
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
@@ -33,6 +34,53 @@ from repro.lab.hashing import CODE_SALT, stable_hash, to_jsonable
 JobRunner = Callable[["Job"], dict]
 
 _RUNNERS: Dict[str, Tuple[JobRunner, int]] = {}
+
+
+class JobCancelled(Exception):
+    """Raised inside a runner when its observer requests cancellation.
+
+    Cooperative: the check happens on observation boundaries (metric
+    windows, trace events), so a run without observation hooks finishes
+    normally and the host discards the result instead.
+    """
+
+
+@dataclass
+class JobObserver:
+    """Observation-only hooks a host threads into a running job.
+
+    :mod:`repro.serve` uses this to watch live simulations: a metrics
+    probe streaming windows into ``metrics_sink`` and (optionally) flit
+    tracing into ``trace_sink``.  An observer is *never* part of the job
+    spec — it does not enter the cache key, and attaching one must not
+    change any result payload (the probe and recorder only read; the
+    ``metrics`` result key still appears only when the job's own
+    ``metrics_interval`` parameter asks for it).
+    """
+
+    metrics_sink: Any = None
+    trace_sink: Any = None
+    metrics_interval: Optional[int] = None
+
+    def attach(self, sim) -> None:
+        """Instrument a simulator per this observer's configuration."""
+        if self.metrics_interval:
+            sim.enable_metrics(
+                interval=self.metrics_interval, sink=self.metrics_sink
+            )
+        if self.trace_sink is not None:
+            sim.enable_tracing(self.trace_sink)
+
+
+#: The observer of the job currently executing in this thread/context.
+_OBSERVER: ContextVar[Optional[JobObserver]] = ContextVar(
+    "repro_lab_job_observer", default=None
+)
+
+
+def current_observer() -> Optional[JobObserver]:
+    """The active :class:`JobObserver`, if :func:`run_job` installed one."""
+    return _OBSERVER.get()
 
 
 def runner(kind: str, version: int = 1) -> Callable[[JobRunner], JobRunner]:
@@ -99,18 +147,29 @@ class Job:
         return f"{self.kind}[{self.key[:12]}]"
 
 
-def run_job(job: Job) -> dict:
+def run_job(job: Job, observer: Optional[JobObserver] = None) -> dict:
     """Execute one job in the current process; returns a plain dict.
 
     The payload is normalized to plain JSON data (tuples to lists, enums
     to values) so a freshly computed result is indistinguishable from
     the same result read back from the cache or the store.
+
+    ``observer`` installs observation-only streaming hooks for the
+    duration of the call (see :class:`JobObserver`); runners that build
+    simulators pick it up via :func:`current_observer`.  The result is
+    identical with or without one.
     """
     try:
         fn, _ = _RUNNERS[job.kind]
     except KeyError:
         raise ValueError(f"unknown job kind {job.kind!r}") from None
-    return to_jsonable(fn(job))
+    if observer is None:
+        return to_jsonable(fn(job))
+    token = _OBSERVER.set(observer)
+    try:
+        return to_jsonable(fn(job))
+    finally:
+        _OBSERVER.reset(token)
 
 
 # ----------------------------------------------------------------------
@@ -190,12 +249,25 @@ def _run_load_point(job: Job) -> dict:
     p = job.params
     inst = standard_instance(p["topology"], p["size"])
     params = _effective_sim_parameters(p, inst.min_vcs)
+    obs = current_observer()
+    # The job's own interval (which puts "metrics" in the result) wins;
+    # an observer can still watch a job that never asked for metrics.
+    interval = p.get("metrics_interval") or (
+        obs.metrics_interval if obs is not None else None
+    )
     probes = []
     on_sim = None
-    if p.get("metrics_interval"):
-        on_sim = lambda sim: probes.append(
-            sim.enable_metrics(interval=p["metrics_interval"])
-        )
+    if interval or (obs is not None and obs.trace_sink is not None):
+        def on_sim(sim):
+            if interval:
+                probes.append(
+                    sim.enable_metrics(
+                        interval=interval,
+                        sink=obs.metrics_sink if obs is not None else None,
+                    )
+                )
+            if obs is not None and obs.trace_sink is not None:
+                sim.enable_tracing(obs.trace_sink)
     point = _run_point(
         inst.topology,
         inst.table,
@@ -216,7 +288,8 @@ def _run_load_point(job: Job) -> dict:
     result = {"point": None if point is None else load_point_to_dict(point)}
     if probes:
         probes[0].finalize()
-        result["metrics"] = probes[0].compact_summary()
+        if p.get("metrics_interval"):
+            result["metrics"] = probes[0].compact_summary()
     return result
 
 
@@ -290,6 +363,9 @@ def _run_fault_campaign(job: Job) -> dict:
         kernel=p.get("kernel", "fast"),
     )
     sim.attach_fault_schedule(schedule)
+    obs = current_observer()
+    if obs is not None:
+        obs.attach(sim)
     # Bounded retries keep the drain finite even when the controller
     # gives up and the run degrades to best-effort loss.
     sim.enable_retransmission(RetransmissionPolicy(max_retries=8))

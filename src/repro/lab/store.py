@@ -18,6 +18,7 @@ without the original driver script.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
@@ -40,7 +41,13 @@ class ResultStore:
     # Writing
     # ------------------------------------------------------------------
     def append(self, job: Job, result: dict, cached: bool = False) -> dict:
-        """Persist one completed job; returns the written record."""
+        """Persist one completed job; returns the written record.
+
+        The full line (record + newline) is built first and handed to
+        the kernel as a single ``write`` on an append-mode handle, then
+        flushed — concurrent writers (batch workers, serve sessions)
+        interleave whole records rather than fragments.
+        """
         record = {
             "schema": RECORD_SCHEMA,
             "key": job.key,
@@ -51,9 +58,11 @@ class ResultStore:
             "cached": bool(cached),
             "result": result,
         }
+        line = json.dumps(record, separators=(",", ":")) + "\n"
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as fh:
-            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        with self.path.open("a", buffering=len(line) + 1) as fh:
+            fh.write(line)
+            fh.flush()
         return record
 
     # ------------------------------------------------------------------
@@ -63,10 +72,22 @@ class ResultStore:
         if not self.path.exists():
             return
         with self.path.open() as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     yield json.loads(line)
+                except ValueError:
+                    # A crashed writer can leave a truncated trailing
+                    # line (or a torn record from a pre-hardening
+                    # writer).  The rest of the store is still good —
+                    # warn and keep reading rather than losing it all.
+                    warnings.warn(
+                        f"{self.path}:{lineno}: skipping corrupt record",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
 
     def __len__(self) -> int:
         return sum(1 for _ in self)

@@ -33,6 +33,7 @@ from repro.obs.sinks import (
     ChromeTraceSink,
     JsonlMetricsSink,
     JsonlTraceSink,
+    QueueSink,
     TraceFanout,
 )
 
@@ -46,6 +47,7 @@ __all__ = [
     "JsonlTraceSink",
     "MetricRegistry",
     "MetricsProbe",
+    "QueueSink",
     "TraceFanout",
     "WindowedHistogram",
     "bottleneck_report",

@@ -25,8 +25,10 @@ kind, location, flit)`` and ``record_note(cycle, kind, location, note)``
 from __future__ import annotations
 
 import json
+import threading
+from collections import deque
 from pathlib import Path
-from typing import IO, Dict, List, Optional, Union
+from typing import Callable, Deque, Dict, IO, List, Optional, Union
 
 
 class _FileSink:
@@ -195,6 +197,109 @@ class JsonlMetricsSink(_FileSink):
     def emit(self, row: dict) -> None:
         self._write(json.dumps(row, separators=(",", ":")) + "\n")
         self.events_written += 1
+
+
+class QueueSink:
+    """Bounded in-memory sink for live consumers (no filesystem).
+
+    Where the file sinks stream to disk, ``QueueSink`` streams to a
+    *reader*: every metric row (``emit``, the metrics-sink contract) and
+    flit/trace event (``record``/``record_note``, the recorder contract)
+    is normalized into one plain-dict **frame** tagged with a ``type``
+    (``"metrics"`` or ``"trace"``) and either
+
+    * handed synchronously to a ``forward`` callable (how
+      :mod:`repro.serve` relays frames out of worker processes), or
+    * buffered in a bounded deque for :meth:`drain` — oldest frames are
+      dropped on overflow (``frames_dropped`` counts them), so a slow
+      consumer can never grow the simulation's memory unboundedly.
+
+    Implements both sink contracts at once, so one instance can ride a
+    :class:`TraceFanout` *and* serve as a
+    :meth:`~repro.sim.NocSimulator.enable_metrics` sink.  Thread-safe:
+    the simulator may run in a worker thread while a server thread
+    drains.
+    """
+
+    def __init__(
+        self,
+        maxlen: int = 4096,
+        forward: Optional[Callable[[dict], None]] = None,
+    ):
+        if maxlen < 1:
+            raise ValueError("queue sink needs room for at least one frame")
+        self.forward = forward
+        self.events_written = 0
+        self.frames_dropped = 0
+        self._frames: Deque[dict] = deque()
+        self._maxlen = maxlen
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _push(self, frame: dict) -> None:
+        if self.forward is not None:
+            self.forward(frame)
+            self.events_written += 1
+            return
+        with self._lock:
+            if len(self._frames) >= self._maxlen:
+                self._frames.popleft()
+                self.frames_dropped += 1
+            self._frames.append(frame)
+            self.events_written += 1
+
+    # ------------------------------------------------------------------
+    # Metrics-sink contract (MetricsProbe)
+    # ------------------------------------------------------------------
+    def emit(self, row: dict) -> None:
+        frame = {"type": "metrics"}
+        frame.update(row)
+        self._push(frame)
+
+    # ------------------------------------------------------------------
+    # Recorder contract (NocSimulator.enable_tracing)
+    # ------------------------------------------------------------------
+    def record(self, cycle: int, kind, location: str, flit) -> None:
+        packet = flit.packet
+        self._push(
+            {
+                "type": "trace",
+                "cycle": cycle,
+                "kind": kind.value,
+                "location": location,
+                "packet_id": packet.packet_id,
+                "flit_index": flit.index,
+                "source": packet.source,
+                "destination": packet.destination,
+            }
+        )
+
+    def record_note(self, cycle: int, kind, location: str, note: str) -> None:
+        self._push(
+            {
+                "type": "trace",
+                "cycle": cycle,
+                "kind": kind.value,
+                "location": location,
+                "packet_id": -1,
+                "note": note,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def drain(self) -> List[dict]:
+        """Remove and return every buffered frame (oldest first)."""
+        with self._lock:
+            frames = list(self._frames)
+            self._frames.clear()
+        return frames
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._frames)
+
+    def close(self) -> None:
+        """Part of the sink contract; nothing to release."""
 
 
 class TraceFanout:

@@ -1,0 +1,166 @@
+"""Sessions and per-session resource quotas.
+
+The "millions of users" framing of the ROADMAP means one server
+instance is shared: no single client may monopolize the worker pool or
+the queue.  A **session** is the unit of accounting — clients name
+theirs with the ``X-Session`` header (anonymous traffic shares the
+``"default"`` session) — and every admission decision happens here, so
+the server proper stays a thin transport.
+
+Quotas are backpressure, not errors: a rejected submission carries HTTP
+429 plus a ``Retry-After`` hint, and the client is expected to resubmit
+once its in-flight jobs drain.  Cache hits bypass admission entirely —
+answering from the content-addressed cache costs no worker, so it would
+be self-defeating to charge quota for it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.lab.jobs import Job
+from repro.serve.protocol import job_cycles
+
+
+class QuotaExceeded(Exception):
+    """A submission the session's quota cannot admit right now."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class SessionQuota:
+    """Per-session resource limits.
+
+    ``max_concurrent``
+        queued + running jobs a session may hold at once;
+    ``max_queue_depth``
+        of those, how many may sit in the dispatch queue (a session
+        saturating the workers cannot also fill the queue);
+    ``max_cycles``
+        per-job simulated-cycle budget (see
+        :func:`repro.serve.protocol.job_cycles`).
+    """
+
+    max_concurrent: int = 8
+    max_queue_depth: int = 32
+    max_cycles: int = 1_000_000
+
+
+@dataclass
+class Session:
+    """One client's live accounting."""
+
+    session_id: str
+    quota: SessionQuota
+    active: Set[str] = field(default_factory=set)   # job ids queued/running
+    queued: Set[str] = field(default_factory=set)   # subset of active
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    cache_hits: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "session": self.session_id,
+            "active": len(self.active),
+            "queued": len(self.queued),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "cache_hits": self.cache_hits,
+        }
+
+
+class SessionManager:
+    """Creates sessions on first use and enforces their quotas.
+
+    Thread-safe: admission happens on the event loop, but completions
+    are released from worker callbacks.
+    """
+
+    def __init__(self, quota: SessionQuota = SessionQuota()):
+        self.default_quota = quota
+        self._sessions: Dict[str, Session] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def session(self, session_id: str) -> Session:
+        with self._lock:
+            sess = self._sessions.get(session_id)
+            if sess is None:
+                sess = Session(session_id, self.default_quota)
+                self._sessions[session_id] = sess
+            return sess
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    def admit(self, session_id: str, job: Job, job_id: str) -> Session:
+        """Charge one submission against its session or raise 429."""
+        sess = self.session(session_id)
+        with self._lock:
+            quota = sess.quota
+            cycles = job_cycles(job)
+            if cycles > quota.max_cycles:
+                sess.rejected += 1
+                raise QuotaExceeded(
+                    f"job wants {cycles} cycles; session budget is "
+                    f"{quota.max_cycles} per job",
+                    retry_after=0.0,
+                )
+            if len(sess.active) >= quota.max_concurrent:
+                sess.rejected += 1
+                raise QuotaExceeded(
+                    f"session {session_id!r} is at its concurrency limit "
+                    f"({quota.max_concurrent} jobs in flight)"
+                )
+            if len(sess.queued) >= quota.max_queue_depth:
+                sess.rejected += 1
+                raise QuotaExceeded(
+                    f"session {session_id!r} is at its queue-depth limit "
+                    f"({quota.max_queue_depth} queued jobs)"
+                )
+            sess.submitted += 1
+            sess.active.add(job_id)
+            sess.queued.add(job_id)
+            return sess
+
+    def mark_running(self, session_id: str, job_id: str) -> None:
+        with self._lock:
+            self._sessions[session_id].queued.discard(job_id)
+
+    def release(self, session_id: str, job_id: str) -> None:
+        """Return a finished/cancelled job's slot to its session."""
+        with self._lock:
+            sess = self._sessions.get(session_id)
+            if sess is None:
+                return
+            if job_id in sess.active:
+                sess.active.discard(job_id)
+                sess.queued.discard(job_id)
+                sess.completed += 1
+
+    def record_cache_hit(self, session_id: str) -> Session:
+        sess = self.session(session_id)
+        with self._lock:
+            sess.submitted += 1
+            sess.cache_hits += 1
+        return sess
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "sessions": len(self._sessions),
+                "per_session": [
+                    s.to_dict()
+                    for _, s in sorted(self._sessions.items())
+                ],
+            }

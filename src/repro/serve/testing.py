@@ -1,0 +1,104 @@
+"""Self-hosting helper: run a :class:`SimulationServer` in a thread.
+
+Tests, benchmarks, and the runnable example all need a live server
+without owning the process's main thread.  :class:`ServerThread` spins
+the server's event loop in a daemon thread, waits for the listening
+port, and tears everything down (with a graceful drain by default) on
+exit::
+
+    with ServerThread(worker_mode="thread", cache=cache) as srv:
+        client = srv.client()
+        job = client.submit("load_point", {...})
+
+``worker_mode="thread"`` keeps job kinds registered by the host process
+(test fixtures) visible to the workers and avoids process start-up
+latency; production serving uses ``repro serve`` with process workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.serve.client import ServeClient
+from repro.serve.server import SimulationServer
+
+
+class ServerThread:
+    """A live server on an OS-assigned port, owned by a side thread."""
+
+    def __init__(self, **server_kwargs):
+        server_kwargs.setdefault("host", "127.0.0.1")
+        server_kwargs.setdefault("port", 0)
+        self._kwargs = server_kwargs
+        self.server: Optional[SimulationServer] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, **kwargs) -> ServeClient:
+        return ServeClient(self.host, self.port, **kwargs)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        if self.server is None or self.loop is None:
+            raise RuntimeError("server did not come up within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = SimulationServer(**self._kwargs)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # noqa: BLE001 — surfaced to starter
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self.server = server
+        self.loop = loop
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        if self.loop is None or self.server is None or self.loop.is_closed():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain=drain), self.loop
+        )
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,314 @@
+"""The worker bridge: lab jobs executed off the event loop.
+
+The server core is a single asyncio loop; simulations are CPU-bound
+Python.  :class:`WorkerBridge` is the seam between the two — a bounded
+pool of worker slots that executes :class:`repro.lab.Job` specs through
+the unmodified :func:`repro.lab.run_job` path (so a served result is
+byte-identical to a ``repro batch`` result) while relaying live
+observation frames back to the loop.
+
+Two interchangeable modes:
+
+``process`` (the deployment default)
+    one ``multiprocessing.Process`` per running job.  The child builds
+    a :class:`repro.obs.QueueSink` whose ``forward`` pushes frames into
+    an ``mp.Queue``; a reader thread in the server process relays them
+    onto the event loop.  Cancellation is cooperative first (an
+    ``mp.Event`` checked at every observation boundary raises
+    :class:`~repro.lab.jobs.JobCancelled` inside the child) with a
+    ``terminate()`` fallback after a grace period, so even a job with
+    no observation hooks cannot outlive its DELETE.
+
+``thread`` (tests, benchmarks, single-tenant serving)
+    a ``ThreadPoolExecutor`` in-process — no fork/spawn latency, and
+    job kinds registered by the host process (e.g. test fixtures) are
+    visible to the workers.  Cancellation is cooperative only.
+
+Either way the bridge exposes the accounting the acceptance criteria
+hang off: ``dispatched`` counts every job handed to a worker, so
+"served from cache with zero worker dispatch" is a number, not a hope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import queue as queue_mod
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional
+
+from repro.lab.jobs import Job, JobCancelled, JobObserver, run_job
+from repro.obs.sinks import QueueSink
+from repro.serve.protocol import JobSubmission
+
+#: Seconds a cancelled process job gets to exit cooperatively before
+#: the bridge terminates it.
+CANCEL_GRACE_S = 2.0
+
+
+class JobExecutionError(Exception):
+    """A job raised inside its worker; the message is the diagnosis."""
+
+
+class CancelToken:
+    """A one-shot, thread-safe cancellation flag with callbacks."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._callbacks: List[Callable[[], None]] = []
+        self._lock = threading.Lock()
+
+    def set(self) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._event.set()
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            callback()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def add_callback(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` on cancellation (immediately if already set)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn()
+
+
+def _build_observer(
+    submission: JobSubmission, forward: Callable[[dict], None]
+) -> Optional[JobObserver]:
+    """The JobObserver a submission's stream options ask for, if any."""
+    stream = submission.stream
+    if not stream.wants_observer:
+        return None
+    sink = QueueSink(forward=forward)
+    return JobObserver(
+        metrics_sink=sink if stream.metrics_interval else None,
+        trace_sink=sink if stream.trace else None,
+        metrics_interval=stream.metrics_interval,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-mode child entry point (must be a module-level function so it
+# pickles under any multiprocessing start method).
+# ----------------------------------------------------------------------
+def _process_entry(payload: dict, frames, cancel_event) -> None:
+    job = Job(
+        kind=payload["kind"],
+        params=payload["params"],
+        seed=payload["seed"],
+        tags=tuple(payload["tags"]),
+    )
+    submission = JobSubmission(job=job, stream=payload["stream"])
+
+    def forward(frame: dict) -> None:
+        if cancel_event.is_set():
+            raise JobCancelled()
+        frames.put(frame)
+
+    observer = _build_observer(submission, forward)
+    try:
+        result = run_job(job, observer=observer)
+    except JobCancelled:
+        frames.put({"type": "__cancelled__"})
+    except BaseException as exc:  # noqa: BLE001 — relayed, not swallowed
+        frames.put(
+            {"type": "__error__", "error": f"{type(exc).__name__}: {exc}"}
+        )
+    else:
+        frames.put({"type": "__result__", "result": result})
+
+
+class WorkerBridge:
+    """A bounded pool executing job submissions for the server."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        mode: str = "process",
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker slot")
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown worker mode {mode!r}")
+        self.workers = workers
+        self.mode = mode
+        self._loop = loop
+        self._slots = asyncio.Semaphore(workers)
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve"
+            )
+            if mode == "thread"
+            else None
+        )
+        self.busy = 0
+        self.dispatched = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
+
+    @property
+    def utilization(self) -> float:
+        return self.busy / self.workers
+
+    async def acquire(self) -> None:
+        await self._slots.acquire()
+
+    def release(self) -> None:
+        self._slots.release()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    async def execute(
+        self,
+        submission: JobSubmission,
+        emit: Callable[[dict], None],
+        cancel: CancelToken,
+    ) -> dict:
+        """Run one admitted submission in a worker and return its result.
+
+        ``emit`` receives observation frames on the event loop thread.
+        Raises :class:`~repro.lab.jobs.JobCancelled` when ``cancel``
+        fired, :class:`JobExecutionError` when the runner raised.  The
+        caller has already acquired a slot via :meth:`acquire`.
+        """
+        self.busy += 1
+        self.dispatched += 1
+        try:
+            if self.mode == "thread":
+                return await self._execute_thread(submission, emit, cancel)
+            return await self._execute_process(submission, emit, cancel)
+        finally:
+            self.busy -= 1
+
+    # ------------------------------------------------------------------
+    async def _execute_thread(self, submission, emit, cancel) -> dict:
+        loop = self.loop
+
+        def forward(frame: dict) -> None:
+            if cancel.is_set():
+                raise JobCancelled()
+            loop.call_soon_threadsafe(emit, frame)
+
+        observer = _build_observer(submission, forward)
+
+        def work() -> dict:
+            return run_job(submission.job, observer=observer)
+
+        try:
+            return await loop.run_in_executor(self._pool, work)
+        except JobCancelled:
+            raise
+        except Exception as exc:
+            raise JobExecutionError(
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    async def _execute_process(self, submission, emit, cancel) -> dict:
+        loop = self.loop
+        ctx = multiprocessing.get_context()
+        frames: multiprocessing.Queue = ctx.Queue()
+        cancel_event = ctx.Event()
+        payload = {
+            "kind": submission.job.kind,
+            "params": dict(submission.job.params),
+            "seed": submission.job.seed,
+            "tags": list(submission.job.tags),
+            "stream": submission.stream,
+        }
+        proc = ctx.Process(
+            target=_process_entry,
+            args=(payload, frames, cancel_event),
+            daemon=True,
+        )
+        proc.start()
+
+        def on_cancel() -> None:
+            cancel_event.set()
+            timer = threading.Timer(
+                CANCEL_GRACE_S,
+                lambda: proc.terminate() if proc.is_alive() else None,
+            )
+            timer.daemon = True
+            timer.start()
+
+        cancel.add_callback(on_cancel)
+
+        future: asyncio.Future = loop.create_future()
+
+        def resolve(fn: Callable[[], None]) -> None:
+            loop.call_soon_threadsafe(
+                lambda: fn() if not future.done() else None
+            )
+
+        def reader() -> None:
+            try:
+                while True:
+                    try:
+                        frame = frames.get(timeout=0.2)
+                    except queue_mod.Empty:
+                        if proc.is_alive():
+                            continue
+                        # Child died without a terminal sentinel:
+                        # terminated by cancel, or crashed outright.
+                        if cancel.is_set():
+                            resolve(
+                                lambda: future.set_exception(JobCancelled())
+                            )
+                        else:
+                            resolve(
+                                lambda: future.set_exception(
+                                    JobExecutionError(
+                                        "worker process died "
+                                        f"(exitcode {proc.exitcode})"
+                                    )
+                                )
+                            )
+                        return
+                    kind = frame.get("type")
+                    if kind == "__result__":
+                        result = frame["result"]
+                        resolve(lambda: future.set_result(result))
+                        return
+                    if kind == "__cancelled__":
+                        resolve(lambda: future.set_exception(JobCancelled()))
+                        return
+                    if kind == "__error__":
+                        error = frame["error"]
+                        resolve(
+                            lambda: future.set_exception(
+                                JobExecutionError(error)
+                            )
+                        )
+                        return
+                    loop.call_soon_threadsafe(emit, frame)
+            finally:
+                proc.join(timeout=5.0)
+                frames.close()
+
+        thread = threading.Thread(
+            target=reader, name="repro-serve-reader", daemon=True
+        )
+        thread.start()
+        try:
+            return await future
+        finally:
+            if proc.is_alive() and cancel.is_set():
+                proc.terminate()

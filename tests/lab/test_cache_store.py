@@ -1,6 +1,8 @@
 """Cache hit/miss/invalidation and ResultStore query behaviour."""
 
 import json
+import shutil
+import threading
 
 import pytest
 
@@ -156,3 +158,105 @@ class TestResultStore:
         assert record["kind"] == "echo_cached"
         assert record["params"] == {"x": 1}
         assert len(record["key"]) == 64
+
+
+class TestStoreConcurrencyHardening:
+    """A server appends from worker callbacks while readers iterate."""
+
+    def test_truncated_trailing_line_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        run_jobs([_job(1), _job(2)], store=store)
+        with path.open("a") as fh:      # a writer died mid-record
+            fh.write('{"kind": "echo_cached", "par')
+        with pytest.warns(RuntimeWarning, match="skipping corrupt record"):
+            records = store.records(latest_only=False)
+        assert len(records) == 2
+
+    def test_corrupt_middle_line_does_not_hide_later_records(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        run_jobs([_job(1)], store=store)
+        with path.open("a") as fh:
+            fh.write("garbage not json\n")
+        run_jobs([_job(2)], store=store)
+        with pytest.warns(RuntimeWarning):
+            records = store.records(latest_only=False)
+        assert [r["params"]["x"] for r in records] == [1, 2]
+
+    def test_concurrent_appends_stay_line_atomic(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        threads = [
+            threading.Thread(
+                target=lambda t=t: [
+                    store.append(_job(t * 100 + i), {"i": i})
+                    for i in range(25)
+                ]
+            )
+            for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every line parses (no torn writes) and every record survived.
+        records = store.records(latest_only=False)
+        assert len(records) == 8 * 25
+        assert len({r["params"]["x"] for r in records}) == 8 * 25
+
+
+class TestCacheConcurrentEviction:
+    """keys()/clear() race against evictions without raising."""
+
+    def _fill(self, tmp_path, n=6):
+        cache = ResultCache(tmp_path)
+        keys = [f"{i:02d}" + "e" * 62 for i in range(n)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"i": i})
+        return cache, keys
+
+    def test_keys_tolerates_vanished_shards(self, tmp_path):
+        cache, keys = self._fill(tmp_path)
+        shutil.rmtree(tmp_path / keys[0][:2])    # an external eviction
+        listed = cache.keys()
+        assert set(listed) == set(keys[1:])
+
+    def test_clear_tolerates_vanished_entries(self, tmp_path):
+        cache, keys = self._fill(tmp_path)
+        shutil.rmtree(tmp_path / keys[0][:2])
+        (tmp_path / keys[1][:2] / (keys[1] + ".json")).unlink()
+        assert cache.clear() == len(keys) - 2
+        assert list(cache.keys()) == []
+
+    def test_stray_files_in_the_root_are_ignored(self, tmp_path):
+        cache, keys = self._fill(tmp_path, n=2)
+        (tmp_path / "README").write_text("not a shard")
+        (tmp_path / "tmpdir").mkdir()            # wrong name length
+        assert set(cache.keys()) == set(keys)
+
+    def test_concurrent_clear_and_put_never_raise(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            i = 0
+            try:
+                while not stop.is_set():
+                    key = f"{i % 16:02d}" + "f" * 62
+                    cache.put(key, {"i": i})
+                    cache.evict(key)
+                    i += 1
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        try:
+            for _ in range(50):
+                cache.clear()
+                list(cache.keys())
+        finally:
+            stop.set()
+            writer.join()
+        assert errors == []

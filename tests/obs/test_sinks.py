@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.arch.packet import reset_packet_ids
-from repro.obs import ChromeTraceSink, JsonlMetricsSink, JsonlTraceSink, TraceFanout
+from repro.obs import (
+    ChromeTraceSink,
+    JsonlMetricsSink,
+    JsonlTraceSink,
+    QueueSink,
+    TraceFanout,
+)
 from repro.sim import NocSimulator, SyntheticTraffic, TraceRecorder
 from repro.topology import mesh, xy_routing
 
@@ -149,3 +155,59 @@ class TestMetricsOffIdentity:
             return path.read_bytes()
 
         assert run(tmp_path / "a.jsonl") == run(tmp_path / "b.jsonl")
+
+
+class TestQueueSink:
+    def test_buffers_metrics_and_trace_frames_from_one_run(self):
+        sink = QueueSink(maxlen=1_000_000)
+
+        def setup(sim):
+            sim.enable_metrics(interval=50, sink=sink)
+            sim.enable_tracing(sink)
+
+        _seeded_run(setup, cycles=100)
+        frames = sink.drain()
+        types = {f["type"] for f in frames}
+        assert types == {"metrics", "trace"}
+        assert sink.events_written == len(frames)
+        assert len(sink) == 0  # drain empties the buffer
+        trace = next(f for f in frames if f["type"] == "trace")
+        assert {"cycle", "kind", "location", "packet_id"} <= set(trace)
+
+    def test_observation_does_not_perturb_the_run(self):
+        baseline = _stats_fingerprint(_seeded_run())
+
+        def setup(sim):
+            sink = QueueSink()
+            sim.enable_metrics(interval=50, sink=sink)
+            sim.enable_tracing(sink)
+
+        assert _stats_fingerprint(_seeded_run(setup)) == baseline
+
+    def test_overflow_drops_oldest_frames(self):
+        sink = QueueSink(maxlen=2)
+        for i in range(4):
+            sink.emit({"cycle": i})
+        assert sink.frames_dropped == 2
+        assert [f["cycle"] for f in sink.drain()] == [2, 3]
+
+    def test_forward_mode_bypasses_the_buffer(self):
+        relayed = []
+        sink = QueueSink(forward=relayed.append)
+        sink.emit({"cycle": 10})
+        assert relayed == [{"type": "metrics", "cycle": 10}]
+        assert len(sink) == 0
+
+    def test_forward_exceptions_propagate(self):
+        """Cooperative cancellation hangs off this: forward may raise."""
+
+        def boom(frame):
+            raise RuntimeError("cancelled")
+
+        sink = QueueSink(forward=boom)
+        with pytest.raises(RuntimeError):
+            sink.emit({"cycle": 0})
+
+    def test_needs_room_for_one_frame(self):
+        with pytest.raises(ValueError):
+            QueueSink(maxlen=0)

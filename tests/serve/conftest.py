@@ -1,0 +1,76 @@
+"""Shared fixtures for the serve test suite.
+
+``serve_gate`` is a job kind whose runner blocks on a named
+:class:`threading.Event` until the test releases it — deterministic
+control over "a worker is busy right now", which is what the quota,
+backpressure, cancellation, and drain tests all need.  It only works
+with ``worker_mode="thread"`` (the runner and the gates live in this
+process), which is exactly the mode the
+:class:`repro.serve.ServerThread` harness defaults to here.
+"""
+
+import threading
+from typing import Dict
+
+import pytest
+
+from repro.lab import runner
+from repro.serve import ServerThread
+
+_GATES: Dict[str, threading.Event] = {}
+_GATE_LOCK = threading.Lock()
+
+
+def _gate(name: str) -> threading.Event:
+    with _GATE_LOCK:
+        return _GATES.setdefault(name, threading.Event())
+
+
+def open_gate(name: str) -> None:
+    _gate(name).set()
+
+
+@runner("serve_gate", version=1)
+def _run_serve_gate(job):
+    released = _gate(job.params["gate"]).wait(timeout=30.0)
+    if not released:  # pragma: no cover - only on a hung test
+        raise RuntimeError(f"gate {job.params['gate']!r} never opened")
+    return {"gate": job.params["gate"], "released": True}
+
+
+@pytest.fixture
+def gate():
+    """Namespaced gate helper: ``gate.job_params(tag)`` + ``gate.open(tag)``."""
+
+    class Gate:
+        def __init__(self):
+            self._opened = []
+
+        def job_params(self, tag: str) -> dict:
+            _gate(tag)  # pre-create so open() before wait() still works
+            return {"gate": tag}
+
+        def open(self, tag: str) -> None:
+            self._opened.append(tag)
+            open_gate(tag)
+
+    return Gate()
+
+
+@pytest.fixture
+def server_factory():
+    """Build ``ServerThread`` instances that always get torn down."""
+    servers = []
+
+    def factory(**kwargs) -> ServerThread:
+        kwargs.setdefault("worker_mode", "thread")
+        srv = ServerThread(**kwargs).start()
+        servers.append(srv)
+        return srv
+
+    yield factory
+    for srv in servers:
+        try:
+            srv.stop(drain=False, timeout=30.0)
+        except Exception:  # noqa: BLE001 - teardown must not mask the test
+            pass

@@ -1,0 +1,120 @@
+"""Submission parsing, frame encoding, and the cycle-budget estimator."""
+
+import json
+
+import pytest
+
+from repro.lab import Job
+from repro.serve import ProtocolError, StreamOptions, parse_submission
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    encode_json,
+    job_cycles,
+    ndjson_line,
+)
+
+
+def _body(doc) -> bytes:
+    return json.dumps(doc).encode("utf-8")
+
+
+class TestParseSubmission:
+    def test_minimal_submission(self):
+        sub = parse_submission(_body({"kind": "load_point", "params": {}}))
+        assert sub.job.kind == "load_point"
+        assert sub.job.seed == 0
+        assert sub.job.tags == ()
+        assert not sub.stream.wants_observer
+
+    def test_full_submission(self):
+        sub = parse_submission(_body({
+            "kind": "load_point",
+            "params": {"topology": "mesh", "size": 3, "rate": 0.1},
+            "seed": 7,
+            "tags": ["serve", "t1"],
+            "stream": {"metrics_interval": 100, "trace": True},
+        }))
+        assert sub.job.params["rate"] == 0.1
+        assert sub.job.seed == 7
+        assert sub.job.tags == ("serve", "t1")
+        assert sub.stream == StreamOptions(metrics_interval=100, trace=True)
+        assert sub.stream.wants_observer
+
+    def test_submission_hashes_like_the_equivalent_batch_job(self):
+        """The cache-first contract: POST body and repro-batch job agree."""
+        params = {"topology": "mesh", "size": 4, "rate": 0.15}
+        sub = parse_submission(_body({
+            "kind": "load_point",
+            "params": params,
+            "seed": 3,
+            "stream": {"metrics_interval": 50},   # observation-only
+        }))
+        assert sub.job.key == Job(
+            kind="load_point", params=params, seed=3
+        ).key
+
+    def test_round_trip_through_to_dict(self):
+        sub = parse_submission(_body({
+            "kind": "saturation",
+            "params": {"size": 3},
+            "seed": 2,
+            "tags": ["x"],
+            "stream": {"trace": True},
+        }))
+        assert parse_submission(encode_json(sub.to_dict())) == sub
+
+    @pytest.mark.parametrize("body", [
+        b"not json",
+        b"[1,2,3]",
+        _body({"kind": "load_point", "params": {}, "bogus": 1}),
+        _body({"kind": "no_such_kind", "params": {}}),
+        _body({}),
+        _body({"kind": "load_point", "params": []}),
+        _body({"kind": "load_point", "params": {}, "seed": "zero"}),
+        _body({"kind": "load_point", "params": {}, "seed": True}),
+        _body({"kind": "load_point", "params": {}, "tags": [1]}),
+        _body({"kind": "load_point", "params": {}, "stream": []}),
+        _body({"kind": "load_point", "params": {},
+               "stream": {"bogus": 1}}),
+        _body({"kind": "load_point", "params": {},
+               "stream": {"metrics_interval": 0}}),
+        _body({"kind": "load_point", "params": {},
+               "stream": {"metrics_interval": True}}),
+        _body({"kind": "load_point", "params": {},
+               "stream": {"trace": "yes"}}),
+    ])
+    def test_malformed_submissions_are_400(self, body):
+        with pytest.raises(ProtocolError) as err:
+            parse_submission(body)
+        assert err.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_submission(b"x" * (MAX_BODY_BYTES + 1))
+        assert err.value.status == 413
+
+
+class TestFrames:
+    def test_ndjson_line_is_one_terminated_line(self):
+        line = ndjson_line({"type": "state", "state": "queued"})
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert json.loads(line)["type"] == "state"
+
+    def test_encode_json_is_compact(self):
+        assert encode_json({"a": 1, "b": 2}) == b'{"a":1,"b":2}'
+
+
+class TestJobCycles:
+    def test_explicit_cycles_are_charged(self):
+        job = Job(kind="load_point", params={"cycles": 777})
+        assert job_cycles(job) == 777
+
+    def test_load_point_default(self):
+        assert job_cycles(Job(kind="load_point", params={})) == 1500
+
+    def test_fault_campaign_default(self):
+        assert job_cycles(Job(kind="fault_campaign", params={})) == 4000
+
+    def test_saturation_charges_many_points(self):
+        job = Job(kind="saturation", params={"cycles": 1000})
+        assert job_cycles(job) == 12_000

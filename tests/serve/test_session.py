@@ -1,0 +1,92 @@
+"""Per-session quota accounting: admit, release, backpressure."""
+
+import pytest
+
+from repro.lab import Job
+from repro.serve import QuotaExceeded, SessionManager, SessionQuota
+
+
+def _job(cycles=100):
+    return Job(kind="load_point", params={"cycles": cycles})
+
+
+def _manager(**quota) -> SessionManager:
+    return SessionManager(SessionQuota(**quota))
+
+
+class TestAdmission:
+    def test_admit_charges_active_and_queued(self):
+        mgr = _manager()
+        sess = mgr.admit("alice", _job(), "j1")
+        assert sess.active == {"j1"} and sess.queued == {"j1"}
+        assert sess.submitted == 1
+
+    def test_mark_running_leaves_the_queue(self):
+        mgr = _manager()
+        mgr.admit("alice", _job(), "j1")
+        mgr.mark_running("alice", "j1")
+        sess = mgr.session("alice")
+        assert sess.active == {"j1"} and sess.queued == set()
+
+    def test_release_frees_the_slot_once(self):
+        mgr = _manager()
+        mgr.admit("alice", _job(), "j1")
+        mgr.release("alice", "j1")
+        mgr.release("alice", "j1")          # idempotent
+        mgr.release("ghost", "j1")          # unknown session is a no-op
+        sess = mgr.session("alice")
+        assert sess.active == set() and sess.completed == 1
+
+    def test_concurrency_limit_rejects_then_recovers(self):
+        mgr = _manager(max_concurrent=2)
+        mgr.admit("alice", _job(), "j1")
+        mgr.admit("alice", _job(), "j2")
+        with pytest.raises(QuotaExceeded) as err:
+            mgr.admit("alice", _job(), "j3")
+        assert "concurrency" in err.value.message
+        assert err.value.retry_after > 0
+        assert mgr.session("alice").rejected == 1
+        mgr.release("alice", "j1")
+        mgr.admit("alice", _job(), "j3")    # slot came back
+
+    def test_queue_depth_limit_is_separate_from_concurrency(self):
+        mgr = _manager(max_concurrent=8, max_queue_depth=1)
+        mgr.admit("alice", _job(), "j1")
+        with pytest.raises(QuotaExceeded) as err:
+            mgr.admit("alice", _job(), "j2")
+        assert "queue-depth" in err.value.message
+        mgr.mark_running("alice", "j1")     # j1 leaves the queue...
+        mgr.admit("alice", _job(), "j2")    # ...so j2 fits
+
+    def test_cycle_budget_rejects_oversized_jobs(self):
+        mgr = _manager(max_cycles=1000)
+        with pytest.raises(QuotaExceeded) as err:
+            mgr.admit("alice", _job(cycles=5000), "j1")
+        assert "cycles" in err.value.message
+
+    def test_sessions_are_isolated(self):
+        mgr = _manager(max_concurrent=1)
+        mgr.admit("alice", _job(), "j1")
+        mgr.admit("bob", _job(), "j2")      # bob has his own budget
+        with pytest.raises(QuotaExceeded):
+            mgr.admit("alice", _job(), "j3")
+
+
+class TestAccounting:
+    def test_cache_hits_bypass_quota_but_are_counted(self):
+        mgr = _manager(max_concurrent=1)
+        mgr.admit("alice", _job(), "j1")
+        sess = mgr.record_cache_hit("alice")   # no QuotaExceeded
+        assert sess.cache_hits == 1 and sess.submitted == 2
+        assert sess.active == {"j1"}
+
+    def test_stats_lists_sessions_sorted(self):
+        mgr = _manager()
+        mgr.admit("bob", _job(), "j1")
+        mgr.admit("alice", _job(), "j2")
+        stats = mgr.stats()
+        assert stats["sessions"] == len(mgr) == 2
+        assert [s["session"] for s in stats["per_session"]] == [
+            "alice", "bob"
+        ]
+        assert stats["per_session"][0]["active"] == 1

@@ -13,7 +13,12 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
-FAST = ["quickstart.py", "reliability_and_recovery.py", "three_d_stack.py"]
+FAST = [
+    "quickstart.py",
+    "reliability_and_recovery.py",
+    "serve_session.py",
+    "three_d_stack.py",
+]
 ALL = sorted(p.name for p in EXAMPLES.glob("*.py"))
 
 
