@@ -1,0 +1,136 @@
+"""RESILIENCE — checkpointing must cost (almost) nothing.
+
+The resilience layer's bargain is "periodic snapshots buy crash
+recovery"; this benchmark pins down what the snapshots actually cost
+and what the recovery actually buys.  Two contracts:
+
+* on a busy mesh, checkpointing at the default interval (10k cycles)
+  adds at most 10% to the simulation time — and the results are
+  byte-identical to an uncheckpointed run;
+* restoring from the final capsule (the recovery path a resumed job
+  takes) completes in about a second, i.e. recovery latency is
+  dominated by the remaining simulation, not by the restore itself.
+
+The overhead is measured *within* a single run — per-chunk simulation
+time vs per-boundary snapshot+persist time — so the ratio is immune to
+run-to-run machine noise; a separate plain run pins byte-identity.
+
+Like the other contract benchmarks this avoids pytest-benchmark so the
+CI chaos-smoke job can run it with a plain ``pytest`` install; the
+numbers land in ``BENCH_resilience.json`` at the repository root,
+which CI publishes as a build artifact.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.arch.packet import reset_packet_ids
+from repro.resilience.checkpoint import CheckpointStore, snapshot_simulator
+from repro.sim import NocSimulator, SyntheticTraffic
+from repro.topology.presets import standard_instance
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_resilience.json"
+
+#: The contract from the issue: <= 10% overhead at the default interval.
+MAX_OVERHEAD = 0.10
+#: Restoring a capsule must be far cheaper than re-simulating.
+MAX_RESTORE_S = 2.0
+
+WORKLOAD = {
+    "topology": "mesh",
+    "size": 8,
+    "pattern": "uniform",
+    "rate": 0.05,        # busy, not saturated: the checkpoint-heavy case
+    "packet_size": 4,
+    "cycles": 50_000,
+    "seed": 7,
+}
+
+INTERVAL = 10_000
+
+
+def _fingerprint(sim, traffic):
+    return (
+        sim.cycle,
+        sim.stats.packets_delivered,
+        sim.stats.flits_delivered,
+        sim.stats.latency(),
+        traffic.packets_offered,
+    )
+
+
+def _build():
+    reset_packet_ids()
+    inst = standard_instance(WORKLOAD["topology"], WORKLOAD["size"])
+    sim = NocSimulator(inst.topology, inst.table,
+                       vc_assignment=inst.vc_assignment)
+    traffic = SyntheticTraffic(
+        WORKLOAD["pattern"], WORKLOAD["rate"], WORKLOAD["packet_size"],
+        seed=WORKLOAD["seed"],
+    )
+    return sim, traffic
+
+
+def test_checkpoint_overhead_and_recovery_latency(tmp_path):
+    store = CheckpointStore(tmp_path)
+
+    # Reference: one uncheckpointed run, for the identity check.
+    plain_sim, plain_traffic = _build()
+    plain_sim.run(WORKLOAD["cycles"], plain_traffic)
+
+    # Instrumented run: exactly what run_with_checkpoints does at
+    # interval boundaries, with the two cost centres timed apart.
+    sim, traffic = _build()
+    sim_s = 0.0
+    ckpt_s = 0.0
+    capsule_bytes = b""
+    while sim.cycle < WORKLOAD["cycles"]:
+        chunk = min(INTERVAL, WORKLOAD["cycles"] - sim.cycle)
+        start = time.perf_counter()
+        sim.run(chunk, traffic)
+        sim_s += time.perf_counter() - start
+        start = time.perf_counter()
+        capsule_bytes = snapshot_simulator(sim, traffic)
+        store.save("bench", capsule_bytes)
+        ckpt_s += time.perf_counter() - start
+    overhead = ckpt_s / sim_s
+
+    # The overhead is only meaningful if the results are identical.
+    assert _fingerprint(sim, traffic) == \
+        _fingerprint(plain_sim, plain_traffic)
+
+    # Recovery: restore the final capsule as a resumed job would.
+    start = time.perf_counter()
+    resumed = store.try_restore("bench")
+    restore_s = time.perf_counter() - start
+    assert resumed is not None
+    resumed_sim, resumed_traffic = resumed
+    assert resumed_sim.cycle == WORKLOAD["cycles"]
+    assert _fingerprint(resumed_sim, resumed_traffic) == \
+        _fingerprint(plain_sim, plain_traffic)
+
+    RESULT_FILE.write_text(json.dumps({
+        "workload": WORKLOAD,
+        "checkpoint_interval": INTERVAL,
+        "checkpoints_taken": WORKLOAD["cycles"] // INTERVAL,
+        "simulation_s": round(sim_s, 4),
+        "checkpointing_s": round(ckpt_s, 4),
+        "overhead_pct": round(overhead * 100.0, 2),
+        "max_overhead_pct": MAX_OVERHEAD * 100.0,
+        "capsule_kb": round(len(capsule_bytes) / 1024.0, 1),
+        "restore_s": round(restore_s, 4),
+        "packets_delivered": plain_sim.stats.packets_delivered,
+    }, indent=2, sort_keys=True) + "\n")
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"checkpointing at interval={INTERVAL} cost "
+        f"{overhead * 100:.1f}% ({ckpt_s:.2f}s on top of {sim_s:.2f}s "
+        f"of simulation); the contract is <= {MAX_OVERHEAD * 100:.0f}%"
+    )
+    assert restore_s <= MAX_RESTORE_S, (
+        f"restoring a {len(capsule_bytes) / 1024:.0f} KiB capsule took "
+        f"{restore_s:.2f}s; recovery latency must stay under "
+        f"{MAX_RESTORE_S}s"
+    )

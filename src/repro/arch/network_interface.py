@@ -153,6 +153,20 @@ class InitiatorNI:
     def connect(self, link: Link) -> None:
         self.injection_link = link
 
+    def __getstate__(self):
+        """Pickle state minus host-wired callbacks (checkpointing).
+
+        ``trace`` closes over a recorder and ``on_timeout``/``on_ack``
+        are controller bindings; all three are re-wired by the owning
+        simulator on restore (see ``NocSimulator.__setstate__``), so the
+        capsule stores only the NI's own data.
+        """
+        state = self.__dict__.copy()
+        state["trace"] = None
+        state["on_timeout"] = None
+        state["on_ack"] = None
+        return state
+
     # ------------------------------------------------------------------
     def send(self, destination: str, size_flits: int, cycle: int,
              message_class: MessageClass = MessageClass.BEST_EFFORT,
@@ -446,6 +460,19 @@ class TargetNI:
         self._seen_transfers: Set[Tuple[str, int]] = set()
         self.duplicates_discarded = 0
         self.acks_sent = 0
+
+    def __getstate__(self):
+        """Pickle state minus host-wired callbacks (checkpointing).
+
+        ``trace`` closes over a recorder and ``_responder`` over the
+        simulator's memory model; the owning simulator re-wires both on
+        restore (``_service_cycles`` and the pending-response queue are
+        data and travel in the capsule).
+        """
+        state = self.__dict__.copy()
+        state["trace"] = None
+        state["_responder"] = None
+        return state
 
     @property
     def idle(self) -> bool:

@@ -59,6 +59,28 @@ def reset_packet_ids() -> None:
     _packet_ids = itertools.count()
 
 
+def packet_id_watermark() -> int:
+    """The next packet id that would be assigned, without consuming it.
+
+    ``itertools.count`` cannot be peeked, so the counter is read by
+    advancing it once and rebuilding it at the same position — a net
+    no-op observable only here.  Checkpoints capture this watermark so
+    a restore in a fresh process continues the id sequence exactly
+    where the interrupted run left it (duplicate-discard logic and
+    trace fingerprints depend on ids never being reused).
+    """
+    global _packet_ids
+    mark = next(_packet_ids)
+    _packet_ids = itertools.count(mark)
+    return mark
+
+
+def set_packet_id_watermark(mark: int) -> None:
+    """Continue the global packet-id sequence from ``mark`` (restore)."""
+    global _packet_ids
+    _packet_ids = itertools.count(mark)
+
+
 @dataclass
 class Packet:
     """One network packet: a routed payload between two cores."""

@@ -111,6 +111,16 @@ class SwitchModel:
         self.locks_taken = 0        # completed (head..tail) wormhole locks
         self._lock_since: Dict[Tuple[str, int], int] = {}
 
+    def __getstate__(self):
+        """Pickle state minus the host-wired trace callback.
+
+        The owning simulator re-installs tracing on restore; everything
+        else (ports, locks, arbiters, counters) is plain data.
+        """
+        state = self.__dict__.copy()
+        state["trace"] = None
+        return state
+
     # ------------------------------------------------------------------
     # Wiring (done by the simulator builder)
     # ------------------------------------------------------------------

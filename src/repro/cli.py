@@ -396,6 +396,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"saturation throughput: {rate:.3f} flits/cycle/core")
 
     if store is not None:
+        recovery = store.recovery_summary()
+        if recovery["skipped"]:
+            lines = ", ".join(
+                str(c["line"]) for c in recovery["corrupt_lines"]
+            )
+            print(f"store recovery: {recovery['path']} skipped "
+                  f"{recovery['skipped']} corrupt line(s) at {lines}; "
+                  f"{recovery['records']} records intact")
         print(f"appended {len(jobs)} records to {args.store}")
     return 0
 
@@ -404,10 +412,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.lab import NullCache, ResultCache, ResultStore
+    from repro.resilience import CheckpointPlan, RetryPolicy
     from repro.serve import SessionQuota, SimulationServer
 
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
     store = ResultStore(args.store) if args.store else None
+    plan = (
+        CheckpointPlan(
+            directory=args.checkpoint_dir, interval=args.checkpoint_interval
+        )
+        if args.checkpoint_dir
+        else None
+    )
+
+    # Startup recovery scan: purge torn cache entries and stale
+    # checkpoint debris left by a previous crash before going live.
+    if not args.no_cache:
+        report = cache.verify(repair=True)
+        if report["corrupt"] or report["tempfiles_removed"]:
+            print(f"cache recovery: evicted {len(report['corrupt'])} corrupt "
+                  f"entries, removed {report['tempfiles_removed']} stale "
+                  f"temp file(s) ({report['entries']} entries scanned)",
+                  flush=True)
+    if plan is not None:
+        scan = plan.store().recovery_scan()
+        if scan["corrupt_removed"] or scan["tempfiles_removed"]:
+            print("checkpoint recovery: dropped "
+                  f"{len(scan['corrupt_removed'])} corrupt capsule(s), "
+                  f"{scan['tempfiles_removed']} stale temp file(s); "
+                  f"{scan['checkpoints']} resumable", flush=True)
+
     server = SimulationServer(
         host=args.host,
         port=args.port,
@@ -421,6 +455,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_cycles=args.max_cycles,
         ),
         max_queue_depth=args.global_queue,
+        retry_policy=RetryPolicy(max_attempts=args.max_attempts),
+        job_deadline_s=args.job_deadline,
+        checkpoint_plan=plan,
     )
 
     async def main() -> None:
@@ -512,6 +549,54 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 0 if final["state"] == "done" else 1
     print(json.dumps(doc, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.resilience.chaos import ChaosConfig, run_chaos_campaign
+
+    config = ChaosConfig(
+        jobs=args.jobs,
+        seed=args.seed,
+        workers=args.workers,
+        cycles=args.cycles,
+        poison_jobs=args.poison_jobs,
+        fault_jobs=args.fault_jobs,
+        deadline_s=args.deadline,
+        max_attempts=args.max_attempts,
+        checkpoint_interval=args.checkpoint_interval,
+        kill_interval_s=args.kill_interval,
+        max_kills=args.max_kills,
+        corrupt_interval_s=args.corrupt_interval,
+        max_corruptions=args.max_corruptions,
+        stall_streams=args.stall_streams,
+        wait_timeout_s=args.wait_timeout,
+    )
+    print(f"chaos campaign: {config.jobs} jobs, seed {config.seed}, "
+          f"{config.workers} process workers "
+          f"(<= {config.max_kills} kills, "
+          f"{config.max_corruptions} corruptions, "
+          f"{config.stall_streams} stalled streams)", flush=True)
+    report = run_chaos_campaign(config, root=args.dir)
+    doc = report.to_dict()
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"{report.completed} done, {report.quarantined} quarantined "
+              f"({report.poison_quarantined} poison), "
+              f"{report.lost} lost, {report.mismatches} mismatched "
+              f"in {report.elapsed_s:.1f}s")
+        print(f"inflicted: {report.kills} worker kills, "
+              f"{report.corruptions} cache corruptions "
+              f"({report.corrupt_detected} detected on read), "
+              f"{report.stalls} stalled streams")
+        print(f"server: {report.server_retries} retries, "
+              f"{report.deadline_expired} deadline expiries")
+        for note in report.notes:
+            print(f"  note: {note}")
+    print("chaos verdict: " + ("OK" if report.ok else "FAILED"), flush=True)
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -691,6 +776,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job simulated-cycle budget")
     p.add_argument("--global-queue", type=int, default=128,
                    help="server-wide queued-job cap")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="tries per job before quarantine (worker deaths "
+                        "and deadline expiries retry with backoff)")
+    p.add_argument("--job-deadline", type=float, default=None,
+                   help="per-job wall-clock deadline in seconds "
+                        "(cooperative cancel, then terminate)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="persist job checkpoints here so retried jobs "
+                        "resume mid-run instead of recomputing")
+    p.add_argument("--checkpoint-interval", type=int, default=10_000,
+                   help="cycles between checkpoints (with --checkpoint-dir)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -730,6 +826,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the job's NDJSON frames as they arrive")
     p.add_argument("--timeout", type=float, default=300.0)
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded infrastructure chaos campaign against a live server "
+             "(repro.resilience.chaos)",
+    )
+    p.add_argument("--jobs", type=int, default=20,
+                   help="total jobs in the campaign")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=2,
+                   help="process workers in the victim server")
+    p.add_argument("--cycles", type=int, default=3000,
+                   help="simulated cycles per plain job")
+    p.add_argument("--poison-jobs", type=int, default=1,
+                   help="jobs sized to blow the deadline every attempt")
+    p.add_argument("--fault-jobs", type=int, default=2,
+                   help="checkpoint-capable fault-campaign jobs in the mix")
+    p.add_argument("--deadline", type=float, default=8.0,
+                   help="per-job wall-clock deadline (seconds)")
+    p.add_argument("--max-attempts", type=int, default=4,
+                   help="server retry budget before quarantine")
+    p.add_argument("--checkpoint-interval", type=int, default=1000,
+                   help="cycles between job checkpoints")
+    p.add_argument("--kill-interval", type=float, default=0.4,
+                   help="seconds between worker SIGKILLs")
+    p.add_argument("--max-kills", type=int, default=5)
+    p.add_argument("--corrupt-interval", type=float, default=0.5,
+                   help="seconds between cache corruptions")
+    p.add_argument("--max-corruptions", type=int, default=4)
+    p.add_argument("--stall-streams", type=int, default=2,
+                   help="stream connections opened and left unread")
+    p.add_argument("--wait-timeout", type=float, default=300.0,
+                   help="campaign-wide completion deadline (seconds)")
+    p.add_argument("--dir", default=None,
+                   help="cache/checkpoint root (default: fresh temp dir)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON")
+    p.set_defaults(func=_cmd_chaos)
 
     return parser
 

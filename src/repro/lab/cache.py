@@ -12,8 +12,13 @@ the cache its two load-bearing properties:
   returned — invalidation is structural, not TTL-based.
 
 Writes are atomic (temp file + ``os.replace``) so a killed worker never
-leaves a half-written entry; unreadable entries are treated as misses
-and overwritten on the next compute.
+leaves a half-written entry.  Each entry is a checksummed envelope
+(``{"__ck__": 1, "sha256": ..., "payload": ...}``): a torn, truncated,
+or bit-flipped file is *detected* on read — counted, evicted, and
+treated as a miss so the next compute rewrites it — rather than served
+as a subtly wrong result.  Pre-envelope entries (no marker) still read
+for compatibility; :meth:`ResultCache.verify` is the startup recovery
+scan that audits every entry at once.
 """
 
 from __future__ import annotations
@@ -24,6 +29,16 @@ import tempfile
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+#: Envelope-format version for checksummed cache entries.
+_ENVELOPE_VERSION = 1
+
+
+def _payload_sha256(payload: dict) -> str:
+    from repro.lab.hashing import canonical_json
+    from repro.resilience.integrity import payload_digest
+
+    return payload_digest(canonical_json(payload))
+
 
 class ResultCache:
     """Filesystem cache mapping content keys to JSON payloads."""
@@ -33,6 +48,9 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Entries found corrupt (bad JSON or checksum mismatch) and
+        #: evicted — by :meth:`get` or :meth:`verify`.
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -40,27 +58,58 @@ class ResultCache:
             raise ValueError(f"malformed cache key {key!r}")
         return self.root / key[:2] / f"{key}.json"
 
+    def _unwrap(self, doc) -> Optional[dict]:
+        """Envelope to payload; ``None`` when the checksum disagrees."""
+        if not (isinstance(doc, dict) and doc.get("__ck__") is not None):
+            return doc  # pre-envelope entry: accepted as-is
+        payload = doc.get("payload")
+        if (
+            not isinstance(payload, dict)
+            or doc.get("sha256") != _payload_sha256(payload)
+        ):
+            return None
+        return payload
+
     def get(self, key: str) -> Optional[dict]:
-        """The cached payload, or ``None`` on miss/corruption."""
+        """The cached payload, or ``None`` on miss/corruption.
+
+        Corruption — undecodable JSON or a checksum that no longer
+        matches the payload — evicts the entry (so a later run
+        recomputes and rewrites it) and counts in :attr:`corrupt`.
+        """
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            raw = path.read_text()
+        except OSError:
             self.misses += 1
+            return None
+        try:
+            payload = self._unwrap(json.loads(raw))
+            if payload is None:
+                raise ValueError("cache entry checksum mismatch")
+        except ValueError:
+            self.corrupt += 1
+            self.misses += 1
+            self.evict(key)
             return None
         self.hits += 1
         return payload
 
     def put(self, key: str, payload: dict) -> None:
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically persist ``payload`` under ``key``, checksummed."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "__ck__": _ENVELOPE_VERSION,
+            "sha256": _payload_sha256(payload),
+            "payload": payload,
+        }
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
+                json.dump(doc, fh, separators=(",", ":"))
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -68,6 +117,46 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def verify(self, repair: bool = True) -> dict:
+        """Startup recovery scan: audit every entry, purge the broken.
+
+        Checks each entry decodes and (for enveloped entries) that its
+        checksum matches; with ``repair`` the failures are evicted so
+        they recompute instead of lurking.  Stale temp files from
+        writers killed mid-``put`` are removed too.  Returns a summary::
+
+            {"entries": n, "corrupt": [...keys...], "legacy": n,
+             "tempfiles_removed": n}
+        """
+        from repro.resilience.integrity import remove_stale_tempfiles
+
+        corrupt = []
+        legacy = 0
+        entries = 0
+        for key in list(self.keys()):
+            entries += 1
+            path = self._path(key)
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                corrupt.append(key)
+                continue
+            if not (isinstance(doc, dict) and doc.get("__ck__") is not None):
+                legacy += 1
+                continue
+            if self._unwrap(doc) is None:
+                corrupt.append(key)
+        if repair:
+            for key in corrupt:
+                self.evict(key)
+            self.corrupt += len(corrupt)
+        return {
+            "entries": entries,
+            "corrupt": corrupt,
+            "legacy": legacy,
+            "tempfiles_removed": remove_stale_tempfiles(self.root),
+        }
 
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
@@ -94,7 +183,11 @@ class ResultCache:
             return
         for shard in shards:
             try:
-                names = sorted(p.stem for p in shard.glob("*.json"))
+                # isalnum() screens out `.tmp-*` files from an in-flight
+                # (or crashed) atomic put — those are not entries.
+                names = sorted(
+                    p.stem for p in shard.glob("*.json") if p.stem.isalnum()
+                )
             except FileNotFoundError:
                 continue
             yield from names

@@ -82,6 +82,19 @@ class BatchResult:
         total = self.computed + self.cached
         return self.cached / total if total else 0.0
 
+    @property
+    def quarantined(self) -> List[dict]:
+        """Structured failure records standing in for results.
+
+        Non-empty only under a :class:`repro.resilience.SupervisedExecutor`
+        whose retry budget ran out on some jobs; each record carries the
+        job description and the full attempt history (see
+        :func:`repro.resilience.quarantine_payload`).
+        """
+        from repro.resilience.supervise import is_quarantined
+
+        return [r for r in self.results if is_quarantined(r)]
+
     def result_for(self, job: Job) -> dict:
         return self.results[self.jobs.index(job)]
 
@@ -121,15 +134,25 @@ def run_jobs(
             pending.append(i)
 
     if pending:
+        from repro.resilience.supervise import is_quarantined
+
         ex = executor if executor is not None else make_executor(workers)
         fresh = ex.map(run_job, [jobs[i] for i in pending])
         for i, payload in zip(pending, fresh):
-            cache.put(jobs[i].key, payload)
+            # A quarantine record is a failure report, not a result:
+            # it must never be cached (a later run should retry) nor
+            # mistaken for provenance in the store.
+            if not is_quarantined(payload):
+                cache.put(jobs[i].key, payload)
             results[i] = payload
 
     if store is not None:
+        from repro.resilience.supervise import is_quarantined
+
         pending_set = set(pending)
         for i, job in enumerate(jobs):
+            if is_quarantined(results[i]):
+                continue
             store.append(job, results[i], cached=i not in pending_set)
 
     return BatchResult(

@@ -326,9 +326,21 @@ def _run_fault_campaign(job: Job) -> dict:
     Traffic draws from ``job.seed``; the fault schedule from
     ``derive_seed(job.seed, "faults")`` — two campaigns with the same
     seed are byte-identical, while traffic and faults stay decoupled.
+
+    Checkpoint-aware: when the host installed a
+    :class:`repro.resilience.CheckpointPlan` (a ContextVar side channel,
+    like :class:`JobObserver` — never part of the cache key), the run
+    persists a state capsule every ``plan.interval`` cycles and, on
+    retry after a crash, resumes from the last capsule instead of cycle
+    zero.  Results are byte-identical with checkpointing on, off, or
+    resumed mid-run (``tests/resilience/`` enforces all three).
     """
     from repro.arch.packet import reset_packet_ids
     from repro.lab.hashing import derive_seed
+    from repro.resilience.checkpoint import (
+        current_checkpoint_plan,
+        run_with_checkpoints,
+    )
     from repro.sim import (
         DrainTimeoutError,
         FaultSchedule,
@@ -340,48 +352,68 @@ def _run_fault_campaign(job: Job) -> dict:
     from repro.topology.presets import standard_instance
 
     p = job.params
-    inst = standard_instance(p["topology"], p["size"])
-    params = _effective_sim_parameters(p, inst.min_vcs)
     cycles = p.get("cycles", 4000)
-    window = (
-        p.get("fault_start", cycles // 4),
-        p.get("fault_end", max(cycles // 4 + 1, cycles // 2)),
+    plan = current_checkpoint_plan()
+    ckpt_store = plan.store() if plan is not None else None
+    resumed = (
+        ckpt_store.try_restore(job.key) if ckpt_store is not None else None
     )
-    schedule = FaultSchedule.random(
-        inst.topology,
-        seed=derive_seed(job.seed, "faults"),
-        link_faults=p.get("link_faults", 0),
-        switch_faults=p.get("switch_faults", 1),
-        transient_bursts=p.get("transient_bursts", 0),
-        window=window,
-        repair_after=p.get("repair_after"),
-    )
+    if resumed is not None:
+        sim, traffic = resumed
+        controller = sim._controller
+    else:
+        inst = standard_instance(p["topology"], p["size"])
+        params = _effective_sim_parameters(p, inst.min_vcs)
+        window = (
+            p.get("fault_start", cycles // 4),
+            p.get("fault_end", max(cycles // 4 + 1, cycles // 2)),
+        )
+        schedule = FaultSchedule.random(
+            inst.topology,
+            seed=derive_seed(job.seed, "faults"),
+            link_faults=p.get("link_faults", 0),
+            switch_faults=p.get("switch_faults", 1),
+            transient_bursts=p.get("transient_bursts", 0),
+            window=window,
+            repair_after=p.get("repair_after"),
+        )
 
-    reset_packet_ids()
-    sim = NocSimulator(
-        inst.topology, inst.table, params, vc_assignment=inst.vc_assignment,
-        kernel=p.get("kernel", "fast"),
-    )
-    sim.attach_fault_schedule(schedule)
+        reset_packet_ids()
+        sim = NocSimulator(
+            inst.topology, inst.table, params,
+            vc_assignment=inst.vc_assignment,
+            kernel=p.get("kernel", "fast"),
+        )
+        sim.attach_fault_schedule(schedule)
+        # Bounded retries keep the drain finite even when the controller
+        # gives up and the run degrades to best-effort loss.
+        sim.enable_retransmission(RetransmissionPolicy(max_retries=8))
+        controller = RecoveryController()
+        sim.attach_recovery_controller(controller)
+        traffic = SyntheticTraffic(
+            p.get("pattern", "uniform"),
+            p.get("rate", 0.1),
+            packet_size_flits=p.get("packet_size", 4),
+            seed=job.seed,
+        )
     obs = current_observer()
     if obs is not None:
         obs.attach(sim)
-    # Bounded retries keep the drain finite even when the controller
-    # gives up and the run degrades to best-effort loss.
-    sim.enable_retransmission(RetransmissionPolicy(max_retries=8))
-    controller = RecoveryController()
-    sim.attach_recovery_controller(controller)
-    traffic = SyntheticTraffic(
-        p.get("pattern", "uniform"),
-        p.get("rate", 0.1),
-        packet_size_flits=p.get("packet_size", 4),
-        seed=job.seed,
-    )
     survived = True
     try:
-        sim.run(cycles, traffic, drain=True)
+        if ckpt_store is not None:
+            run_with_checkpoints(
+                sim, cycles, traffic,
+                store=ckpt_store, tag=job.key,
+                interval=plan.interval, drain=True,
+            )
+        else:
+            sim.run(max(0, cycles - sim.cycle), traffic, drain=True)
     except DrainTimeoutError:
         survived = False
+    if ckpt_store is not None:
+        # The job finished; its capsule has served its purpose.
+        ckpt_store.discard(job.key)
 
     stats = sim.stats
     inis = sim.initiators.values()

@@ -36,6 +36,9 @@ class ResultStore:
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
+        #: ``(lineno, reason)`` of every corrupt line skipped by the
+        #: most recent full iteration — see :meth:`recovery_summary`.
+        self.corrupt_lines: List[tuple] = []
 
     # ------------------------------------------------------------------
     # Writing
@@ -69,6 +72,7 @@ class ResultStore:
     # Reading
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[dict]:
+        self.corrupt_lines = []
         if not self.path.exists():
             return
         with self.path.open() as fh:
@@ -78,16 +82,42 @@ class ResultStore:
                     continue
                 try:
                     yield json.loads(line)
-                except ValueError:
+                except ValueError as exc:
                     # A crashed writer can leave a truncated trailing
                     # line (or a torn record from a pre-hardening
                     # writer).  The rest of the store is still good —
-                    # warn and keep reading rather than losing it all.
+                    # record it, warn, and keep reading rather than
+                    # losing it all.
+                    self.corrupt_lines.append((lineno, str(exc)))
                     warnings.warn(
                         f"{self.path}:{lineno}: skipping corrupt record",
                         RuntimeWarning,
                         stacklevel=2,
                     )
+
+    def recovery_summary(self) -> dict:
+        """What a full read of the store skipped, per file.
+
+        Re-reads the store and reports the corrupt lines (a crashed
+        writer's torn trailing record, disk bit-rot) alongside the good
+        record count, so batch tooling can *print* the damage instead
+        of burying it in a ``RuntimeWarning``::
+
+            {"path": ..., "records": n, "skipped": n,
+             "corrupt_lines": [{"line": lineno, "reason": ...}, ...]}
+        """
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            records = sum(1 for _ in self)
+        return {
+            "path": str(self.path),
+            "records": records,
+            "skipped": len(self.corrupt_lines),
+            "corrupt_lines": [
+                {"line": lineno, "reason": reason}
+                for lineno, reason in self.corrupt_lines
+            ],
+        }
 
     def __len__(self) -> int:
         return sum(1 for _ in self)

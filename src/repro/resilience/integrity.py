@@ -1,0 +1,82 @@
+"""Atomic writes and payload checksums — the crash-safety primitives.
+
+Every durable artifact in the stack (cache entries, result stores,
+checkpoints) must survive two failure modes:
+
+* a writer killed mid-write must never leave a half-written file where
+  a reader expects a whole one — solved by writing to a temp file in
+  the *same directory* and ``os.replace``-ing it into place (atomic on
+  POSIX within one filesystem);
+* bytes rotted after the write (truncation, bit flips, a concurrent
+  writer from a pre-hardening version) must be *detected*, not served —
+  solved by storing a SHA-256 digest next to the payload and verifying
+  it on read.
+
+These helpers centralize both so cache/store/checkpoint code cannot
+drift apart in how it touches disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".tmp-{path.name}-", suffix=".part"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def payload_digest(canonical: Union[str, bytes]) -> str:
+    """SHA-256 hex digest of an already-canonicalized payload form."""
+    if isinstance(canonical, str):
+        canonical = canonical.encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()
+
+
+def remove_stale_tempfiles(directory: Union[str, Path]) -> int:
+    """Delete orphaned ``.tmp-*`` / ``*.part`` files under ``directory``.
+
+    A writer killed between ``mkstemp`` and ``os.replace`` leaves its
+    temp file behind; it is garbage by construction (the rename never
+    happened) and safe to remove on the next startup scan.  Returns the
+    number removed.  Missing directories are a no-op.
+    """
+    directory = Path(directory)
+    removed = 0
+    if not directory.is_dir():
+        return 0
+    for entry in directory.rglob("*"):
+        if not entry.is_file():
+            continue
+        if entry.name.startswith(".tmp-") or entry.suffix == ".part":
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

@@ -1,0 +1,363 @@
+"""Supervised job execution: retries, deadlines, and quarantine.
+
+``repro.lab``'s :class:`~repro.lab.executor.ProcessExecutor` assumes
+workers never die: one SIGKILLed child (OOM killer, preemption, a
+segfaulting native library) sinks the whole ``Pool.map``.
+:class:`SupervisedExecutor` is the drop-in replacement that assumes the
+opposite — workers *will* die — and turns each failure into policy:
+
+* **worker death** (exit without a result) → retry with exponential
+  backoff + seeded jitter, up to :attr:`RetryPolicy.max_attempts`;
+* **runner exception** → same retry budget (a transient environment
+  error deserves another try; a deterministic bug exhausts the budget);
+* **wall-clock deadline** → cooperative cancellation first (the child's
+  checkpointed run loop and observation boundaries raise
+  :class:`~repro.lab.jobs.JobCancelled` at the next check), then
+  ``terminate()``, then ``SIGKILL`` — a hung job cannot hold its slot
+  forever;
+* **budget exhausted** → the job is *quarantined*: its slot in the
+  results list gets a structured failure record
+  (:func:`quarantine_payload`) instead of poisoning the batch, and
+  :func:`repro.lab.run_jobs` knows never to cache one.
+
+Composes with checkpointing: give the executor a
+:class:`~repro.resilience.checkpoint.CheckpointPlan` and every retry
+resumes from the victim's last capsule instead of cycle zero.
+
+Everything is deterministic given the seed — backoff jitter comes from
+a seeded :class:`random.Random`, never the wall clock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Sequence
+
+from repro.resilience.checkpoint import (
+    CheckpointPlan,
+    use_cancel_event,
+    use_checkpoint_plan,
+)
+
+#: Marker key of a quarantine record standing in for a result payload.
+QUARANTINE_KEY = "__quarantined__"
+
+#: Seconds a deadline-expired child gets to exit cooperatively before
+#: escalation (terminate, then kill).
+DEADLINE_GRACE_S = 1.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to fight for one job before quarantining it.
+
+    ``delay_s`` grows exponentially from ``base_delay_s`` (doubling per
+    attempt, capped at ``max_delay_s``) with up to ``jitter`` fractional
+    randomization on top — the classic backoff-with-jitter shape that
+    stops a burst of casualties from retrying in lockstep.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = min(
+            self.max_delay_s, self.base_delay_s * (2 ** max(0, attempt - 1))
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_s": self.base_delay_s,
+            "max_delay_s": self.max_delay_s,
+            "jitter": self.jitter,
+        }
+
+
+# ----------------------------------------------------------------------
+# Quarantine records
+# ----------------------------------------------------------------------
+def quarantine_payload(item: Any, attempts: Sequence[Mapping]) -> dict:
+    """The structured failure record standing in for a job's result.
+
+    ``attempts`` is the full casualty list — one entry per try with its
+    outcome (``died``/``error``/``deadline``) and diagnosis — so the
+    record answers "what happened" without the executor's logs.
+    """
+    describe = getattr(item, "describe", None)
+    return {
+        QUARANTINE_KEY: True,
+        "job": describe() if callable(describe) else repr(item),
+        "key": getattr(item, "key", None),
+        "attempts": [dict(a) for a in attempts],
+        "reason": attempts[-1]["outcome"] if attempts else "unknown",
+    }
+
+
+def is_quarantined(payload: Any) -> bool:
+    """True when ``payload`` is a quarantine record, not a result."""
+    return isinstance(payload, Mapping) and payload.get(QUARANTINE_KEY) is True
+
+
+# ----------------------------------------------------------------------
+# Child process entry (module-level: must pickle under any start method)
+# ----------------------------------------------------------------------
+def _child_main(fn, item, results, cancel_event, plan) -> None:
+    """Run ``fn(item)`` and report through the result queue.
+
+    Installs the host's cancel event and checkpoint plan on their
+    ContextVars so a checkpointing runner (e.g. ``fault_campaign``)
+    both persists capsules and honors cooperative cancellation at every
+    chunk boundary.
+    """
+    from repro.lab.jobs import JobCancelled
+
+    try:
+        with use_cancel_event(cancel_event), use_checkpoint_plan(plan):
+            result = fn(item)
+    except JobCancelled:
+        results.put(("cancelled", None))
+    except BaseException as exc:  # noqa: BLE001 — relayed, not swallowed
+        results.put(("error", f"{type(exc).__name__}: {exc}"))
+    else:
+        results.put(("ok", result))
+
+
+@dataclass
+class _Run:
+    """One item's supervision state inside :meth:`SupervisedExecutor.map`."""
+
+    index: int
+    item: Any
+    attempts: List[dict] = field(default_factory=list)
+    attempt: int = 0
+    proc: Optional[multiprocessing.process.BaseProcess] = None
+    queue: Any = None
+    cancel_event: Any = None
+    deadline_at: Optional[float] = None
+    cancel_sent_at: Optional[float] = None
+    terminated_at: Optional[float] = None
+    backoff_until: float = 0.0
+    result: Any = None
+    done: bool = False
+
+
+class SupervisedExecutor:
+    """A process-per-job executor that survives its workers.
+
+    Implements the :class:`repro.lab.executor.Executor` protocol
+    (``map(fn, items)``), so it drops into :func:`repro.lab.run_jobs`::
+
+        ex = SupervisedExecutor(workers=4, deadline_s=300.0,
+                                plan=CheckpointPlan(".ckpt"))
+        batch = run_jobs(jobs, executor=ex, cache=cache)
+        # batch.quarantined lists what the policy gave up on
+
+    Unlike a ``multiprocessing.Pool``, each item runs in its own child
+    process with its own result queue, so one corpse is one retry — not
+    a poisoned pool.  Results keep submission order; a quarantined item
+    yields its :func:`quarantine_payload` in place.
+
+    Counters (``supervisor.retries``, ``supervisor.worker_deaths``,
+    ``supervisor.deadline_kills``, ``supervisor.quarantined``) land in
+    ``registry`` — a :class:`repro.obs.MetricRegistry` — for the same
+    observability story as the simulator's own components.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        policy: RetryPolicy = RetryPolicy(),
+        deadline_s: Optional[float] = None,
+        plan: Optional[CheckpointPlan] = None,
+        seed: int = 0,
+        registry=None,
+        poll_s: float = 0.02,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker slot")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self.workers = workers
+        self.policy = policy
+        self.deadline_s = deadline_s
+        self.plan = plan
+        self.poll_s = poll_s
+        self._rng = random.Random(seed)
+        if registry is None:
+            from repro.obs.metrics import MetricRegistry
+
+            registry = MetricRegistry()
+        self.registry = registry
+        self.retries = registry.counter("supervisor.retries")
+        self.worker_deaths = registry.counter("supervisor.worker_deaths")
+        self.deadline_kills = registry.counter("supervisor.deadline_kills")
+        self.quarantined_count = registry.counter("supervisor.quarantined")
+        #: Quarantine records of the most recent :meth:`map` call.
+        self.quarantine: List[dict] = []
+
+    # ------------------------------------------------------------------
+    def map(self, fn, items: Sequence) -> List:
+        runs = [_Run(index=i, item=item) for i, item in enumerate(items)]
+        self.quarantine = []
+        if not runs:
+            return []
+        ctx = multiprocessing.get_context()
+        pending = list(runs)       # not yet started (or awaiting retry)
+        active: List[_Run] = []
+        while pending or active:
+            now = time.monotonic()
+            # Fill free slots with runnable work (backoff respected).
+            while pending and len(active) < self.workers:
+                ready = next(
+                    (r for r in pending if r.backoff_until <= now), None
+                )
+                if ready is None:
+                    break
+                pending.remove(ready)
+                self._start(ctx, fn, ready)
+                active.append(ready)
+            for run in list(active):
+                settled = self._poll(run, time.monotonic())
+                if not settled:
+                    continue
+                active.remove(run)
+                if not run.done:
+                    pending.append(run)  # retrying (backoff set)
+            if pending or active:
+                time.sleep(self.poll_s)
+        return [r.result for r in runs]
+
+    # ------------------------------------------------------------------
+    def _start(self, ctx, fn, run: _Run) -> None:
+        run.attempt += 1
+        run.queue = ctx.Queue()
+        run.cancel_event = ctx.Event()
+        run.cancel_sent_at = None
+        run.terminated_at = None
+        run.proc = ctx.Process(
+            target=_child_main,
+            args=(fn, run.item, run.queue, run.cancel_event, self.plan),
+            daemon=True,
+        )
+        run.proc.start()
+        run.deadline_at = (
+            time.monotonic() + self.deadline_s
+            if self.deadline_s is not None
+            else None
+        )
+
+    def _poll(self, run: _Run, now: float) -> bool:
+        """Advance one run; True when it left the active set."""
+        outcome = None
+        try:
+            outcome = run.queue.get_nowait()
+        except (queue_mod.Empty, OSError):
+            pass
+
+        if outcome is not None:
+            status, value = outcome
+            self._reap(run)
+            if status == "ok":
+                run.result = value
+                run.done = True
+                return True
+            if status == "cancelled":
+                # Only we cancel (deadline): account it as such.
+                return self._register_failure(
+                    run, "deadline",
+                    f"gave up cooperatively after {self.deadline_s}s",
+                )
+            return self._register_failure(run, "error", value)
+
+        # Deadline escalation: cooperative -> terminate -> kill.
+        if run.deadline_at is not None and now >= run.deadline_at:
+            if run.cancel_sent_at is None:
+                run.cancel_event.set()
+                run.cancel_sent_at = now
+            elif (
+                run.terminated_at is None
+                and now - run.cancel_sent_at >= DEADLINE_GRACE_S
+            ):
+                if run.proc.is_alive():
+                    run.proc.terminate()
+                run.terminated_at = now
+            elif (
+                run.terminated_at is not None
+                and now - run.terminated_at >= DEADLINE_GRACE_S
+            ):
+                if run.proc.is_alive():
+                    run.proc.kill()
+
+        if run.proc.is_alive():
+            return False
+        # Dead without a message in the queue — but the queue feeder
+        # thread may still be flushing; give it one more look.
+        try:
+            outcome = run.queue.get(timeout=0.05)
+        except (queue_mod.Empty, OSError):
+            outcome = None
+        exitcode = run.proc.exitcode
+        self._reap(run)
+        if outcome is not None:
+            status, value = outcome
+            if status == "ok":
+                run.result = value
+                run.done = True
+                return True
+            if status == "cancelled":
+                return self._register_failure(
+                    run, "deadline",
+                    f"gave up cooperatively after {self.deadline_s}s",
+                )
+            return self._register_failure(run, "error", value)
+        if run.cancel_sent_at is not None:
+            self.deadline_kills.inc()
+            return self._register_failure(
+                run, "deadline",
+                f"killed after exceeding the {self.deadline_s}s deadline "
+                f"(exitcode {exitcode})",
+            )
+        self.worker_deaths.inc()
+        return self._register_failure(
+            run, "died", f"worker process died (exitcode {exitcode})"
+        )
+
+    def _reap(self, run: _Run) -> None:
+        if run.proc is not None:
+            run.proc.join(timeout=5.0)
+        if run.queue is not None:
+            run.queue.close()
+
+    def _register_failure(self, run: _Run, outcome: str, detail: str) -> bool:
+        run.attempts.append(
+            {"attempt": run.attempt, "outcome": outcome, "detail": detail}
+        )
+        if run.attempt >= self.policy.max_attempts:
+            record = quarantine_payload(run.item, run.attempts)
+            run.result = record
+            run.done = True
+            self.quarantine.append(record)
+            self.quarantined_count.inc()
+            return True
+        self.retries.inc()
+        run.backoff_until = time.monotonic() + self.policy.delay_s(
+            run.attempt, self._rng
+        )
+        return True

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from repro.resilience.supervise import RetryPolicy
 from repro.serve.protocol import JobSubmission, StreamOptions, TERMINAL_STATES
 
 
@@ -50,11 +52,21 @@ class ServeClient:
         port: int = 8351,
         session: Optional[str] = None,
         timeout: float = 60.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
     ):
         self.host = host
         self.port = port
         self.session = session
         self.timeout = timeout
+        #: With a policy, transient failures — connection errors and
+        #: retriable statuses (429/503, honoring ``Retry-After``) —
+        #: are retried with seeded backoff+jitter up to the budget.
+        #: Safe for submissions too: jobs are content-addressed, so a
+        #: replayed POST lands on the same key (a cache hit or the
+        #: same queued work), never a divergent duplicate.
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(retry_seed)
 
     # ------------------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
@@ -70,7 +82,7 @@ class ServeClient:
 
     def _request(
         self, method: str, path: str, body: Optional[dict] = None
-    ) -> Tuple[int, Any]:
+    ) -> Tuple[int, Any, Dict[str, str]]:
         conn = self._connect()
         try:
             payload = None
@@ -85,15 +97,41 @@ class ServeClient:
                 doc = json.loads(raw) if raw else None
             except ValueError:
                 doc = raw.decode("utf-8", "replace")
-            return resp.status, doc
+            resp_headers = {
+                k.lower(): v for k, v in resp.getheaders()
+            }
+            return resp.status, doc, resp_headers
         finally:
             conn.close()
 
     def _checked(self, method: str, path: str, body=None) -> Any:
-        status, doc = self._request(method, path, body)
-        if status >= 400:
-            raise ServeError(status, doc)
-        return doc
+        policy = self.retry_policy
+        max_attempts = policy.max_attempts if policy is not None else 1
+        attempt = 0
+        while True:
+            attempt += 1
+            delay: Optional[float] = None
+            try:
+                status, doc, headers = self._request(method, path, body)
+            except (OSError, http.client.HTTPException):
+                # Transient transport failure (refused, reset, timed
+                # out, torn response) — retriable under the policy.
+                if attempt >= max_attempts:
+                    raise
+            else:
+                if status < 400:
+                    return doc
+                error = ServeError(status, doc)
+                if not error.retriable or attempt >= max_attempts:
+                    raise error
+                # The server's own pacing hint wins when it is longer
+                # than our backoff (e.g. a 429 quota window).
+                try:
+                    delay = float(headers.get("retry-after", ""))
+                except ValueError:
+                    delay = None
+            backoff = policy.delay_s(attempt, self._retry_rng)
+            time.sleep(max(backoff, delay or 0.0))
 
     # ------------------------------------------------------------------
     # Endpoints

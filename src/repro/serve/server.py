@@ -28,6 +28,7 @@ Routes (``Connection: close``; one request per connection):
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -46,6 +47,7 @@ from repro.serve.protocol import (
     parse_submission,
     state_frame,
 )
+from repro.resilience.supervise import RetryPolicy
 from repro.serve.session import QuotaExceeded, SessionManager, SessionQuota
 from repro.serve.workers import CancelToken, JobExecutionError, WorkerBridge
 
@@ -86,6 +88,8 @@ class JobRecord:
     frames_dropped: int = 0
     update: asyncio.Event = field(default_factory=asyncio.Event)
     cancel: CancelToken = field(default_factory=CancelToken)
+    attempts: List[str] = field(default_factory=list)  # per-retry diagnoses
+    quarantined: bool = False     # failed with the retry budget exhausted
 
     @property
     def terminal(self) -> bool:
@@ -103,6 +107,10 @@ class JobRecord:
         }
         if self.error is not None:
             doc["error"] = self.error
+        if self.attempts:
+            doc["retries"] = len(self.attempts)
+        if self.quarantined:
+            doc["quarantined"] = True
         if with_result and self.result is not None:
             doc["result"] = self.result
         return doc
@@ -127,16 +135,32 @@ class SimulationServer:
         quota: SessionQuota = SessionQuota(),
         max_queue_depth: int = 128,
         stream_buffer: int = DEFAULT_STREAM_BUFFER,
+        retry_policy: Optional[RetryPolicy] = RetryPolicy(),
+        job_deadline_s: Optional[float] = None,
+        checkpoint_plan=None,
+        retry_seed: int = 0,
     ):
+        if job_deadline_s is not None and job_deadline_s <= 0:
+            raise ValueError("job_deadline_s must be positive")
         self.host = host
         self.port = port
         self.cache = cache if cache is not None else NullCache()
         self.store = store
         self.sessions = SessionManager(quota)
-        self.bridge = WorkerBridge(workers=workers, mode=worker_mode)
+        self.bridge = WorkerBridge(
+            workers=workers, mode=worker_mode, checkpoint_plan=checkpoint_plan
+        )
         self.jobs: Dict[str, JobRecord] = {}
         self.max_queue_depth = max_queue_depth
         self.stream_buffer = stream_buffer
+        #: Supervision: infrastructure failures (worker death, deadline
+        #: expiry) retry under this policy; ``None`` disables retries.
+        self.retry_policy = retry_policy
+        self.job_deadline_s = job_deadline_s
+        self._retry_rng = random.Random(retry_seed)
+        self.retries = 0
+        self.quarantined = 0
+        self.deadline_expired = 0
         self.served_from_cache = 0
         self.accepting = True
         self._seq = 0
@@ -218,6 +242,17 @@ class SimulationServer:
                 "dispatched": self.bridge.dispatched,
                 "utilization": round(self.bridge.utilization, 4),
             },
+            "supervision": {
+                "retries": self.retries,
+                "quarantined": self.quarantined,
+                "deadline_expired": self.deadline_expired,
+                "deadline_s": self.job_deadline_s,
+                "policy": (
+                    self.retry_policy.to_dict()
+                    if self.retry_policy is not None
+                    else None
+                ),
+            },
             **self.sessions.stats(),
         }
 
@@ -259,11 +294,7 @@ class SimulationServer:
             self.sessions.mark_running(record.session_id, record.job_id)
             self._set_state(record, "running")
             try:
-                result = await self.bridge.execute(
-                    record.submission,
-                    lambda frame: self._push_frame(record, frame),
-                    record.cancel,
-                )
+                result = await self._execute_supervised(record)
             except JobCancelled:
                 self._finish(record, "cancelled")
                 return
@@ -281,6 +312,95 @@ class SimulationServer:
             self._finish(record, "done")
         finally:
             self.bridge.release()
+
+    async def _execute_supervised(self, record: JobRecord) -> dict:
+        """``bridge.execute`` wrapped in the supervision policy.
+
+        Infrastructure failures — the worker process dying without a
+        result, or the per-job wall-clock deadline expiring — retry
+        with seeded exponential backoff up to the policy budget (each
+        retry of a checkpointing job resumes from its last capsule).
+        A runner exception fails fast: it is deterministic, so every
+        retry would hit it again.  An exhausted budget raises a
+        :class:`JobExecutionError` with ``record.quarantined`` set.
+        """
+        policy = self.retry_policy
+        max_attempts = policy.max_attempts if policy is not None else 1
+        attempt = 0
+        while True:
+            if record.cancel.is_set():
+                raise JobCancelled()
+            attempt += 1
+            # One cancel token per attempt: the deadline fires only this
+            # attempt's token (so the next attempt starts clean), while
+            # a client DELETE on record.cancel propagates into whichever
+            # attempt is live.
+            attempt_cancel = CancelToken()
+            record.cancel.add_callback(attempt_cancel.set)
+            task = asyncio.ensure_future(
+                self.bridge.execute(
+                    record.submission,
+                    lambda frame: self._push_frame(record, frame),
+                    attempt_cancel,
+                )
+            )
+            failure: Optional[str] = None
+            try:
+                if self.job_deadline_s is None:
+                    return await asyncio.shield(task)
+                return await asyncio.wait_for(
+                    asyncio.shield(task), self.job_deadline_s
+                )
+            except asyncio.TimeoutError:
+                # Deadline: cooperative cancel of this attempt first
+                # (checkpoint chunk boundaries and observation frames
+                # both check it), with the bridge's terminate fallback
+                # behind it; then wait for the attempt to settle.
+                self.deadline_expired += 1
+                attempt_cancel.set()
+                try:
+                    # The job can still beat the grace period — a result
+                    # that arrives late is a result, not a failure.
+                    return await task
+                except (JobCancelled, JobExecutionError):
+                    failure = (
+                        f"exceeded the {self.job_deadline_s:g}s "
+                        "wall-clock deadline"
+                    )
+            except JobCancelled:
+                raise  # client DELETE — not a failure, not retried
+            except JobExecutionError as exc:
+                if not exc.worker_died:
+                    raise
+                failure = str(exc)
+
+            # -------- retriable infrastructure failure --------
+            record.attempts.append(f"attempt {attempt}: {failure}")
+            if record.cancel.is_set():
+                raise JobCancelled()
+            if attempt >= max_attempts:
+                record.quarantined = True
+                self.quarantined += 1
+                raise JobExecutionError(
+                    f"quarantined after {attempt} attempt(s): {failure}"
+                )
+            self.retries += 1
+            delay = (
+                policy.delay_s(attempt, self._retry_rng)
+                if policy is not None
+                else 0.0
+            )
+            self._push_frame(
+                record,
+                {
+                    "type": "retry",
+                    "attempt": attempt,
+                    "error": failure,
+                    "backoff_s": round(delay, 4),
+                },
+            )
+            if delay > 0:
+                await asyncio.sleep(delay)
 
     # ------------------------------------------------------------------
     # HTTP plumbing

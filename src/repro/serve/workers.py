@@ -48,7 +48,18 @@ CANCEL_GRACE_S = 2.0
 
 
 class JobExecutionError(Exception):
-    """A job raised inside its worker; the message is the diagnosis."""
+    """A job raised inside its worker; the message is the diagnosis.
+
+    ``worker_died`` distinguishes *infrastructure* failure (the child
+    process exited without a terminal sentinel — killed, OOMed,
+    segfaulted) from *application* failure (the runner raised).  The
+    server's supervision layer retries the former and fails the latter
+    fast: a deterministic runner bug would fail every retry anyway.
+    """
+
+    def __init__(self, message: str, worker_died: bool = False):
+        super().__init__(message)
+        self.worker_died = worker_died
 
 
 class CancelToken:
@@ -100,6 +111,12 @@ def _build_observer(
 # pickles under any multiprocessing start method).
 # ----------------------------------------------------------------------
 def _process_entry(payload: dict, frames, cancel_event) -> None:
+    from repro.resilience.checkpoint import (
+        CheckpointPlan,
+        use_cancel_event,
+        use_checkpoint_plan,
+    )
+
     job = Job(
         kind=payload["kind"],
         params=payload["params"],
@@ -114,8 +131,18 @@ def _process_entry(payload: dict, frames, cancel_event) -> None:
         frames.put(frame)
 
     observer = _build_observer(submission, forward)
+    ckpt = payload.get("checkpoint")
+    plan = (
+        CheckpointPlan(directory=ckpt[0], interval=ckpt[1])
+        if ckpt is not None
+        else None
+    )
     try:
-        result = run_job(job, observer=observer)
+        # The cancel event rides the resilience ContextVar too, so a
+        # checkpointing runner honors DELETE/deadline at every chunk
+        # boundary even when the job streams no observation frames.
+        with use_cancel_event(cancel_event), use_checkpoint_plan(plan):
+            result = run_job(job, observer=observer)
     except JobCancelled:
         frames.put({"type": "__cancelled__"})
     except BaseException as exc:  # noqa: BLE001 — relayed, not swallowed
@@ -134,6 +161,7 @@ class WorkerBridge:
         workers: int = 2,
         mode: str = "process",
         loop: Optional[asyncio.AbstractEventLoop] = None,
+        checkpoint_plan=None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker slot")
@@ -141,6 +169,10 @@ class WorkerBridge:
             raise ValueError(f"unknown worker mode {mode!r}")
         self.workers = workers
         self.mode = mode
+        #: Optional repro.resilience CheckpointPlan: process workers
+        #: install it per job, so a retried job resumes from its last
+        #: capsule instead of recomputing from cycle zero.
+        self.checkpoint_plan = checkpoint_plan
         self._loop = loop
         self._slots = asyncio.Semaphore(workers)
         self._pool: Optional[ThreadPoolExecutor] = (
@@ -152,6 +184,23 @@ class WorkerBridge:
         )
         self.busy = 0
         self.dispatched = 0
+        # Live child processes (process mode), for supervision and the
+        # chaos harness: what could be SIGKILLed right now?
+        self._procs: set = set()
+        self._procs_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def active_pids(self) -> List[int]:
+        """PIDs of worker processes currently running a job.
+
+        Empty in thread mode.  The chaos harness aims its SIGKILLs
+        here; tests use it to wait for a job to actually be on-CPU.
+        """
+        with self._procs_lock:
+            return sorted(
+                p.pid for p in self._procs
+                if p.pid is not None and p.is_alive()
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -226,12 +275,16 @@ class WorkerBridge:
         ctx = multiprocessing.get_context()
         frames: multiprocessing.Queue = ctx.Queue()
         cancel_event = ctx.Event()
+        plan = self.checkpoint_plan
         payload = {
             "kind": submission.job.kind,
             "params": dict(submission.job.params),
             "seed": submission.job.seed,
             "tags": list(submission.job.tags),
             "stream": submission.stream,
+            "checkpoint": (
+                (plan.directory, plan.interval) if plan is not None else None
+            ),
         }
         proc = ctx.Process(
             target=_process_entry,
@@ -239,6 +292,8 @@ class WorkerBridge:
             daemon=True,
         )
         proc.start()
+        with self._procs_lock:
+            self._procs.add(proc)
 
         def on_cancel() -> None:
             cancel_event.set()
@@ -277,7 +332,8 @@ class WorkerBridge:
                                 lambda: future.set_exception(
                                     JobExecutionError(
                                         "worker process died "
-                                        f"(exitcode {proc.exitcode})"
+                                        f"(exitcode {proc.exitcode})",
+                                        worker_died=True,
                                     )
                                 )
                             )
@@ -301,6 +357,8 @@ class WorkerBridge:
                     loop.call_soon_threadsafe(emit, frame)
             finally:
                 proc.join(timeout=5.0)
+                with self._procs_lock:
+                    self._procs.discard(proc)
                 frames.close()
 
         thread = threading.Thread(

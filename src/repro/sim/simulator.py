@@ -164,6 +164,10 @@ class NocSimulator:
         self._controller = None
         self._recorder = None  # TraceRecorder, when tracing is enabled
         self._obs = None  # MetricsProbe, when metrics are enabled
+        # Memory attachments by core: (service_cycles, response_flits).
+        # Recorded so a checkpoint restore can rebuild the responder
+        # closures attach_memory() installs (closures don't pickle).
+        self._memory_attachments: Dict[str, Tuple[int, int]] = {}
 
         # Idle-skip bookkeeping (fast kernel only).  The quiescence check
         # is O(components); the exponential backoff keeps it off the hot
@@ -358,6 +362,9 @@ class NocSimulator:
         if target is None:
             raise KeyError(f"unknown core {core!r}")
         ni = self.initiators[core]
+        self._memory_attachments[core] = (
+            service_cycles, default_response_flits
+        )
 
         def responder(request: Packet, cycle: int) -> Optional[Packet]:
             from repro.arch.ocp import OcpTransaction, make_response_packet
@@ -384,6 +391,66 @@ class NocSimulator:
             return response
 
         target.set_responder(responder, service_cycles=service_cycles)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.resilience.checkpoint)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle the full simulation state minus observation hooks.
+
+        Observation (trace recorder, metrics probe, skip-audit hook) is
+        read-only by contract — attaching it never changes results — so
+        it stays out of the capsule; the host re-attaches after restore.
+        Everything that *determines* results (component state, in-flight
+        flits, RNG streams, fault/recovery state, stats) travels.
+        """
+        state = self.__dict__.copy()
+        state["_recorder"] = None
+        state["_obs"] = None
+        state["_skip_hook"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Component __getstate__ hooks dropped the cross-object wiring;
+        # rebuild it from the durable attachment records.
+        if self._controller is not None:
+            for ni in self.initiators.values():
+                ni.on_timeout = self._controller.note_timeout
+                ni.on_ack = self._controller.note_ack
+        for core, (service, flits) in list(self._memory_attachments.items()):
+            self.attach_memory(
+                core, service_cycles=service, default_response_flits=flits
+            )
+
+    def snapshot(self, traffic=None) -> bytes:
+        """Serialize this simulator (and optionally its traffic source)
+        into a versioned, checksummed state capsule.
+
+        The capsule captures everything the next cycle depends on —
+        component state, in-flight flits, RNG streams, fault schedule
+        position, recovery-controller state, statistics, and the global
+        packet-id watermark — so :meth:`restore` in a fresh process
+        continues byte-identically.  Observation attachments (tracing,
+        metrics) are excluded by design; re-attach them after restore.
+        """
+        from repro.resilience.checkpoint import snapshot_simulator
+
+        return snapshot_simulator(self, traffic)
+
+    @staticmethod
+    def restore(capsule: bytes) -> Tuple["NocSimulator", object]:
+        """Rebuild a simulator (and its traffic source) from a capsule.
+
+        Returns ``(simulator, traffic)``; ``traffic`` is ``None`` when
+        the snapshot was taken without one.  Raises
+        :class:`repro.resilience.CheckpointCorruptError` on checksum or
+        format damage and :class:`repro.resilience.CheckpointVersionError`
+        on a capsule from an incompatible library version.
+        """
+        from repro.resilience.checkpoint import restore_simulator
+
+        return restore_simulator(capsule)
 
     def step(self) -> None:
         """Advance one clock cycle."""

@@ -1,0 +1,70 @@
+"""Job-runner checkpointing: the fault_campaign runner end to end.
+
+Checks the three result-identity guarantees at the run_job level:
+checkpointing off == on == interrupted-then-resumed, and the plan
+(a ContextVar side channel) never touches the cache key.
+"""
+
+from repro.lab import Job, run_job
+from repro.lab.hashing import canonical_json
+from repro.resilience.checkpoint import (
+    CheckpointPlan,
+    use_cancel_event,
+    use_checkpoint_plan,
+)
+
+JOB = Job(
+    kind="fault_campaign",
+    params={"topology": "mesh", "size": 4, "rate": 0.08,
+            "cycles": 2400, "switch_faults": 1},
+    seed=11,
+    tags=("test",),
+)
+
+
+class _TripAfter:
+    """An Event whose is_set() turns true after N polls — a
+    deterministic stand-in for "the deadline expired mid-run"."""
+
+    def __init__(self, polls: int):
+        self.remaining = polls
+
+    def is_set(self) -> bool:
+        self.remaining -= 1
+        return self.remaining < 0
+
+
+def test_plan_does_not_change_results_or_keys(tmp_path):
+    reference = canonical_json(run_job(JOB))
+    plan = CheckpointPlan(directory=str(tmp_path), interval=500)
+    with use_checkpoint_plan(plan):
+        checkpointed = canonical_json(run_job(JOB))
+    assert checkpointed == reference
+    # finished jobs clean up their capsule
+    assert plan.store().load(JOB.key) is None
+    # the plan is invisible to content addressing
+    assert JOB.key == Job(kind=JOB.kind, params=JOB.params, seed=JOB.seed,
+                          tags=JOB.tags).key
+
+
+def test_interrupted_job_resumes_byte_identical(tmp_path):
+    import pytest
+
+    from repro.lab.jobs import JobCancelled
+
+    reference = canonical_json(run_job(JOB))
+    plan = CheckpointPlan(directory=str(tmp_path), interval=400)
+
+    # First attempt dies (cooperatively) after three checkpointed chunks
+    # (the trip fires on the fourth boundary check).
+    with use_checkpoint_plan(plan), use_cancel_event(_TripAfter(3)):
+        with pytest.raises(JobCancelled):
+            run_job(JOB)
+    capsule = plan.store().try_restore(JOB.key)
+    assert capsule is not None and capsule[0].cycle == 1200
+
+    # The retry resumes from the capsule and must match exactly.
+    with use_checkpoint_plan(plan):
+        resumed = canonical_json(run_job(JOB))
+    assert resumed == reference
+    assert plan.store().load(JOB.key) is None

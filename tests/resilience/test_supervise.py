@@ -1,0 +1,191 @@
+"""SupervisedExecutor: workers die, the batch survives.
+
+Worker functions live at module level so they pickle under any
+multiprocessing start method; attempt counting crosses process
+boundaries through marker files in a temp directory.
+"""
+
+import os
+import random
+import signal
+
+import pytest
+
+from repro.lab import Job, ResultCache, ResultStore, run_jobs
+from repro.resilience.supervise import (
+    RetryPolicy,
+    SupervisedExecutor,
+    is_quarantined,
+    quarantine_payload,
+)
+
+
+# ----------------------------------------------------------------------
+# Module-level worker functions (picklable)
+# ----------------------------------------------------------------------
+def _double(x):
+    return x * 2
+
+
+def _die_once(spec):
+    """SIGKILL ourselves the first time each marker is seen."""
+    marker, value = spec
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+def _always_die(value):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _always_raise(value):
+    raise ValueError(f"deterministic bug on {value}")
+
+
+def _sleep_forever(value):
+    import time
+
+    time.sleep(300)
+    return value
+
+
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=2.0, max_delay_s=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_shape_and_determinism(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=1.0, jitter=0.5)
+        a = [policy.delay_s(n, random.Random(42)) for n in (1, 2, 3, 6)]
+        b = [policy.delay_s(n, random.Random(42)) for n in (1, 2, 3, 6)]
+        assert a == b  # seeded jitter, not wall clock
+        # exponential up to the cap, jitter in [1, 1.5)x
+        assert 0.1 <= a[0] < 0.15
+        assert 0.2 <= a[1] < 0.30
+        assert 1.0 <= a[3] < 1.50  # capped at max_delay_s
+
+    def test_quarantine_record_shape(self):
+        attempts = [
+            {"attempt": 1, "outcome": "died", "detail": "exitcode -9"},
+            {"attempt": 2, "outcome": "deadline", "detail": "killed"},
+        ]
+        record = quarantine_payload(
+            Job(kind="load_point", params={"rate": 0.1}, seed=3), attempts
+        )
+        assert is_quarantined(record)
+        assert record["reason"] == "deadline"
+        assert len(record["attempts"]) == 2
+        assert record["key"]
+        assert not is_quarantined({"survived": True})
+        assert not is_quarantined(None)
+
+
+class TestSupervisedExecutor:
+    def test_plain_success_keeps_order(self):
+        ex = SupervisedExecutor(workers=2)
+        assert ex.map(_double, [3, 1, 5]) == [6, 2, 10]
+        assert ex.quarantine == []
+
+    def test_worker_death_is_retried(self, tmp_path):
+        ex = SupervisedExecutor(
+            workers=2,
+            policy=RetryPolicy(max_attempts=3, base_delay_s=0.01),
+        )
+        specs = [(str(tmp_path / f"m{i}"), i) for i in range(3)]
+        assert ex.map(_die_once, specs) == [0, 1, 2]
+        assert ex.worker_deaths.value == 3
+        assert ex.retries.value == 3
+        assert ex.quarantine == []
+
+    def test_persistent_death_quarantines(self):
+        ex = SupervisedExecutor(
+            workers=2,
+            policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+        )
+        results = ex.map(_always_die, ["victim"])
+        assert is_quarantined(results[0])
+        assert results[0]["reason"] == "died"
+        assert len(results[0]["attempts"]) == 2
+        assert ex.quarantined_count.value == 1
+        assert ex.quarantine == [results[0]]
+
+    def test_deterministic_error_quarantines_with_diagnosis(self):
+        ex = SupervisedExecutor(
+            workers=1,
+            policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+        )
+        results = ex.map(_always_raise, ["x"])
+        assert is_quarantined(results[0])
+        assert results[0]["reason"] == "error"
+        assert "deterministic bug on x" in results[0]["attempts"][-1]["detail"]
+
+    def test_deadline_escalation_kills_hung_worker(self):
+        ex = SupervisedExecutor(
+            workers=1,
+            policy=RetryPolicy(max_attempts=1),
+            deadline_s=0.5,
+        )
+        results = ex.map(_sleep_forever, ["hung"])
+        assert is_quarantined(results[0])
+        assert results[0]["reason"] == "deadline"
+        assert ex.deadline_kills.value == 1
+
+    def test_mixed_batch_isolates_the_poison(self, tmp_path):
+        ex = SupervisedExecutor(
+            workers=2,
+            policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+        )
+        marker = str(tmp_path / "once")
+        results = ex.map(_dispatch, [
+            ("ok", 7),
+            ("die", None),
+            ("once", (marker, 42)),
+        ])
+        assert results[0] == 14
+        assert is_quarantined(results[1])
+        assert results[2] == 42
+
+
+def _dispatch(spec):
+    kind, payload = spec
+    if kind == "ok":
+        return payload * 2
+    if kind == "die":
+        return _always_die(payload)
+    return _die_once(payload)
+
+
+class TestRunJobsIntegration:
+    def test_quarantined_jobs_not_cached_or_stored(self, tmp_path):
+        jobs = [
+            Job(kind="load_point",
+                params={"topology": "mesh", "size": 4, "rate": 0.05,
+                        "cycles": 400, "warmup": 50}, seed=1),
+            # Poison: unknown topology raises inside the runner.
+            Job(kind="load_point",
+                params={"topology": "nonexistent", "size": 4, "rate": 0.05,
+                        "cycles": 400}, seed=2),
+        ]
+        cache = ResultCache(tmp_path / "cache")
+        store = ResultStore(tmp_path / "store.jsonl")
+        ex = SupervisedExecutor(
+            workers=2, policy=RetryPolicy(max_attempts=2, base_delay_s=0.01)
+        )
+        batch = run_jobs(jobs, executor=ex, cache=cache, store=store)
+        assert batch.results[0]["point"] is not None
+        assert is_quarantined(batch.results[1])
+        assert len(batch.quarantined) == 1
+        # the good job is cached, the quarantine record is not
+        assert cache.get(jobs[0].key) is not None
+        assert cache.get(jobs[1].key) is None
+        assert len(store) == 1
+        # a rerun recomputes (and re-fails) the quarantined job only
+        batch2 = run_jobs(jobs, executor=ex, cache=cache, store=store)
+        assert batch2.cached == 1 and batch2.computed == 1

@@ -253,7 +253,7 @@ class TestHttpSurface:
             ("POST", "/jobs", {"kind": "no_such_kind", "params": {}}, 400),
         ]
         for method, path, body, expected in cases:
-            status, doc = client._request(method, path, body)
+            status, doc, _headers = client._request(method, path, body)
             assert status == expected, (method, path)
             assert doc["status"] == expected and doc["error"]
 

@@ -1,0 +1,186 @@
+"""Server supervision: worker kills, deadlines, quarantine, no orphans.
+
+These tests run the server with **process** workers and SIGKILL them at
+adversarial moments — mid-job and mid-cancel — asserting that every
+record reaches a clean terminal state, quota slots and worker slots are
+released, and the retry/quarantine counters tell the truth.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.lab import ResultCache
+from repro.resilience.supervise import RetryPolicy
+
+# A job long enough that the test can reliably observe (and murder) the
+# worker mid-run, short enough to finish in a couple of seconds.
+LONG_JOB = {"topology": "mesh", "size": 4, "pattern": "uniform",
+            "rate": 0.05, "cycles": 120_000, "warmup": 250,
+            "packet_size": 4}
+
+
+def _wait_for_pids(bridge, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        pids = bridge.active_pids()
+        if pids:
+            return pids
+        time.sleep(0.02)
+    raise AssertionError("no worker process became active in time")
+
+
+def _kill(pid):
+    try:
+        os.kill(pid, signal.SIGKILL)
+        return True
+    except ProcessLookupError:
+        return False
+
+
+def _active_jobs(stats):
+    return sum(s["active"] for s in stats["per_session"])
+
+
+@pytest.fixture
+def process_server(server_factory, tmp_path):
+    def factory(**kwargs):
+        kwargs.setdefault("worker_mode", "process")
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("cache", ResultCache(tmp_path / "cache"))
+        kwargs.setdefault(
+            "retry_policy", RetryPolicy(max_attempts=3, base_delay_s=0.05)
+        )
+        return server_factory(**kwargs)
+
+    return factory
+
+
+class TestWorkerKillRaces:
+    def test_sigkill_mid_job_retries_to_done(self, process_server):
+        srv = process_server()
+        client = srv.client()
+        doc = client.submit("load_point", LONG_JOB, seed=21)
+        _kill(_wait_for_pids(srv.server.bridge)[0])
+        final = client.wait(doc["id"], timeout=120.0)
+        assert final["state"] == "done"
+        assert final["retries"] >= 1
+        assert final["result"]["point"] is not None
+        stats = client.stats()
+        assert stats["supervision"]["retries"] >= 1
+        assert stats["supervision"]["quarantined"] == 0
+        # nothing orphaned: worker slots free, session slots free
+        assert srv.server.bridge.busy == 0
+        assert _active_jobs(stats) == 0
+
+    def test_sigkill_mid_cancel_stays_cancelled(self, process_server):
+        srv = process_server()
+        client = srv.client()
+        doc = client.submit("load_point", LONG_JOB, seed=22)
+        pids = _wait_for_pids(srv.server.bridge)
+        client.cancel(doc["id"])
+        _kill(pids[0])           # die while the DELETE is in flight
+        final = client.wait(doc["id"], timeout=60.0)
+        assert final["state"] == "cancelled"
+        stats = client.stats()
+        # a cancelled job must not burn the retry budget
+        assert stats["supervision"]["retries"] == 0
+        assert srv.server.bridge.busy == 0
+        assert _active_jobs(stats) == 0
+
+    def test_kill_every_attempt_quarantines(self, process_server):
+        srv = process_server(
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.05),
+            workers=1,
+        )
+        client = srv.client()
+        doc = client.submit("load_point", LONG_JOB, seed=23)
+        seen = set()
+        deadline = time.monotonic() + 60.0
+        while len(seen) < 2 and time.monotonic() < deadline:
+            for pid in srv.server.bridge.active_pids():
+                if pid not in seen and _kill(pid):
+                    seen.add(pid)
+                    time.sleep(0.1)
+            time.sleep(0.02)
+        final = client.wait(doc["id"], timeout=60.0)
+        assert final["state"] == "failed"
+        assert final["quarantined"] is True
+        assert "quarantined" in final["error"]
+        stats = client.stats()
+        assert stats["supervision"]["quarantined"] == 1
+        # the slot is released: the next job on the same worker succeeds
+        ok = client.run("load_point", {**LONG_JOB, "cycles": 2000},
+                        seed=24, timeout=60.0)
+        assert ok["state"] == "done"
+
+
+class TestDeadlines:
+    def test_deadline_expiry_quarantines_and_frees_slot(
+        self, process_server
+    ):
+        srv = process_server(
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.05),
+            job_deadline_s=1.0,
+            workers=1,
+        )
+        client = srv.client()
+        big = {**LONG_JOB, "size": 8, "rate": 0.25, "cycles": 900_000}
+        doc = client.submit("load_point", big, seed=25)
+        final = client.wait(doc["id"], timeout=120.0)
+        assert final["state"] == "failed"
+        assert final["quarantined"] is True
+        assert "deadline" in final["error"]
+        stats = client.stats()
+        assert stats["supervision"]["deadline_expired"] == 2
+        ok = client.run("load_point", {**LONG_JOB, "cycles": 2000},
+                        seed=26, timeout=60.0)
+        assert ok["state"] == "done"
+
+    def test_fast_job_beats_the_deadline(self, process_server):
+        srv = process_server(job_deadline_s=30.0)
+        client = srv.client()
+        final = client.run("load_point", {**LONG_JOB, "cycles": 2000},
+                           seed=27, timeout=60.0)
+        assert final["state"] == "done"
+        assert client.stats()["supervision"]["deadline_expired"] == 0
+
+
+class TestClientRetries:
+    def test_client_survives_transient_refusal(self, process_server):
+        # Point the client at a dead port first: every attempt fails,
+        # the policy bounds them, and the error still surfaces.
+        from repro.serve import ServeClient
+
+        dead = ServeClient(
+            "127.0.0.1", 1,  # nothing listens on port 1
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+        )
+        with pytest.raises(OSError):
+            dead.health()
+
+    def test_client_retries_429_with_retry_after(self, process_server):
+        from repro.serve import SessionQuota
+
+        srv = process_server(
+            worker_mode="thread",
+            quota=SessionQuota(max_concurrent=2, max_queue_depth=2),
+        )
+        job = {**LONG_JOB, "cycles": 30_000}
+        gated = srv.client(session="shared")  # no retries: fills the quota
+        a = gated.submit("load_point", job, seed=28)
+        b = gated.submit("load_point", {**job, "rate": 0.06}, seed=28)
+        retrier = srv.client(
+            session="shared",
+            retry_policy=RetryPolicy(max_attempts=30, base_delay_s=0.05,
+                                     max_delay_s=0.2),
+        )
+        # The retrying client waits out the 429s (honouring the server's
+        # Retry-After pacing) instead of surfacing them.
+        doc = retrier.submit("load_point", {**job, "rate": 0.07}, seed=28)
+        assert doc["state"] in ("queued", "running", "done")
+        for job_id in (a["id"], b["id"], doc["id"]):
+            final = retrier.wait(job_id, timeout=120.0)
+            assert final["state"] == "done"
