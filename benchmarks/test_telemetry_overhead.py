@@ -1,0 +1,99 @@
+"""TELEMETRY — tracing must be free when off and cheap when on.
+
+The telemetry layer's contract (the PR-3 observation contract, now
+extended to tracing): a job run with no tracer on the context pays one
+``ContextVar`` read and produces **byte-identical** results to a run
+that never imported the layer; a job run *inside* an active trace pays
+only span bookkeeping at job/checkpoint granularity — never per cycle —
+so end-to-end overhead stays within 5%.
+
+Both halves are pinned here and the numbers land in
+``BENCH_telemetry.json`` at the repository root, which CI publishes as
+a build artifact.  Like the other contract benchmarks this avoids
+pytest-benchmark so smoke jobs can run it with a plain ``pytest``
+install.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.lab import Job, run_job
+from repro.obs.telemetry import TelemetryHub, Tracer, use_tracer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_telemetry.json"
+
+#: The contract from the issue: tracing adds at most 5% end to end.
+MAX_OVERHEAD = 0.05
+
+JOB = Job(
+    kind="load_point",
+    params={
+        "topology": "mesh",
+        "size": 8,
+        "pattern": "uniform",
+        "rate": 0.05,
+        "cycles": 8_000,
+        "warmup": 250,
+        "packet_size": 4,
+    },
+    seed=7,
+)
+
+RUNS = 3
+
+
+def _run_plain() -> dict:
+    return run_job(JOB)
+
+
+def _run_traced(hub: TelemetryHub) -> dict:
+    with use_tracer(hub.tracer):
+        with hub.tracer.span("bench.job", attrs={"kind": JOB.kind}):
+            return run_job(JOB)
+
+
+def _best_seconds(fn) -> float:
+    best = float("inf")
+    for __ in range(RUNS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_telemetry_off_is_byte_identical_and_overhead_bounded():
+    hub = TelemetryHub()
+
+    # Byte-identity: the exact JSON a cache or store would persist.
+    plain = json.dumps(_run_plain(), sort_keys=True)
+    traced = json.dumps(_run_traced(hub), sort_keys=True)
+    assert plain == traced, (
+        "running inside an active trace changed the job's result — "
+        "telemetry leaked into the computation"
+    )
+    # ... and the tracer actually saw the run (the comparison above
+    # would be vacuous if the spans never materialized).
+    assert any(s["name"] == "run_job" for s in hub.spans())
+
+    off_s = _best_seconds(_run_plain)
+    on_s = _best_seconds(lambda: _run_traced(hub))
+    overhead = max(0.0, on_s / off_s - 1.0)
+
+    doc = {
+        "workload": dict(JOB.params, kind=JOB.kind, seed=JOB.seed),
+        "runs": RUNS,
+        "telemetry_off_s": round(off_s, 4),
+        "telemetry_on_s": round(on_s, 4),
+        "overhead": round(overhead, 4),
+        "max_overhead": MAX_OVERHEAD,
+        "byte_identical": True,
+    }
+    RESULT_FILE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"tracing overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(off {off_s:.3f}s vs on {on_s:.3f}s): span bookkeeping has "
+        f"crept into a hot path"
+    )

@@ -13,7 +13,10 @@ The subcommands mirror the designer-facing entry points:
                      files plus a bottleneck-attribution report;
 * ``serve``        — the long-lived simulation service (cache-first job
                      submission, live NDJSON streaming, quotas);
-* ``submit``       — client for a running ``serve`` endpoint.
+* ``submit``       — client for a running ``serve`` endpoint;
+* ``trace``        — render a span JSONL file (or a live server's
+                     trace) as an ASCII tree with the critical path;
+* ``top``          — live terminal dashboard over ``GET /metrics``.
 
 Examples::
 
@@ -23,9 +26,11 @@ Examples::
     python -m repro chips
     python -m repro observe --topology mesh --size 8 --rate 0.3 \
         --out-dir obs-out
-    python -m repro serve --port 8351 --workers 4
+    python -m repro serve --port 8351 --workers 4 --log-json
     python -m repro submit load_point --port 8351 --topology mesh \
         --size 4 --rate 0.1 --wait
+    python -m repro trace spans.jsonl
+    python -m repro top --port 8351
 """
 
 from __future__ import annotations
@@ -415,6 +420,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.resilience import CheckpointPlan, RetryPolicy
     from repro.serve import SessionQuota, SimulationServer
 
+    if args.log_json:
+        import logging
+
+        from repro.obs.logs import configure_logging
+
+        configure_logging(
+            level=getattr(logging, args.log_level.upper(), logging.INFO)
+        )
+
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
     store = ResultStore(args.store) if args.store else None
     plan = (
@@ -469,7 +483,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"cache={'off' if args.no_cache else args.cache_dir})",
               flush=True)
         print("POST /jobs, GET /jobs/{id}[/stream], DELETE /jobs/{id}, "
-              "GET /healthz, GET /stats", flush=True)
+              "GET /healthz, GET /stats, GET /metrics, "
+              "GET /traces/{trace-id}", flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -527,6 +542,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             kind, params, seed=seed, tags=("submit",),
             metrics_interval=args.metrics_interval,
             trace=args.trace,
+            trace_id=args.trace_id,
         )
     except ServeError as exc:
         print(f"submit rejected: {exc}", file=sys.stderr)
@@ -549,6 +565,135 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 0 if final["state"] == "done" else 1
     print(json.dumps(doc, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.telemetry import (
+        load_spans,
+        render_span_trees,
+        spans_to_chrome,
+    )
+
+    if args.path:
+        spans = load_spans(args.path)
+    elif args.trace_id:
+        from repro.serve import ServeClient, ServeError
+
+        client = ServeClient(args.host, args.port, timeout=args.timeout)
+        try:
+            spans = client.trace_spans(args.trace_id)
+        except ServeError as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 1
+    else:
+        print("trace: give a span JSONL file or --trace-id with a server",
+              file=sys.stderr)
+        return 2
+
+    if not spans:
+        print("trace: no spans found", file=sys.stderr)
+        return 1
+    if args.chrome_out:
+        with open(args.chrome_out, "w") as fh:
+            json.dump(spans_to_chrome(spans), fh)
+        print(f"wrote Chrome/Perfetto trace to {args.chrome_out}",
+              file=sys.stderr)
+    print(render_span_trees(spans, trace_id=args.trace_id or None,
+                            critical=not args.no_critical))
+    return 0
+
+
+def _metrics_value(samples, name, labels=None):
+    """First sample value matching ``name`` (and labels subset), or None."""
+    want = labels or {}
+    for sample_name, sample_labels, value in samples:
+        if sample_name != name:
+            continue
+        if all(sample_labels.get(k) == v for k, v in want.items()):
+            return value
+    return None
+
+
+def _render_dashboard(samples) -> str:
+    def num(name, labels=None, default=0.0):
+        value = _metrics_value(samples, name, labels)
+        return default if value is None else value
+
+    def count(name):
+        return int(num(name))
+
+    hits = count("repro_cache_hits")
+    misses = count("repro_cache_misses")
+    lookups = hits + misses
+    hit_rate = (100.0 * hits / lookups) if lookups else 0.0
+
+    lines = [
+        f"uptime {num('repro_server_uptime_seconds'):8.1f}s   "
+        f"accepting {count('repro_server_accepting')}   "
+        f"sessions {count('repro_sessions_active')}",
+        f"queue depth {count('repro_queue_depth'):4d}   "
+        f"workers {count('repro_workers_busy')}/{count('repro_workers_total')}"
+        f" busy   dispatched {count('repro_workers_dispatched')}",
+        f"jobs: {count('repro_jobs_submitted')} submitted  "
+        f"{count('repro_jobs_done')} done  "
+        f"{count('repro_jobs_failed')} failed  "
+        f"{count('repro_jobs_cancelled')} cancelled  "
+        f"({count('repro_jobs_tracked')} tracked)",
+        f"cache: {hits} hits  {misses} misses  ({hit_rate:.0f}% hit rate)  "
+        f"served {count('repro_cache_served_from_cache')}",
+        f"supervision: {count('repro_supervisor_retries')} retries  "
+        f"{count('repro_supervisor_quarantined')} quarantined  "
+        f"{count('repro_supervisor_deadline_expired')} deadline expiries",
+    ]
+    for label, metric in (
+        ("queue wait", "repro_job_queue_wait_seconds"),
+        ("attempt   ", "repro_job_attempt_seconds"),
+        ("end-to-end", "repro_job_e2e_seconds"),
+    ):
+        n = count(metric + "_count")
+        if not n:
+            continue
+        p50 = num(metric, {"quantile": "0.5"})
+        p95 = num(metric, {"quantile": "0.95"})
+        p99 = num(metric, {"quantile": "0.99"})
+        lines.append(
+            f"latency {label}: p50 {p50 * 1000.0:8.1f}ms  "
+            f"p95 {p95 * 1000.0:8.1f}ms  p99 {p99 * 1000.0:8.1f}ms  "
+            f"(n={n})"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.telemetry import parse_prometheus_text
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    iterations = 1 if args.once else args.iterations
+    shown = 0
+    while True:
+        try:
+            parsed = parse_prometheus_text(client.metrics())
+        except (ServeError, OSError, ValueError) as exc:
+            print(f"top: {exc}", file=sys.stderr)
+            return 1
+        if shown and not args.plain:
+            # Rewind to home + clear, like a tiny top(1).
+            print("\x1b[H\x1b[2J", end="")
+        print(f"repro top — http://{args.host}:{args.port}/metrics")
+        print(_render_dashboard(parsed["samples"]))
+        sys.stdout.flush()
+        shown += 1
+        if iterations and shown >= iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -787,6 +932,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "resume mid-run instead of recomputing")
     p.add_argument("--checkpoint-interval", type=int, default=10_000,
                    help="cycles between checkpoints (with --checkpoint-dir)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit correlated JSON logs (one object per line, "
+                        "stamped with trace/job ids) on stderr")
+    p.add_argument("--log-level", default="info",
+                   choices=("debug", "info", "warning", "error"),
+                   help="log threshold for --log-json")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -820,12 +971,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream live metric windows at this cycle interval")
     p.add_argument("--trace", action="store_true",
                    help="stream per-flit trace frames too")
+    p.add_argument("--trace-id", default=None,
+                   help="distributed-tracing id to stamp on the job "
+                        "(X-Trace-Id; the server mints one if omitted)")
     p.add_argument("--wait", action="store_true",
                    help="block until the job is done and print its result")
     p.add_argument("--stream", action="store_true",
                    help="print the job's NDJSON frames as they arrive")
     p.add_argument("--timeout", type=float, default=300.0)
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "trace",
+        help="render a span JSONL file (or a live trace) as an ASCII "
+             "tree with critical-path markers",
+    )
+    p.add_argument("path", nargs="?", default=None,
+                   help="span JSONL file (from TelemetryHub.export_spans "
+                        "or a captured /traces response)")
+    p.add_argument("--trace-id", default=None,
+                   help="render only this trace; with no file, fetch it "
+                        "from a running server's GET /traces/{id}")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8351)
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--chrome-out", default=None,
+                   help="also write a Chrome/Perfetto trace JSON here")
+    p.add_argument("--no-critical", action="store_true",
+                   help="skip critical-path markers")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a server's GET /metrics",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8351)
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="stop after this many refreshes (0 = forever)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (for scripts/CI)")
+    p.add_argument("--plain", action="store_true",
+                   help="no screen clearing between refreshes")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
         "chaos",

@@ -159,17 +159,22 @@ def run_job(job: Job, observer: Optional[JobObserver] = None) -> dict:
     simulators pick it up via :func:`current_observer`.  The result is
     identical with or without one.
     """
+    from repro.obs.telemetry import span
+
     try:
         fn, _ = _RUNNERS[job.kind]
     except KeyError:
         raise ValueError(f"unknown job kind {job.kind!r}") from None
-    if observer is None:
-        return to_jsonable(fn(job))
-    token = _OBSERVER.set(observer)
-    try:
-        return to_jsonable(fn(job))
-    finally:
-        _OBSERVER.reset(token)
+    # Telemetry only: with no tracer on the context (the default) this
+    # span is a free no-op and nothing about the run changes.
+    with span("run_job", kind=job.kind, key=job.key[:16]):
+        if observer is None:
+            return to_jsonable(fn(job))
+        token = _OBSERVER.set(observer)
+        try:
+            return to_jsonable(fn(job))
+        finally:
+            _OBSERVER.reset(token)
 
 
 # ----------------------------------------------------------------------
@@ -361,6 +366,11 @@ def _run_fault_campaign(job: Job) -> dict:
     if resumed is not None:
         sim, traffic = resumed
         controller = sim._controller
+        # Telemetry only (no-op without an active span): the restore
+        # point shows up in the job's trace next to the retry events.
+        from repro.obs.telemetry import add_event
+
+        add_event("checkpoint.restore", cycle=sim.cycle)
     else:
         inst = standard_instance(p["topology"], p["size"])
         params = _effective_sim_parameters(p, inst.min_vcs)

@@ -15,6 +15,11 @@ Typical use::
     print(bottleneck_report(sim, probe).to_text())
 """
 
+from repro.obs.logs import (
+    JsonLogFormatter,
+    bind_log_context,
+    configure_logging,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -22,6 +27,25 @@ from repro.obs.metrics import (
     WindowedHistogram,
 )
 from repro.obs.probe import MetricsProbe
+from repro.obs.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    TRACE_HEADER,
+    Span,
+    TelemetryHub,
+    Tracer,
+    add_event,
+    critical_path,
+    current_span,
+    current_tracer,
+    load_spans,
+    new_trace_id,
+    parse_prometheus_text,
+    render_span_trees,
+    span,
+    spans_to_chrome,
+    use_tracer,
+    valid_trace_id,
+)
 from repro.obs.report import (
     BottleneckReport,
     HotLink,
@@ -43,14 +67,34 @@ __all__ = [
     "Counter",
     "Gauge",
     "HotLink",
+    "JsonLogFormatter",
     "JsonlMetricsSink",
     "JsonlTraceSink",
     "MetricRegistry",
     "MetricsProbe",
+    "PROMETHEUS_CONTENT_TYPE",
     "QueueSink",
+    "Span",
+    "TelemetryHub",
     "TraceFanout",
+    "Tracer",
+    "TRACE_HEADER",
     "WindowedHistogram",
+    "add_event",
+    "bind_log_context",
     "bottleneck_report",
+    "configure_logging",
     "congestion_csv",
     "congestion_heatmap",
+    "critical_path",
+    "current_span",
+    "current_tracer",
+    "load_spans",
+    "new_trace_id",
+    "parse_prometheus_text",
+    "render_span_trees",
+    "span",
+    "spans_to_chrome",
+    "use_tracer",
+    "valid_trace_id",
 ]

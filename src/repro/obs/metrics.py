@@ -89,6 +89,43 @@ class WindowedHistogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        Standard Prometheus-style estimation: find the bucket holding
+        the ``q * count``-th observation and interpolate linearly
+        between its edges.  The first finite bucket interpolates from
+        ``min(0, upper)`` (observations are non-negative in every
+        latency/utilization use here; a genuinely negative bound keeps
+        its own edge).  The overflow bucket has no upper edge, so any
+        quantile landing there reports the tracked ``maximum`` — and
+        every estimate is clamped to ``maximum``, which keeps
+        single-observation and sparse windows honest.
+
+        Raises :class:`ValueError` outside ``0 <= q <= 1``; returns
+        ``0.0`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            below = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i == len(self.bounds):  # overflow: no upper edge
+                    return self.maximum
+                upper = self.bounds[i]
+                lower = self.bounds[i - 1] if i > 0 else min(0.0, upper)
+                fraction = (rank - below) / bucket_count
+                fraction = min(1.0, max(0.0, fraction))
+                return min(lower + (upper - lower) * fraction, self.maximum)
+        return self.maximum
+
     def snapshot(self, reset: bool = True) -> dict:
         """The window's distribution as plain data (then reset it)."""
         snap = {
@@ -97,6 +134,9 @@ class WindowedHistogram:
             "count": self.count,
             "mean": self.mean,
             "max": self.maximum,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
         if reset:
             self.counts = [0] * (len(self.bounds) + 1)

@@ -335,11 +335,16 @@ def run_with_checkpoints(
 
             raise JobCancelled()
 
+    from repro.obs.telemetry import add_event
+
     while sim.cycle < cycles:
         _check_cancel()
         chunk = min(interval, cycles - sim.cycle)
         sim.run(chunk, traffic)
         store.save(tag, snapshot_simulator(sim, traffic))
+        # Telemetry only (no-op without an active span): the worker's
+        # span records where a later resume could pick up.
+        add_event("checkpoint.save", cycle=sim.cycle)
     if drain:
         _check_cancel()
         sim.run(0, traffic, drain=True, max_drain_cycles=max_drain_cycles)

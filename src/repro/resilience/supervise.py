@@ -30,6 +30,7 @@ a seeded :class:`random.Random`, never the wall clock.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue as queue_mod
 import random
@@ -37,11 +38,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, List, Mapping, Optional, Sequence
 
+from repro.obs.telemetry import Span, Tracer, new_trace_id
 from repro.resilience.checkpoint import (
     CheckpointPlan,
     use_cancel_event,
     use_checkpoint_plan,
 )
+
+log = logging.getLogger("repro.resilience")
 
 #: Marker key of a quarantine record standing in for a result payload.
 QUARANTINE_KEY = "__quarantined__"
@@ -156,6 +160,8 @@ class _Run:
     backoff_until: float = 0.0
     result: Any = None
     done: bool = False
+    trace_id: str = ""                 # one trace across every attempt
+    span: Optional[Span] = None        # the live attempt's span
 
 
 class SupervisedExecutor:
@@ -189,6 +195,7 @@ class SupervisedExecutor:
         seed: int = 0,
         registry=None,
         poll_s: float = 0.02,
+        tracer: Optional[Tracer] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker slot")
@@ -199,6 +206,10 @@ class SupervisedExecutor:
         self.deadline_s = deadline_s
         self.plan = plan
         self.poll_s = poll_s
+        #: Optional distributed tracing: with a tracer (e.g. a
+        #: TelemetryHub's) each item gets one trace and each attempt one
+        #: span, so a batch's retries render the same way as served jobs.
+        self.tracer = tracer
         self._rng = random.Random(seed)
         if registry is None:
             from repro.obs.metrics import MetricRegistry
@@ -251,6 +262,20 @@ class SupervisedExecutor:
         run.cancel_event = ctx.Event()
         run.cancel_sent_at = None
         run.terminated_at = None
+        if self.tracer is not None:
+            if not run.trace_id:
+                run.trace_id = new_trace_id()
+            describe = getattr(run.item, "describe", None)
+            run.span = self.tracer.start_span(
+                "supervised.attempt",
+                trace_id=run.trace_id,
+                attrs={
+                    "item": (
+                        describe() if callable(describe) else run.index
+                    ),
+                    "attempt": run.attempt,
+                },
+            )
         run.proc = ctx.Process(
             target=_child_main,
             args=(fn, run.item, run.queue, run.cancel_event, self.plan),
@@ -262,6 +287,11 @@ class SupervisedExecutor:
             if self.deadline_s is not None
             else None
         )
+
+    def _end_span(self, run: _Run, status: str) -> None:
+        if run.span is not None:
+            run.span.end(status=status)
+            run.span = None
 
     def _poll(self, run: _Run, now: float) -> bool:
         """Advance one run; True when it left the active set."""
@@ -275,6 +305,7 @@ class SupervisedExecutor:
             status, value = outcome
             self._reap(run)
             if status == "ok":
+                self._end_span(run, "ok")
                 run.result = value
                 run.done = True
                 return True
@@ -318,6 +349,7 @@ class SupervisedExecutor:
         if outcome is not None:
             status, value = outcome
             if status == "ok":
+                self._end_span(run, "ok")
                 run.result = value
                 run.done = True
                 return True
@@ -349,15 +381,37 @@ class SupervisedExecutor:
         run.attempts.append(
             {"attempt": run.attempt, "outcome": outcome, "detail": detail}
         )
+        self._end_span(run, f"failed:{outcome}")
         if run.attempt >= self.policy.max_attempts:
             record = quarantine_payload(run.item, run.attempts)
             run.result = record
             run.done = True
             self.quarantine.append(record)
             self.quarantined_count.inc()
+            log.warning(
+                "item %s quarantined after %d attempt(s)",
+                record["job"],
+                run.attempt,
+                extra={
+                    "trace_id": run.trace_id,
+                    "outcome": outcome,
+                    "detail": detail,
+                },
+            )
             return True
         self.retries.inc()
-        run.backoff_until = time.monotonic() + self.policy.delay_s(
-            run.attempt, self._rng
+        delay = self.policy.delay_s(run.attempt, self._rng)
+        run.backoff_until = time.monotonic() + delay
+        log.info(
+            "attempt %d failed (%s); retrying in %.3fs",
+            run.attempt,
+            outcome,
+            delay,
+            extra={
+                "trace_id": run.trace_id,
+                "outcome": outcome,
+                "detail": detail,
+                "backoff_s": round(delay, 4),
+            },
         )
         return True

@@ -25,6 +25,7 @@ import random
 import time
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from repro.obs.telemetry import TRACE_HEADER, current_span
 from repro.resilience.supervise import RetryPolicy
 from repro.serve.protocol import JobSubmission, StreamOptions, TERMINAL_STATES
 
@@ -74,19 +75,32 @@ class ServeClient:
             self.host, self.port, timeout=self.timeout
         )
 
-    def _headers(self) -> Dict[str, str]:
+    def _headers(self, trace_id: Optional[str] = None) -> Dict[str, str]:
         headers = {"Accept": "application/json"}
         if self.session:
             headers["X-Session"] = self.session
+        # Distributed-trace propagation: an explicit trace id wins;
+        # otherwise a live client-side span (repro.obs.telemetry) lends
+        # its trace id, so server-side spans join the caller's trace.
+        if trace_id is None:
+            span = current_span()
+            if span is not None:
+                trace_id = span.trace_id
+        if trace_id:
+            headers[TRACE_HEADER] = trace_id
         return headers
 
     def _request(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Any, Dict[str, str]]:
         conn = self._connect()
         try:
             payload = None
-            headers = self._headers()
+            headers = self._headers(trace_id)
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -104,7 +118,9 @@ class ServeClient:
         finally:
             conn.close()
 
-    def _checked(self, method: str, path: str, body=None) -> Any:
+    def _checked(
+        self, method: str, path: str, body=None, trace_id=None
+    ) -> Any:
         policy = self.retry_policy
         max_attempts = policy.max_attempts if policy is not None else 1
         attempt = 0
@@ -112,7 +128,9 @@ class ServeClient:
             attempt += 1
             delay: Optional[float] = None
             try:
-                status, doc, headers = self._request(method, path, body)
+                status, doc, headers = self._request(
+                    method, path, body, trace_id
+                )
             except (OSError, http.client.HTTPException):
                 # Transient transport failure (refused, reset, timed
                 # out, torn response) — retriable under the policy.
@@ -150,12 +168,15 @@ class ServeClient:
         tags=(),
         metrics_interval: Optional[int] = None,
         trace: bool = False,
+        trace_id: Optional[str] = None,
     ) -> dict:
         """Submit one job spec; returns the server's job document.
 
         A cache hit comes back already ``state == "done"`` with its
         ``result`` inline; otherwise the job is queued and the document
-        carries the ``id`` to poll or stream.
+        carries the ``id`` to poll or stream.  ``trace_id`` joins the
+        submission to an existing distributed trace (the returned
+        document echoes whichever trace id the server adopted).
         """
         body: Dict[str, Any] = {"kind": kind, "params": params, "seed": seed}
         if tags:
@@ -165,10 +186,44 @@ class ServeClient:
         ).to_dict()
         if stream:
             body["stream"] = stream
-        return self._checked("POST", "/jobs", body)
+        return self._checked("POST", "/jobs", body, trace_id=trace_id)
 
-    def submit_job(self, submission: JobSubmission) -> dict:
-        return self._checked("POST", "/jobs", submission.to_dict())
+    def submit_job(
+        self, submission: JobSubmission, trace_id: Optional[str] = None
+    ) -> dict:
+        return self._checked(
+            "POST", "/jobs", submission.to_dict(), trace_id=trace_id
+        )
+
+    def metrics(self) -> str:
+        """Raw Prometheus text from ``GET /metrics``."""
+        status, doc, _headers = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ServeError(status, doc)
+        return doc if isinstance(doc, str) else json.dumps(doc)
+
+    def trace_spans(self, trace_id: str) -> list:
+        """All finished spans the server holds for one trace."""
+        conn = self._connect()
+        try:
+            conn.request(
+                "GET", f"/traces/{trace_id}", headers=self._headers()
+            )
+            resp = conn.getresponse()
+            raw = resp.read()
+            if resp.status >= 400:
+                try:
+                    doc = json.loads(raw)
+                except ValueError:
+                    doc = raw.decode("utf-8", "replace")
+                raise ServeError(resp.status, doc)
+            return [
+                json.loads(line)
+                for line in raw.decode("utf-8").splitlines()
+                if line.strip()
+            ]
+        finally:
+            conn.close()
 
     def status(self, job_id: str) -> dict:
         return self._checked("GET", f"/jobs/{job_id}")

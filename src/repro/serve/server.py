@@ -22,12 +22,24 @@ Routes (``Connection: close``; one request per connection):
 ``DELETE /jobs/{id}``  cooperative cancel (drops queued jobs instantly)
 ``GET /healthz``       liveness
 ``GET /stats``         sessions, queue depth, cache hit rate, workers
+``GET /metrics``       Prometheus text exposition (counters, gauges,
+                       p50/p95/p99 latency summaries)
+``GET /traces/{id}``   one trace's finished spans as NDJSON
 =====================  ================================================
+
+Telemetry: every submission owns a trace — adopted from the client's
+``X-Trace-Id`` header or minted here — whose span tree records the
+queue wait, every supervised attempt (with retry/backoff events), and,
+via span frames relayed from the workers, the in-worker execution with
+its checkpoint saves and restore points.  Spans and latency histograms
+aggregate in a :class:`~repro.obs.telemetry.TelemetryHub`; everything
+stays observation-only (nothing enters cache keys or results).
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import random
 import time
 from dataclasses import dataclass, field
@@ -36,6 +48,14 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.lab.cache import NullCache, ResultCache
 from repro.lab.jobs import JobCancelled
 from repro.lab.store import ResultStore
+from repro.obs.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    Span,
+    TelemetryHub,
+    activate_span,
+    new_trace_id,
+    valid_trace_id,
+)
 from repro.serve.protocol import (
     MAX_BODY_BYTES,
     PROTOCOL_VERSION,
@@ -50,6 +70,8 @@ from repro.serve.protocol import (
 from repro.resilience.supervise import RetryPolicy
 from repro.serve.session import QuotaExceeded, SessionManager, SessionQuota
 from repro.serve.workers import CancelToken, JobExecutionError, WorkerBridge
+
+log = logging.getLogger("repro.serve")
 
 _REASONS = {
     200: "OK",
@@ -70,7 +92,15 @@ DEFAULT_STREAM_BUFFER = 4096
 
 @dataclass
 class JobRecord:
-    """One submitted job's lifetime inside the server."""
+    """One submitted job's lifetime inside the server.
+
+    Two clocks, deliberately: the wall-clock ``created``/``started``/
+    ``finished`` stamps are for display and cross-host correlation,
+    while every *duration* derives from the ``*_mono`` twins taken from
+    ``time.monotonic()`` — an NTP step between submission and
+    completion can no longer report a negative (or wildly inflated)
+    job duration.
+    """
 
     job_id: str
     submission: JobSubmission
@@ -83,6 +113,9 @@ class JobRecord:
     created: float = field(default_factory=time.time)
     started: Optional[float] = None
     finished: Optional[float] = None
+    created_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
     frames: List[dict] = field(default_factory=list)
     frames_base: int = 0          # absolute index of frames[0]
     frames_dropped: int = 0
@@ -90,10 +123,30 @@ class JobRecord:
     cancel: CancelToken = field(default_factory=CancelToken)
     attempts: List[str] = field(default_factory=list)  # per-retry diagnoses
     quarantined: bool = False     # failed with the retry budget exhausted
+    trace_id: str = ""
+    span: Optional[Span] = None        # the trace's root "job" span
+    queue_span: Optional[Span] = None  # child covering the queue wait
 
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    def timing(self) -> Dict[str, float]:
+        """Monotonic-derived durations (queue wait, run, end-to-end)."""
+        timing: Dict[str, float] = {}
+        if self.started_mono is not None:
+            timing["queue_wait_s"] = round(
+                self.started_mono - self.created_mono, 6
+            )
+        if self.finished_mono is not None:
+            timing["total_s"] = round(
+                self.finished_mono - self.created_mono, 6
+            )
+            if self.started_mono is not None:
+                timing["run_s"] = round(
+                    self.finished_mono - self.started_mono, 6
+                )
+        return timing
 
     def snapshot(self, with_result: bool = False) -> dict:
         doc: Dict[str, Any] = {
@@ -105,12 +158,19 @@ class JobRecord:
             "state": self.state,
             "cached": self.cached,
         }
+        if self.trace_id:
+            doc["trace_id"] = self.trace_id
         if self.error is not None:
             doc["error"] = self.error
         if self.attempts:
             doc["retries"] = len(self.attempts)
         if self.quarantined:
             doc["quarantined"] = True
+        if self.frames_dropped:
+            doc["frames_dropped"] = self.frames_dropped
+        timing = self.timing()
+        if timing:
+            doc["timing"] = timing
         if with_result and self.result is not None:
             doc["result"] = self.result
         return doc
@@ -139,6 +199,7 @@ class SimulationServer:
         job_deadline_s: Optional[float] = None,
         checkpoint_plan=None,
         retry_seed: int = 0,
+        telemetry: Optional[TelemetryHub] = None,
     ):
         if job_deadline_s is not None and job_deadline_s <= 0:
             raise ValueError("job_deadline_s must be positive")
@@ -167,6 +228,23 @@ class SimulationServer:
         self._tasks: set = set()
         self._server: Optional[asyncio.base_events.Server] = None
         self._started_at = time.time()
+        self._started_mono = time.monotonic()
+        #: Process telemetry: one hub aggregates spans + service metrics
+        #: and renders them at GET /metrics.  Pass a shared hub to fold
+        #: several components into one exposition.
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub()
+        hub = self.telemetry
+        self._h_queue_wait = hub.latency_histogram(
+            "repro.job.queue_wait_seconds"
+        )
+        self._h_attempt = hub.latency_histogram("repro.job.attempt_seconds")
+        self._h_e2e = hub.latency_histogram("repro.job.e2e_seconds")
+        self._c_submitted = hub.registry.counter("repro.jobs.submitted")
+        self._c_done = hub.registry.counter("repro.jobs.done")
+        self._c_failed = hub.registry.counter("repro.jobs.failed")
+        self._c_cancelled = hub.registry.counter("repro.jobs.cancelled")
+        hub.add_counter_source(self._telemetry_counters)
+        hub.add_gauge_source(self._telemetry_gauges)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -223,7 +301,7 @@ class SimulationServer:
         lookups = hits + misses
         return {
             "protocol": PROTOCOL_VERSION,
-            "uptime_s": round(time.time() - self._started_at, 3),
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
             "accepting": self.accepting,
             "jobs": {"total": len(self.jobs), **dict(sorted(
                 jobs_by_state.items()
@@ -257,6 +335,33 @@ class SimulationServer:
         }
 
     # ------------------------------------------------------------------
+    # Telemetry sources (polled by the hub at every /metrics scrape)
+    # ------------------------------------------------------------------
+    def _telemetry_counters(self) -> Dict[str, float]:
+        return {
+            "repro.cache.hits": getattr(self.cache, "hits", 0),
+            "repro.cache.misses": getattr(self.cache, "misses", 0),
+            "repro.cache.served_from_cache": self.served_from_cache,
+            "repro.supervisor.retries": self.retries,
+            "repro.supervisor.quarantined": self.quarantined,
+            "repro.supervisor.deadline_expired": self.deadline_expired,
+            "repro.workers.dispatched": self.bridge.dispatched,
+        }
+
+    def _telemetry_gauges(self) -> Dict[str, float]:
+        return {
+            "repro.queue.depth": self.queue_depth(),
+            "repro.workers.busy": self.bridge.busy,
+            "repro.workers.total": self.bridge.workers,
+            "repro.sessions.active": len(self.sessions),
+            "repro.jobs.tracked": len(self.jobs),
+            "repro.server.accepting": 1 if self.accepting else 0,
+            "repro.server.uptime_seconds": round(
+                time.monotonic() - self._started_mono, 3
+            ),
+        }
+
+    # ------------------------------------------------------------------
     # Job lifecycle
     # ------------------------------------------------------------------
     def _push_frame(self, record: JobRecord, frame: dict) -> None:
@@ -267,14 +372,60 @@ class SimulationServer:
             record.frames_dropped += 1
         record.update.set()
 
+    def _on_frame(self, record: JobRecord, frame: dict) -> None:
+        """Observation frame from a worker: ingest spans, stream the rest.
+
+        Workers export their in-job spans (``worker.run`` with its
+        checkpoint save/restore events) as ``{"type": "span", ...}``
+        frames over the same relay as metrics/trace rows; the hub keeps
+        them so ``/traces/{id}`` can stitch the full tree, and stream
+        consumers see them inline.
+        """
+        if frame.get("type") == "span" and isinstance(
+            frame.get("span"), dict
+        ):
+            self.telemetry.ingest_span(frame["span"])
+        self._push_frame(record, frame)
+
     def _set_state(self, record: JobRecord, state: str) -> None:
         record.state = state
         self._push_frame(record, state_frame(record.snapshot()))
 
     def _finish(self, record: JobRecord, state: str) -> None:
         record.finished = time.time()
+        record.finished_mono = time.monotonic()
+        if record.queue_span is not None and not record.queue_span.ended:
+            record.queue_span.end(status=state)
+        if record.span is not None and not record.span.ended:
+            record.span.set_attr("state", state)
+            record.span.end(
+                status="ok" if state == "done" else state
+            )
+        if state == "done":
+            self._c_done.inc()
+        elif state == "failed":
+            self._c_failed.inc()
+        else:
+            self._c_cancelled.inc()
+        if not record.cached:
+            self._h_e2e.observe(
+                record.finished_mono - record.created_mono
+            )
         self._set_state(record, state)
         self.sessions.release(record.session_id, record.job_id)
+        log.info(
+            "job %s %s",
+            record.job_id,
+            state,
+            extra={
+                "job_id": record.job_id,
+                "trace_id": record.trace_id,
+                "state": state,
+                "cached": record.cached,
+                "retries": len(record.attempts),
+                **record.timing(),
+            },
+        )
 
     def _cancel_record(self, record: JobRecord) -> bool:
         """Cooperative cancel; queued jobs drop (and free their slot) now."""
@@ -291,6 +442,12 @@ class SimulationServer:
             if record.terminal:      # cancelled while waiting for a slot
                 return
             record.started = time.time()
+            record.started_mono = time.monotonic()
+            if record.queue_span is not None:
+                record.queue_span.end()
+            self._h_queue_wait.observe(
+                record.started_mono - record.created_mono
+            )
             self.sessions.mark_running(record.session_id, record.job_id)
             self._set_state(record, "running")
             try:
@@ -337,42 +494,65 @@ class SimulationServer:
             # attempt is live.
             attempt_cancel = CancelToken()
             record.cancel.add_callback(attempt_cancel.set)
+            attempt_span = self.telemetry.tracer.start_span(
+                "attempt",
+                trace_id=record.trace_id or None,
+                parent_id=(
+                    record.span.span_id if record.span is not None else None
+                ),
+                attrs={"attempt": attempt, "job_id": record.job_id},
+            )
             task = asyncio.ensure_future(
                 self.bridge.execute(
                     record.submission,
-                    lambda frame: self._push_frame(record, frame),
+                    lambda frame: self._on_frame(record, frame),
                     attempt_cancel,
+                    trace=(record.trace_id, attempt_span.span_id)
+                    if record.trace_id
+                    else None,
                 )
             )
             failure: Optional[str] = None
             try:
-                if self.job_deadline_s is None:
-                    return await asyncio.shield(task)
-                return await asyncio.wait_for(
-                    asyncio.shield(task), self.job_deadline_s
-                )
-            except asyncio.TimeoutError:
-                # Deadline: cooperative cancel of this attempt first
-                # (checkpoint chunk boundaries and observation frames
-                # both check it), with the bridge's terminate fallback
-                # behind it; then wait for the attempt to settle.
-                self.deadline_expired += 1
-                attempt_cancel.set()
                 try:
-                    # The job can still beat the grace period — a result
-                    # that arrives late is a result, not a failure.
-                    return await task
-                except (JobCancelled, JobExecutionError):
-                    failure = (
-                        f"exceeded the {self.job_deadline_s:g}s "
-                        "wall-clock deadline"
+                    if self.job_deadline_s is None:
+                        return await asyncio.shield(task)
+                    return await asyncio.wait_for(
+                        asyncio.shield(task), self.job_deadline_s
                     )
-            except JobCancelled:
-                raise  # client DELETE — not a failure, not retried
-            except JobExecutionError as exc:
-                if not exc.worker_died:
-                    raise
-                failure = str(exc)
+                except asyncio.TimeoutError:
+                    # Deadline: cooperative cancel of this attempt first
+                    # (checkpoint chunk boundaries and observation frames
+                    # both check it), with the bridge's terminate fallback
+                    # behind it; then wait for the attempt to settle.
+                    self.deadline_expired += 1
+                    attempt_span.event("deadline.expired")
+                    attempt_cancel.set()
+                    try:
+                        # The job can still beat the grace period — a result
+                        # that arrives late is a result, not a failure.
+                        return await task
+                    except (JobCancelled, JobExecutionError):
+                        failure = (
+                            f"exceeded the {self.job_deadline_s:g}s "
+                            "wall-clock deadline"
+                        )
+                except JobCancelled:
+                    attempt_span.end(status="cancelled")
+                    raise  # client DELETE — not a failure, not retried
+                except JobExecutionError as exc:
+                    if not exc.worker_died:
+                        attempt_span.end(status="error:runner")
+                        raise
+                    failure = str(exc)
+            finally:
+                if not attempt_span.ended:
+                    attempt_span.end(
+                        status="ok"
+                        if failure is None
+                        else f"failed:{failure}"
+                    )
+                self._h_attempt.observe(attempt_span.duration_s or 0.0)
 
             # -------- retriable infrastructure failure --------
             record.attempts.append(f"attempt {attempt}: {failure}")
@@ -381,6 +561,20 @@ class SimulationServer:
             if attempt >= max_attempts:
                 record.quarantined = True
                 self.quarantined += 1
+                if record.span is not None:
+                    record.span.event(
+                        "quarantine", attempts=attempt, error=failure
+                    )
+                log.warning(
+                    "job %s quarantined after %d attempt(s)",
+                    record.job_id,
+                    attempt,
+                    extra={
+                        "job_id": record.job_id,
+                        "trace_id": record.trace_id,
+                        "error": failure,
+                    },
+                )
                 raise JobExecutionError(
                     f"quarantined after {attempt} attempt(s): {failure}"
                 )
@@ -389,6 +583,26 @@ class SimulationServer:
                 policy.delay_s(attempt, self._retry_rng)
                 if policy is not None
                 else 0.0
+            )
+            if record.span is not None:
+                record.span.event(
+                    "retry",
+                    attempt=attempt,
+                    error=failure,
+                    backoff_s=round(delay, 4),
+                )
+            log.warning(
+                "job %s attempt %d failed; retrying in %.3fs",
+                record.job_id,
+                attempt,
+                delay,
+                extra={
+                    "job_id": record.job_id,
+                    "trace_id": record.trace_id,
+                    "attempt": attempt,
+                    "error": failure,
+                    "backoff_s": round(delay, 4),
+                },
             )
             self._push_frame(
                 record,
@@ -488,6 +702,19 @@ class SimulationServer:
         writer.write(b"\r\n" + body)
         await writer.drain()
 
+    async def _respond_text(
+        self, writer, status: int, text: str, content_type: str
+    ) -> None:
+        body = text.encode("utf-8")
+        self._write_head(
+            writer,
+            status,
+            content_type,
+            [("Content-Length", str(len(body)))],
+        )
+        writer.write(b"\r\n" + body)
+        await writer.drain()
+
     async def _respond_error(self, writer, status: int, message: str) -> None:
         try:
             await self._respond_json(
@@ -511,6 +738,29 @@ class SimulationServer:
             if method != "GET":
                 raise ProtocolError(405, "stats is GET-only")
             await self._respond_json(writer, 200, self.stats())
+            return
+        if path == "/metrics":
+            if method != "GET":
+                raise ProtocolError(405, "metrics is GET-only")
+            await self._respond_text(
+                writer,
+                200,
+                self.telemetry.render_prometheus(),
+                PROMETHEUS_CONTENT_TYPE,
+            )
+            return
+        if path.startswith("/traces/"):
+            if method != "GET":
+                raise ProtocolError(405, "traces are GET-only")
+            trace_id = path[len("/traces/"):]
+            spans = self.telemetry.spans(trace_id)
+            if not spans:
+                raise ProtocolError(404, f"no spans for trace {trace_id!r}")
+            self._write_head(writer, 200, "application/x-ndjson")
+            writer.write(b"\r\n")
+            for doc in spans:
+                writer.write(ndjson_line(doc))
+            await writer.drain()
             return
         if path == "/jobs":
             if method != "POST":
@@ -554,6 +804,14 @@ class SimulationServer:
         submission = parse_submission(body)
         session_id = headers.get("x-session", "default") or "default"
         key = submission.job.key
+        # Adopt the client's trace (X-Trace-Id) or mint one: either way
+        # the whole journey — queue, attempts, worker, checkpoints —
+        # shares a single trace id.
+        claimed = headers.get("x-trace-id", "").strip()
+        trace_id = claimed if claimed and valid_trace_id(claimed) else (
+            new_trace_id()
+        )
+        self._c_submitted.inc()
 
         hit = self.cache.get(key)
         if hit is not None:
@@ -568,11 +826,36 @@ class SimulationServer:
                 state="done",
                 cached=True,
                 result=hit,
+                trace_id=trace_id,
             )
             record.finished = record.created
+            record.finished_mono = record.created_mono
+            root = self.telemetry.tracer.start_span(
+                "job",
+                trace_id=trace_id,
+                attrs={
+                    "job_id": record.job_id,
+                    "kind": submission.job.kind,
+                    "session": session_id,
+                    "cached": True,
+                },
+            )
+            root.event("cache.hit", key=key[:16])
+            root.end()
+            self._c_done.inc()
             self.jobs[record.job_id] = record
             if self.store is not None:
                 self.store.append(submission.job, hit, cached=True)
+            log.info(
+                "job %s served from cache",
+                record.job_id,
+                extra={
+                    "job_id": record.job_id,
+                    "trace_id": trace_id,
+                    "kind": submission.job.kind,
+                    "session": session_id,
+                },
+            )
             await self._respond_json(
                 writer, 200, record.snapshot(with_result=True)
             )
@@ -590,9 +873,24 @@ class SimulationServer:
             return
 
         job_id = self._next_id(key)
+        root = self.telemetry.tracer.start_span(
+            "job",
+            trace_id=trace_id,
+            attrs={
+                "job_id": job_id,
+                "kind": submission.job.kind,
+                "session": session_id,
+                "cached": False,
+            },
+        )
+        root.event("submitted", key=key[:16])
         try:
-            self.sessions.admit(session_id, submission.job, job_id)
+            # activate_span so admission-side hooks (session events)
+            # land on this job's root span.
+            with activate_span(root, self.telemetry.tracer):
+                self.sessions.admit(session_id, submission.job, job_id)
         except QuotaExceeded as exc:
+            root.end(status="rejected:quota")
             await self._respond_json(
                 writer,
                 429,
@@ -606,8 +904,26 @@ class SimulationServer:
             submission=submission,
             key=key,
             session_id=session_id,
+            trace_id=trace_id,
+        )
+        record.span = root
+        record.queue_span = self.telemetry.tracer.start_span(
+            "queue.wait",
+            trace_id=trace_id,
+            parent_id=root.span_id,
+            attrs={"depth_at_entry": self.queue_depth()},
         )
         self.jobs[job_id] = record
+        log.info(
+            "job %s queued",
+            job_id,
+            extra={
+                "job_id": job_id,
+                "trace_id": trace_id,
+                "kind": submission.job.kind,
+                "session": session_id,
+            },
+        )
         task = asyncio.get_running_loop().create_task(
             self._run_record(record)
         )

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Set
 
 from repro.lab.jobs import Job
+from repro.obs.telemetry import add_event
 from repro.serve.protocol import job_cycles
 
 
@@ -110,6 +111,7 @@ class SessionManager:
             cycles = job_cycles(job)
             if cycles > quota.max_cycles:
                 sess.rejected += 1
+                add_event("quota.rejected", reason="cycles", cycles=cycles)
                 raise QuotaExceeded(
                     f"job wants {cycles} cycles; session budget is "
                     f"{quota.max_cycles} per job",
@@ -117,12 +119,14 @@ class SessionManager:
                 )
             if len(sess.active) >= quota.max_concurrent:
                 sess.rejected += 1
+                add_event("quota.rejected", reason="concurrency")
                 raise QuotaExceeded(
                     f"session {session_id!r} is at its concurrency limit "
                     f"({quota.max_concurrent} jobs in flight)"
                 )
             if len(sess.queued) >= quota.max_queue_depth:
                 sess.rejected += 1
+                add_event("quota.rejected", reason="queue_depth")
                 raise QuotaExceeded(
                     f"session {session_id!r} is at its queue-depth limit "
                     f"({quota.max_queue_depth} queued jobs)"
@@ -130,6 +134,14 @@ class SessionManager:
             sess.submitted += 1
             sess.active.add(job_id)
             sess.queued.add(job_id)
+            # Telemetry side-channel: stamps the admitting job's span
+            # (when one is active) with the session's live load.
+            add_event(
+                "session.admitted",
+                session=session_id,
+                active=len(sess.active),
+                queued=len(sess.queued),
+            )
             return sess
 
     def mark_running(self, session_id: str, job_id: str) -> None:

@@ -38,8 +38,11 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional
 
+from contextlib import ExitStack
+
 from repro.lab.jobs import Job, JobCancelled, JobObserver, run_job
 from repro.obs.sinks import QueueSink
+from repro.obs.telemetry import Tracer, use_tracer
 from repro.serve.protocol import JobSubmission
 
 #: Seconds a cancelled process job gets to exit cooperatively before
@@ -111,6 +114,8 @@ def _build_observer(
 # pickles under any multiprocessing start method).
 # ----------------------------------------------------------------------
 def _process_entry(payload: dict, frames, cancel_event) -> None:
+    import os
+
     from repro.resilience.checkpoint import (
         CheckpointPlan,
         use_cancel_event,
@@ -137,11 +142,35 @@ def _process_entry(payload: dict, frames, cancel_event) -> None:
         if ckpt is not None
         else None
     )
+    trace = payload.get("trace")
     try:
         # The cancel event rides the resilience ContextVar too, so a
         # checkpointing runner honors DELETE/deadline at every chunk
         # boundary even when the job streams no observation frames.
-        with use_cancel_event(cancel_event), use_checkpoint_plan(plan):
+        # The tracer (when the server propagated a trace) rides its own
+        # ContextVar the same way: runner-side add_event() calls —
+        # checkpoint saves, restore points — land on the worker span,
+        # and finished spans travel home as frames.  A span frame must
+        # never raise JobCancelled (that would turn the span *flush* in
+        # the ExitStack unwind into a crash), so it bypasses forward().
+        with ExitStack() as stack:
+            stack.enter_context(use_cancel_event(cancel_event))
+            stack.enter_context(use_checkpoint_plan(plan))
+            if trace is not None:
+                tracer = Tracer(
+                    on_end=lambda s: frames.put(
+                        {"type": "span", "span": s.to_dict()}
+                    )
+                )
+                stack.enter_context(use_tracer(tracer))
+                stack.enter_context(
+                    tracer.span(
+                        "worker.run",
+                        trace_id=trace[0],
+                        parent_id=trace[1],
+                        attrs={"kind": job.kind, "pid": os.getpid()},
+                    )
+                )
             result = run_job(job, observer=observer)
     except JobCancelled:
         frames.put({"type": "__cancelled__"})
@@ -229,25 +258,34 @@ class WorkerBridge:
         submission: JobSubmission,
         emit: Callable[[dict], None],
         cancel: CancelToken,
+        trace: Optional[tuple] = None,
     ) -> dict:
         """Run one admitted submission in a worker and return its result.
 
         ``emit`` receives observation frames on the event loop thread.
-        Raises :class:`~repro.lab.jobs.JobCancelled` when ``cancel``
-        fired, :class:`JobExecutionError` when the runner raised.  The
-        caller has already acquired a slot via :meth:`acquire`.
+        ``trace`` is an optional ``(trace_id, parent_span_id)`` pair:
+        when set, the worker runs under a ``worker.run`` span parented
+        to it, and finished spans come back through ``emit`` as
+        ``{"type": "span", ...}`` frames.  Raises
+        :class:`~repro.lab.jobs.JobCancelled` when ``cancel`` fired,
+        :class:`JobExecutionError` when the runner raised.  The caller
+        has already acquired a slot via :meth:`acquire`.
         """
         self.busy += 1
         self.dispatched += 1
         try:
             if self.mode == "thread":
-                return await self._execute_thread(submission, emit, cancel)
-            return await self._execute_process(submission, emit, cancel)
+                return await self._execute_thread(
+                    submission, emit, cancel, trace
+                )
+            return await self._execute_process(
+                submission, emit, cancel, trace
+            )
         finally:
             self.busy -= 1
 
     # ------------------------------------------------------------------
-    async def _execute_thread(self, submission, emit, cancel) -> dict:
+    async def _execute_thread(self, submission, emit, cancel, trace) -> dict:
         loop = self.loop
 
         def forward(frame: dict) -> None:
@@ -258,7 +296,24 @@ class WorkerBridge:
         observer = _build_observer(submission, forward)
 
         def work() -> dict:
-            return run_job(submission.job, observer=observer)
+            if trace is None:
+                return run_job(submission.job, observer=observer)
+            # Same span relay as process mode (span frames through
+            # emit), so the server ingests worker spans identically in
+            # both modes.  Flushing a span never checks cancel: the
+            # span of a cancelled job must still make it home.
+            tracer = Tracer(
+                on_end=lambda s: loop.call_soon_threadsafe(
+                    emit, {"type": "span", "span": s.to_dict()}
+                )
+            )
+            with use_tracer(tracer), tracer.span(
+                "worker.run",
+                trace_id=trace[0],
+                parent_id=trace[1],
+                attrs={"kind": submission.job.kind},
+            ):
+                return run_job(submission.job, observer=observer)
 
         try:
             return await loop.run_in_executor(self._pool, work)
@@ -270,7 +325,7 @@ class WorkerBridge:
             ) from exc
 
     # ------------------------------------------------------------------
-    async def _execute_process(self, submission, emit, cancel) -> dict:
+    async def _execute_process(self, submission, emit, cancel, trace) -> dict:
         loop = self.loop
         ctx = multiprocessing.get_context()
         frames: multiprocessing.Queue = ctx.Queue()
@@ -285,6 +340,7 @@ class WorkerBridge:
             "checkpoint": (
                 (plan.directory, plan.interval) if plan is not None else None
             ),
+            "trace": tuple(trace) if trace is not None else None,
         }
         proc = ctx.Process(
             target=_process_entry,

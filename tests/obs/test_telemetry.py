@@ -1,0 +1,397 @@
+"""Unit tests for repro.obs.telemetry and repro.obs.logs.
+
+Covers the tracing primitives (Span/Tracer/ContextVar propagation), the
+Prometheus render/parse pair, histogram quantile estimation (the PR's
+satellite on :class:`~repro.obs.metrics.WindowedHistogram`), span-tree
+rendering with critical-path markers, Chrome-trace export, and the
+correlated JSON logging layer.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import (
+    JsonLogFormatter,
+    bind_log_context,
+    configure_logging,
+)
+from repro.obs.metrics import MetricRegistry, WindowedHistogram
+from repro.obs.telemetry import (
+    Span,
+    TelemetryHub,
+    Tracer,
+    add_event,
+    critical_path,
+    current_span,
+    current_tracer,
+    load_spans,
+    new_trace_id,
+    parse_prometheus_text,
+    render_span_trees,
+    sanitize_metric_name,
+    span,
+    spans_to_chrome,
+    use_tracer,
+    valid_trace_id,
+)
+
+
+# ----------------------------------------------------------------------
+# WindowedHistogram.quantile (satellite)
+# ----------------------------------------------------------------------
+class TestHistogramQuantile:
+    def test_empty_histogram_is_zero(self):
+        h = WindowedHistogram("t", (1.0, 2.0))
+        assert h.quantile(0.5) == 0.0
+
+    def test_invalid_q_raises(self):
+        h = WindowedHistogram("t", (1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_single_value_interpolates_within_bucket(self):
+        h = WindowedHistogram("t", (1.0, 2.0, 4.0))
+        h.observe(1.5)
+        # One sample in (1, 2]: any quantile lands in that bucket.
+        for q in (0.0, 0.5, 1.0):
+            assert 1.0 <= h.quantile(q) <= 2.0
+
+    def test_interpolation_midpoint(self):
+        h = WindowedHistogram("t", (1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        # rank 2.0 of 4 → second sample: bucket (1,2] holds samples 2-3,
+        # rank falls half way through it → 1.5.
+        assert h.quantile(0.5) == pytest.approx(1.75, abs=0.26)
+
+    def test_overflow_bucket_reports_maximum(self):
+        h = WindowedHistogram("t", (1.0, 2.0))
+        h.observe(0.5)
+        h.observe(50.0)
+        assert h.quantile(1.0) == pytest.approx(50.0)
+        assert h.quantile(0.99) == pytest.approx(50.0)
+
+    def test_estimate_clamped_to_observed_maximum(self):
+        h = WindowedHistogram("t", (10.0,))
+        h.observe(1.0)  # bucket upper edge is 10, but max seen is 1
+        assert h.quantile(1.0) <= 1.0
+
+    def test_first_bucket_lower_edge_is_zero(self):
+        h = WindowedHistogram("t", (1.0, 2.0))
+        h.observe(0.2)
+        assert 0.0 <= h.quantile(0.0) <= 1.0
+
+    def test_snapshot_includes_quantiles(self):
+        h = WindowedHistogram("t", (1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        snap = h.snapshot()
+        for key in ("p50", "p95", "p99"):
+            assert key in snap
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+        # snapshot resets the window
+        assert h.quantile(0.5) == 0.0
+
+    def test_monotone_in_q(self):
+        h = WindowedHistogram("t", (0.01, 0.1, 1.0, 10.0))
+        for i in range(100):
+            h.observe(0.005 * (i + 1))
+        qs = [h.quantile(q / 20.0) for q in range(21)]
+        assert qs == sorted(qs)
+
+
+# ----------------------------------------------------------------------
+# Span / Tracer
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_ids_and_validation(self):
+        tid = new_trace_id()
+        assert valid_trace_id(tid)
+        assert not valid_trace_id("")
+        assert not valid_trace_id("x" * 65)
+        assert not valid_trace_id("bad id with spaces")
+
+    def test_span_round_trip(self):
+        s = Span(name="work", trace_id="t1")
+        s.event("poke", detail=3)
+        s.set_attr("k", "v")
+        s.end(status="ok")
+        doc = s.to_dict()
+        back = Span.from_dict(doc)
+        assert back.name == "work"
+        assert back.trace_id == "t1"
+        assert back.attrs["k"] == "v"
+        assert back.events[0]["name"] == "poke"
+        assert back.to_dict() == doc
+
+    def test_end_is_idempotent(self):
+        s = Span(name="once", trace_id="t")
+        s.end(status="ok")
+        d1 = s.duration_s
+        s.end(status="changed")
+        assert s.duration_s == d1
+        assert s.status == "ok"
+
+    def test_tracer_parents_from_context(self):
+        ended = []
+        tracer = Tracer(on_end=ended.append)
+        with use_tracer(tracer):
+            with tracer.span("outer") as outer:
+                assert current_span() is outer
+                with tracer.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                    assert inner.trace_id == outer.trace_id
+            assert current_span() is None
+        assert [s.name for s in ended] == ["inner", "outer"]
+        assert all(s.ended for s in ended)
+
+    def test_tracer_span_records_exception_status(self):
+        ended = []
+        tracer = Tracer(on_end=ended.append)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        assert ended[0].status.startswith("error:")
+
+    def test_module_span_is_noop_without_tracer(self):
+        assert current_tracer() is None
+        with span("free", k=1) as s:
+            assert s is None
+        assert add_event("nothing") is False
+
+    def test_module_span_uses_ambient_tracer(self):
+        ended = []
+        with use_tracer(Tracer(on_end=ended.append)):
+            with span("ambient", kind="x") as s:
+                assert s is not None
+                assert add_event("tick", n=1) is True
+        assert ended[0].attrs["kind"] == "x"
+        assert ended[0].events[0]["name"] == "tick"
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+class TestPrometheus:
+    def test_sanitize(self):
+        assert sanitize_metric_name("repro.cache.hits") == "repro_cache_hits"
+        assert sanitize_metric_name("a-b c") == "a_b_c"
+
+    def test_render_and_parse_round_trip(self):
+        hub = TelemetryHub(registry=MetricRegistry())
+        hub.registry.counter("repro.test.count").inc(3)
+        h = hub.latency_histogram("repro.test.latency_seconds")
+        for v in (0.01, 0.05, 0.2):
+            h.observe(v)
+        hub.add_gauge_source(lambda: {"repro.test.depth": 7})
+        text = hub.render_prometheus()
+        parsed = parse_prometheus_text(text)
+        names = {name for name, _, _ in parsed["samples"]}
+        assert "repro_test_count" in names
+        assert "repro_test_depth" in names
+        assert "repro_test_latency_seconds_sum" in names
+        assert "repro_test_latency_seconds_count" in names
+        quantiles = {
+            labels["quantile"]
+            for name, labels, _ in parsed["samples"]
+            if name == "repro_test_latency_seconds" and "quantile" in labels
+        }
+        assert quantiles == {"0.5", "0.95", "0.99"}
+        assert parsed["types"]["repro_test_latency_seconds"] == "summary"
+        count = [
+            v for name, _, v in parsed["samples"]
+            if name == "repro_test_latency_seconds_count"
+        ]
+        assert count == [3.0]
+
+    def test_histograms_are_cumulative_across_scrapes(self):
+        hub = TelemetryHub()
+        h = hub.latency_histogram("repro.test.latency_seconds")
+        h.observe(0.5)
+        hub.render_prometheus()
+        h.observe(0.5)
+        parsed = parse_prometheus_text(hub.render_prometheus())
+        count = [
+            v for name, _, v in parsed["samples"]
+            if name == "repro_test_latency_seconds_count"
+        ]
+        assert count == [2.0]
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not prometheus\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("metric_name not_a_number\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text('bad{unclosed="label\n')
+
+    def test_parse_reports_line_numbers(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_prometheus_text("good_metric 1\nbroken !!\n")
+
+
+# ----------------------------------------------------------------------
+# TelemetryHub span store + exports
+# ----------------------------------------------------------------------
+class TestHub:
+    def _make_trace(self, hub, trace_id="trace1"):
+        root = hub.tracer.start_span("job", trace_id=trace_id)
+        child = hub.tracer.start_span(
+            "attempt", trace_id=trace_id, parent_id=root.span_id
+        )
+        child.event("retry", attempt=1)
+        child.end(status="ok")
+        root.end(status="ok")
+        return root, child
+
+    def test_spans_filter_by_trace(self):
+        hub = TelemetryHub()
+        self._make_trace(hub, "t-a")
+        self._make_trace(hub, "t-b")
+        assert len(hub.spans()) == 4
+        assert len(hub.spans("t-a")) == 2
+        assert set(hub.trace_ids()) == {"t-a", "t-b"}
+
+    def test_span_buffer_bounded(self):
+        hub = TelemetryHub(span_buffer=3)
+        for i in range(5):
+            hub.tracer.start_span("s", trace_id=f"t{i}").end()
+        assert len(hub.spans()) == 3
+        assert hub.spans_dropped == 2
+
+    def test_export_and_load_spans(self, tmp_path):
+        hub = TelemetryHub()
+        self._make_trace(hub)
+        path = tmp_path / "spans.jsonl"
+        hub.export_spans(path)
+        spans = load_spans(path)
+        assert len(spans) == 2
+        assert {s["name"] for s in spans} == {"job", "attempt"}
+
+    def test_load_spans_accepts_stream_frames(self, tmp_path):
+        hub = TelemetryHub()
+        root, _ = self._make_trace(hub)
+        path = tmp_path / "frames.jsonl"
+        with path.open("w") as fh:
+            fh.write(json.dumps(
+                {"type": "span", "span": root.to_dict()}
+            ) + "\n")
+            fh.write("\n")  # blank lines are tolerated
+        spans = load_spans(path)
+        assert len(spans) == 1
+        assert spans[0]["name"] == "job"
+
+    def test_critical_path_picks_latest_chain(self):
+        spans = [
+            {"trace_id": "t", "span_id": "root", "parent_id": None,
+             "name": "job", "start_unix": 0.0, "duration_s": 10.0},
+            {"trace_id": "t", "span_id": "fast", "parent_id": "root",
+             "name": "a1", "start_unix": 0.0, "duration_s": 1.0},
+            {"trace_id": "t", "span_id": "slow", "parent_id": "root",
+             "name": "a2", "start_unix": 2.0, "duration_s": 8.0},
+        ]
+        path = critical_path(spans)
+        assert path == ["root", "slow"]
+
+    def test_render_span_trees(self):
+        hub = TelemetryHub()
+        self._make_trace(hub, "render-t")
+        text = render_span_trees(hub.spans(), trace_id="render-t")
+        assert "render-t" in text
+        assert "job" in text and "attempt" in text
+        assert "*" in text  # critical-path marker
+        assert "retry" in text  # event bullet
+
+    def test_render_orphan_spans_do_not_crash(self):
+        spans = [{
+            "trace_id": "t", "span_id": "orphan", "parent_id": "missing",
+            "name": "lost", "start_unix": 1.0, "duration_s": 0.5,
+        }]
+        text = render_span_trees(spans)
+        assert "lost" in text
+
+    def test_chrome_export(self):
+        hub = TelemetryHub()
+        self._make_trace(hub, "chrome-t")
+        doc = spans_to_chrome(hub.spans())
+        complete = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert len(complete) == 2
+        assert len(instants) == 1  # the retry event
+        assert all(e["ts"] >= 0 for e in complete)
+
+    def test_attach_registry_folds_counters_in(self):
+        hub = TelemetryHub()
+        other = MetricRegistry()
+        other.counter("repro.worker.jobs").inc(2)
+        hub.attach_registry(other)
+        parsed = parse_prometheus_text(hub.render_prometheus())
+        values = [
+            v for name, _, v in parsed["samples"]
+            if name == "repro_worker_jobs"
+        ]
+        assert values == [2.0]
+
+
+# ----------------------------------------------------------------------
+# Correlated JSON logs
+# ----------------------------------------------------------------------
+class TestJsonLogs:
+    def _record(self, msg="hello", **extra):
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, msg, (), None
+        )
+        for key, value in extra.items():
+            setattr(record, key, value)
+        return record
+
+    def test_formats_one_json_object(self):
+        line = JsonLogFormatter().format(self._record())
+        doc = json.loads(line)
+        assert doc["message"] == "hello"
+        assert doc["level"] == "INFO"
+        assert doc["logger"] == "repro.test"
+
+    def test_stamps_trace_context(self):
+        tracer = Tracer()
+        with tracer.span("traced") as s:
+            doc = json.loads(JsonLogFormatter().format(self._record()))
+        assert doc["trace_id"] == s.trace_id
+        assert doc["span_id"] == s.span_id
+
+    def test_bound_context_and_extras(self):
+        with bind_log_context(job_id="j1"):
+            with bind_log_context(attempt=2):
+                doc = json.loads(
+                    JsonLogFormatter().format(self._record(state="done"))
+                )
+        assert doc["job_id"] == "j1"
+        assert doc["attempt"] == 2
+        assert doc["state"] == "done"
+
+    def test_unjsonable_extras_coerced(self):
+        doc = json.loads(
+            JsonLogFormatter().format(self._record(obj=object()))
+        )
+        assert "obj" in doc  # str-coerced, not crashed
+
+    def test_configure_logging_idempotent(self):
+        stream = io.StringIO()
+        logger_name = "repro.test.configure"
+        configure_logging(stream=stream, logger=logger_name)
+        configure_logging(stream=stream, logger=logger_name)
+        logger = logging.getLogger(logger_name)
+        handlers = [
+            h for h in logger.handlers if getattr(h, "_repro_json", False)
+        ]
+        assert len(handlers) == 1
+        logger.info("ping", extra={"n": 1})
+        doc = json.loads(stream.getvalue().strip())
+        assert doc["message"] == "ping"
+        assert doc["n"] == 1
+        logger.handlers.clear()

@@ -1,0 +1,286 @@
+"""End-to-end telemetry through the serving stack.
+
+The headline acceptance test kills a process worker mid-job (with
+checkpointing on) and asserts the whole story lands in **one** trace:
+submission, both attempts, the retry/backoff event, the checkpoint
+saves, and the restore point in the second attempt.  The rest covers
+trace-id propagation from :class:`ServeClient`, the ``/metrics``
+exposition (validated with a real parser, not substring checks), the
+monotonic job-timing satellite, and stream-overflow accounting.
+"""
+
+import time
+
+import pytest
+
+from repro.lab import ResultCache
+from repro.obs.telemetry import parse_prometheus_text, valid_trace_id
+from repro.resilience import CheckpointPlan
+from repro.resilience.supervise import RetryPolicy
+
+from .test_supervision import LONG_JOB, _kill, _wait_for_pids
+
+SMALL_JOB = {"topology": "mesh", "size": 4, "pattern": "uniform",
+             "rate": 0.05, "cycles": 400, "warmup": 50, "packet_size": 4}
+
+
+def _span_names(spans):
+    return [s["name"] for s in spans]
+
+def _events(span):
+    return [e["name"] for e in span.get("events", ())]
+
+
+# ----------------------------------------------------------------------
+# Trace propagation
+# ----------------------------------------------------------------------
+class TestTracePropagation:
+    def test_client_trace_id_reaches_snapshot_and_spans(self, server_factory):
+        srv = server_factory(workers=1)
+        client = srv.client()
+        doc = client.submit("load_point", SMALL_JOB, trace_id="e2e-trace-01")
+        final = client.wait(doc["id"], timeout=60.0)
+        assert final["state"] == "done"
+        assert final["trace_id"] == "e2e-trace-01"
+
+        spans = client.trace_spans("e2e-trace-01")
+        names = _span_names(spans)
+        assert "job" in names
+        assert "queue.wait" in names
+        assert "attempt" in names
+        assert "worker.run" in names
+        assert "run_job" in names
+        # every span belongs to the one trace
+        assert {s["trace_id"] for s in spans} == {"e2e-trace-01"}
+        root = next(s for s in spans if s["name"] == "job")
+        assert "submitted" in _events(root)
+        assert "session.admitted" in _events(root)
+
+    def test_server_mints_id_when_client_sends_none(self, server_factory):
+        srv = server_factory(workers=1)
+        client = srv.client()
+        doc = client.submit("load_point", SMALL_JOB)
+        final = client.wait(doc["id"], timeout=60.0)
+        assert valid_trace_id(final["trace_id"])
+
+    def test_malformed_header_id_is_replaced(self, server_factory):
+        srv = server_factory(workers=1)
+        client = srv.client()
+        doc = client.submit("load_point", SMALL_JOB,
+                            trace_id="bad id, has spaces")
+        final = client.wait(doc["id"], timeout=60.0)
+        assert final["trace_id"] != "bad id, has spaces"
+        assert valid_trace_id(final["trace_id"])
+
+    def test_cache_hit_gets_its_own_trace_with_hit_event(
+        self, server_factory, tmp_path
+    ):
+        srv = server_factory(workers=1,
+                             cache=ResultCache(tmp_path / "cache"))
+        client = srv.client()
+        first = client.submit("load_point", SMALL_JOB, trace_id="warm-trace")
+        client.wait(first["id"], timeout=60.0)
+        hit = client.submit("load_point", SMALL_JOB, trace_id="hit-trace")
+        assert hit["state"] == "done"
+        assert hit["cached"] is True
+        assert hit["trace_id"] == "hit-trace"
+        spans = client.trace_spans("hit-trace")
+        assert len(spans) == 1
+        assert spans[0]["attrs"]["cached"] is True
+        assert "cache.hit" in _events(spans[0])
+
+    def test_unknown_trace_is_404(self, server_factory):
+        from repro.serve import ServeError
+
+        srv = server_factory(workers=1)
+        client = srv.client()
+        with pytest.raises(ServeError):
+            client.trace_spans("never-submitted")
+
+
+# ----------------------------------------------------------------------
+# Monotonic timing satellite
+# ----------------------------------------------------------------------
+class TestJobTiming:
+    def test_timing_durations_non_negative_and_consistent(
+        self, server_factory
+    ):
+        srv = server_factory(workers=1)
+        client = srv.client()
+        doc = client.submit("load_point", SMALL_JOB)
+        final = client.wait(doc["id"], timeout=60.0)
+        timing = final["timing"]
+        assert timing["queue_wait_s"] >= 0.0
+        assert timing["run_s"] >= 0.0
+        assert timing["total_s"] >= timing["queue_wait_s"]
+        assert timing["total_s"] >= timing["run_s"]
+
+    def test_cache_hit_total_is_zero(self, server_factory, tmp_path):
+        srv = server_factory(workers=1,
+                             cache=ResultCache(tmp_path / "cache"))
+        client = srv.client()
+        first = client.submit("load_point", SMALL_JOB)
+        client.wait(first["id"], timeout=60.0)
+        hit = client.submit("load_point", SMALL_JOB)
+        assert hit["cached"] is True
+        assert hit["timing"]["total_s"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# GET /metrics
+# ----------------------------------------------------------------------
+class TestMetricsEndpoint:
+    def test_scrape_parses_and_carries_serving_state(
+        self, server_factory, tmp_path
+    ):
+        srv = server_factory(workers=1,
+                             cache=ResultCache(tmp_path / "cache"))
+        client = srv.client()
+        first = client.submit("load_point", SMALL_JOB)
+        client.wait(first["id"], timeout=60.0)
+        client.submit("load_point", SMALL_JOB)  # cache hit
+
+        parsed = parse_prometheus_text(client.metrics())
+        flat = {}
+        for name, labels, value in parsed["samples"]:
+            flat.setdefault((name, tuple(sorted(labels.items()))), value)
+
+        def value(name, **labels):
+            return flat.get((name, tuple(sorted(labels.items()))))
+
+        assert value("repro_cache_hits") >= 1.0
+        assert value("repro_cache_misses") >= 1.0
+        assert value("repro_jobs_submitted") == 2.0
+        assert value("repro_jobs_done") == 2.0
+        assert value("repro_queue_depth") == 0.0
+        assert value("repro_workers_total") == 1.0
+        assert value("repro_server_accepting") == 1.0
+        assert value("repro_server_uptime_seconds") > 0.0
+        # e2e latency summary: quantiles + sum + count, cache hits
+        # excluded (they would drag the quantiles to zero)
+        assert value("repro_job_e2e_seconds_count") == 1.0
+        for q in ("0.5", "0.95", "0.99"):
+            assert value("repro_job_e2e_seconds", quantile=q) > 0.0
+        assert parsed["types"]["repro_job_e2e_seconds"] == "summary"
+        assert value("repro_job_queue_wait_seconds_count") == 1.0
+        assert value("repro_job_attempt_seconds_count") == 1.0
+
+    def test_quantiles_ordered(self, server_factory):
+        srv = server_factory(workers=1)
+        client = srv.client()
+        for seed in (1, 2, 3):
+            doc = client.submit("load_point", dict(SMALL_JOB), seed=seed)
+            client.wait(doc["id"], timeout=60.0)
+        parsed = parse_prometheus_text(client.metrics())
+        qs = {
+            labels["quantile"]: v
+            for name, labels, v in parsed["samples"]
+            if name == "repro_job_e2e_seconds" and "quantile" in labels
+        }
+        assert qs["0.5"] <= qs["0.95"] <= qs["0.99"]
+
+
+# ----------------------------------------------------------------------
+# Stream overflow accounting (QueueSink / stream_buffer satellite)
+# ----------------------------------------------------------------------
+class TestStreamOverflow:
+    def test_slow_consumer_never_blocks_worker_and_drops_are_counted(
+        self, server_factory
+    ):
+        # A stream buffer far smaller than the frame volume: the job
+        # must still finish (bounded memory, no backpressure into the
+        # worker) and the drop count must surface in the snapshot that
+        # stream consumers see as their state frames.
+        srv = server_factory(workers=1, stream_buffer=4)
+        client = srv.client()
+        params = dict(SMALL_JOB, metrics_interval=20)  # ~20 metric frames
+        doc = client.submit("load_point", params, metrics_interval=20)
+        final = client.wait(doc["id"], timeout=60.0)
+        assert final["state"] == "done"
+        assert final.get("frames_dropped", 0) > 0
+
+    def test_default_buffer_drops_nothing_small(self, server_factory):
+        srv = server_factory(workers=1)
+        client = srv.client()
+        doc = client.submit("load_point", SMALL_JOB)
+        final = client.wait(doc["id"], timeout=60.0)
+        assert "frames_dropped" not in final
+
+
+# ----------------------------------------------------------------------
+# Acceptance: one trace across a kill + checkpoint resume
+# ----------------------------------------------------------------------
+class TestKillResumeTrace:
+    def test_single_trace_spans_kill_retry_and_restore(
+        self, server_factory, tmp_path
+    ):
+        ckpt_dir = tmp_path / "ckpt"
+        srv = server_factory(
+            worker_mode="process",
+            workers=1,
+            cache=ResultCache(tmp_path / "cache"),
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.05),
+            checkpoint_plan=CheckpointPlan(
+                directory=str(ckpt_dir), interval=1_000
+            ),
+        )
+        client = srv.client()
+        params = dict(LONG_JOB, cycles=60_000)
+        doc = client.submit("fault_campaign",
+                            {**params, "switch_faults": 1},
+                            seed=33, trace_id="kill-resume-trace")
+
+        # Wait until the first capsule lands, so the retry has
+        # something to restore from, then murder the worker.
+        pids = _wait_for_pids(srv.server.bridge)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if list(ckpt_dir.glob("*.ckpt")):
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError("no checkpoint capsule appeared in time")
+        _kill(pids[0])
+
+        final = client.wait(doc["id"], timeout=120.0)
+        assert final["state"] == "done"
+        assert final["retries"] >= 1
+        assert final["trace_id"] == "kill-resume-trace"
+
+        spans = client.trace_spans("kill-resume-trace")
+        # one trace holds the whole story
+        assert {s["trace_id"] for s in spans} == {"kill-resume-trace"}
+
+        root = next(s for s in spans if s["name"] == "job")
+        assert "submitted" in _events(root)
+        retries = [e for e in root["events"] if e["name"] == "retry"]
+        assert retries, "root span should record the retry"
+        assert "backoff_s" in retries[0]
+        assert "error" in retries[0]
+
+        attempts = [s for s in spans if s["name"] == "attempt"]
+        assert len(attempts) >= 2
+        numbers = sorted(s["attrs"]["attempt"] for s in attempts)
+        assert numbers[0] == 1 and numbers[-1] >= 2
+        killed = next(s for s in attempts if s["attrs"]["attempt"] == 1)
+        assert killed["status"].startswith("failed:")
+        survivor = next(
+            s for s in attempts if s["attrs"]["attempt"] == numbers[-1]
+        )
+        assert survivor["status"] == "ok"
+
+        # The surviving worker flushed its spans: checkpoint saves and
+        # the restore point prove the resume actually happened.
+        all_events = [e for s in spans for e in s.get("events", ())]
+        names = [e["name"] for e in all_events]
+        assert "checkpoint.save" in names
+        restores = [e for e in all_events if e["name"] == "checkpoint.restore"]
+        assert restores, "second attempt should restore from a capsule"
+        assert restores[0]["cycle"] >= 1_000
+
+        # The killed first attempt's worker spans died with it — only
+        # the surviving attempt can have a finished worker.run.
+        worker_runs = [s for s in spans if s["name"] == "worker.run"]
+        assert worker_runs
+        assert all(s["parent_id"] == survivor["span_id"]
+                   for s in worker_runs)
