@@ -56,6 +56,12 @@ class Link:
         self.delay_cycles = delay_cycles
         self.num_vcs = num_vcs
         self.receiver: Optional[Receiver] = None
+        # Event-kernel wakeup hook (see repro.sim.event_wheel): called
+        # from send() with the flit's delivery cycle so the scheduler
+        # can post a timed wheel entry (pipelined links) or activate the
+        # link (protocol links with per-cycle work).  None outside the
+        # event kernel; never pickled (the scheduler reinstalls it).
+        self.wakeup: Optional[Callable[[int], None]] = None
         self._in_flight: Deque[Tuple[int, Flit]] = deque()  # (deliver_at, flit)
         self._last_send_cycle = -1
         self.flits_carried = 0  # lifetime statistics (utilization, power)
@@ -83,6 +89,17 @@ class Link:
 
     def connect(self, receiver: Receiver) -> None:
         self.receiver = receiver
+
+    def __getstate__(self):
+        """Pickle state minus the event-kernel wakeup closure.
+
+        The closure binds the live scheduler; a restored simulator
+        rebuilds its scheduler (and reinstalls hooks) from component
+        state, so the capsule never carries it.
+        """
+        state = self.__dict__.copy()
+        state["wakeup"] = None
+        return state
 
     # -- fault injection -------------------------------------------------
     def fail(self, cycle: int) -> int:
@@ -155,19 +172,39 @@ class Link:
         return self.can_send(flit.vc, cycle)
 
     def send(self, flit: Flit, cycle: int) -> None:
+        """Put ``flit`` on the wire; the caller must hold a grant.
+
+        Callers check ``can_send``/``can_send_flit`` before sending (the
+        switch gates candidates on it, the NIs gate transmission), so
+        the base class does not re-verify the grant; an ungranted send
+        surfaces one hop later as a receiver-overflow RuntimeError.
+        CreditLink keeps an exact O(1) credit check because its grant
+        state is a plain counter.
+        """
         if self._last_send_cycle == cycle:
             raise RuntimeError(f"link {self.name}: second send in cycle {cycle}")
-        if not self.can_send(flit.vc, cycle):
-            raise RuntimeError(f"link {self.name}: send without flow-control grant")
         self._last_send_cycle = cycle
         self._in_flight.append((cycle + self.delay_cycles, flit))
         self.flits_carried += 1
+        if self.wakeup is not None:
+            self.wakeup(cycle + self.delay_cycles)
 
     # -- per-cycle update -------------------------------------------------
     def tick(self, cycle: int) -> None:
         """Deliver flits whose traversal completes this cycle."""
-        while self._in_flight and self._in_flight[0][0] <= cycle:
-            __, flit = self._in_flight.popleft()
+        in_flight = self._in_flight
+        if not in_flight:
+            return
+        if not self.failed and not self._poisoned and cycle >= self._burst_until:
+            # Clean link (the overwhelmingly common case): every due
+            # flit delivers, no per-flit fault bookkeeping.  The guard
+            # is loop-invariant — nothing inside a clean delivery can
+            # fail the link, poison a packet, or open a burst window.
+            while in_flight and in_flight[0][0] <= cycle:
+                self._deliver(in_flight.popleft()[1], cycle)
+            return
+        while in_flight and in_flight[0][0] <= cycle:
+            __, flit = in_flight.popleft()
             packet_id = flit.packet.packet_id
             if self.failed:
                 self._discard(flit, cycle)
@@ -232,6 +269,12 @@ class CreditLink(Link):
         return self.credits[vc] > 0
 
     def send(self, flit: Flit, cycle: int) -> None:
+        self._collect_credits(cycle)
+        if not self.failed and self.credits[flit.vc] <= 0:
+            raise RuntimeError(
+                f"link {self.name}: send without flow-control grant on vc "
+                f"{flit.vc}"
+            )
         super().send(flit, cycle)
         self.credits[flit.vc] -= 1
 
@@ -290,6 +333,9 @@ class OnOffLink(Link):
             raise ValueError("threshold must be within the buffer depth")
         self.buffer_depth = buffer_depth
         self.threshold = threshold
+        # can_send() runs once per hop per flit on both sides of the
+        # grant; the OFF comparison point never changes after init.
+        self._off_floor = max(0, threshold - 1)
         # History of observed free slots per VC, oldest first; index 0 is
         # the sample the sender sees "now".
         self._history: List[Deque[int]] = [
@@ -301,9 +347,10 @@ class OnOffLink(Link):
     def can_send(self, vc: int, cycle: int) -> bool:
         if self.failed:
             return True  # blackhole: the flit will be dropped on arrival
-        observed = self._history[vc][0]
-        effective = observed - self._in_flight_per_vc[vc]
-        return effective > max(0, self.threshold - 1)
+        return (
+            self._history[vc][0] - self._in_flight_per_vc[vc]
+            > self._off_floor
+        )
 
     def send(self, flit: Flit, cycle: int) -> None:
         super().send(flit, cycle)
@@ -312,9 +359,11 @@ class OnOffLink(Link):
     def tick(self, cycle: int) -> None:
         super().tick(cycle)
         # Sample the downstream state for the sender to observe later.
-        if self.receiver is not None:
-            for vc in range(self.num_vcs):
-                self._history[vc].append(self.receiver.free_slots(vc))
+        recv = self.receiver
+        if recv is not None:
+            free = recv.free_slots
+            for vc, history in enumerate(self._history):
+                history.append(free(vc))
 
     def _deliver(self, flit: Flit, cycle: int) -> None:
         self._in_flight_per_vc[flit.vc] -= 1
@@ -338,6 +387,22 @@ class OnOffLink(Link):
             history.clear()
             history.extend([self.buffer_depth] * self.delay_cycles)
         self._in_flight_per_vc = [0] * self.num_vcs
+
+    def history_converged(self) -> bool:
+        """True when every queued sample equals the current free-slot
+        count — i.e. further ticks would only re-append values the ring
+        already holds.  The event kernel may deactivate this link only
+        once it is idle *and* converged; until then skipped samples
+        would change what the sender observes.
+        """
+        if self.receiver is None:
+            return True
+        for vc in range(self.num_vcs):
+            current = self.receiver.free_slots(vc)
+            for sample in self._history[vc]:
+                if sample != current:
+                    return False
+        return True
 
     def on_idle_skip(self, elapsed: int) -> None:
         # The backpressure wire samples every cycle even while the
@@ -418,6 +483,8 @@ class AckNackLink(Link):
             raise RuntimeError(f"link {self.name}: window full")
         self._buffer.append(flit)
         self.flits_carried += 1
+        if self.wakeup is not None:
+            self.wakeup(cycle)
 
     def fail(self, cycle: int) -> int:
         lost = len(self._in_flight) + len(self._buffer)

@@ -149,6 +149,10 @@ class InitiatorNI:
         self.packets_abandoned_unreachable = 0  # destination left the LUT
         self.on_timeout: Optional[Callable[[str, str, int], None]] = None
         self.on_ack: Optional[Callable[[str, str, int], None]] = None
+        # Event-kernel wakeup hook: fired on enqueue() — the single
+        # entry point for all backlog gains (sends, responses, acks,
+        # retransmission copies).  None outside the event kernel.
+        self.wakeup: Optional[Callable[[], None]] = None
 
     def connect(self, link: Link) -> None:
         self.injection_link = link
@@ -165,6 +169,7 @@ class InitiatorNI:
         state["trace"] = None
         state["on_timeout"] = None
         state["on_ack"] = None
+        state["wakeup"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -216,16 +221,20 @@ class InitiatorNI:
             )
         else:
             self._be_queue.append(packet)
+        if self.wakeup is not None:
+            self.wakeup()
 
     @property
     def backlog(self) -> int:
         """Packets waiting (including those being serialized)."""
-        return (
-            len(self._be_queue)
-            + sum(len(q) for q in self._gt_queues.values())
-            + (1 if self._current_be else 0)
-            + sum(1 for flits in self._current_gt.values() if flits)
-        )
+        n = len(self._be_queue)
+        if self._current_be:
+            n += 1
+        if self._gt_queues:
+            n += sum(len(q) for q in self._gt_queues.values())
+        if self._current_gt:
+            n += sum(1 for flits in self._current_gt.values() if flits)
+        return n
 
     def tick(self, cycle: int) -> None:
         """Inject at most one flit into the NoC (GT first in its slots)."""
@@ -460,6 +469,9 @@ class TargetNI:
         self._seen_transfers: Set[Tuple[str, int]] = set()
         self.duplicates_discarded = 0
         self.acks_sent = 0
+        # Event-kernel wakeup hook: fired on accept() so the target is
+        # drained starting the cycle its first flit lands.
+        self.wakeup: Optional[Callable[[], None]] = None
 
     def __getstate__(self):
         """Pickle state minus host-wired callbacks (checkpointing).
@@ -472,6 +484,7 @@ class TargetNI:
         state = self.__dict__.copy()
         state["trace"] = None
         state["_responder"] = None
+        state["wakeup"] = None
         return state
 
     @property
@@ -524,6 +537,8 @@ class TargetNI:
         if len(self._buffer) >= self.ejection_depth:
             return False
         self._buffer.append(flit)
+        if self.wakeup is not None:
+            self.wakeup()
         return True
 
     # ------------------------------------------------------------------

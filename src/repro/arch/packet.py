@@ -141,14 +141,16 @@ class Flit:
     hop: int = 0          # position in packet.route: the node currently holding it
     vc: int = 0           # virtual channel on the *next* link
     arrival_cycle: Optional[int] = None
+    # Derived from flit_type once at construction: these are read on
+    # every hop (wormhole lock take/release), so they are plain
+    # attributes rather than properties.
+    is_head: bool = field(init=False, repr=False, compare=False)
+    is_tail: bool = field(init=False, repr=False, compare=False)
 
-    @property
-    def is_head(self) -> bool:
-        return self.flit_type in (FlitType.HEAD, FlitType.SINGLE)
-
-    @property
-    def is_tail(self) -> bool:
-        return self.flit_type in (FlitType.TAIL, FlitType.SINGLE)
+    def __post_init__(self) -> None:
+        ft = self.flit_type
+        self.is_head = ft is FlitType.HEAD or ft is FlitType.SINGLE
+        self.is_tail = ft is FlitType.TAIL or ft is FlitType.SINGLE
 
     @property
     def route(self) -> Tuple[str, ...]:

@@ -27,6 +27,11 @@ from repro.arch.link import CreditLink, Link
 from repro.arch.packet import Flit, MessageClass
 from repro.arch.parameters import ArbitrationKind, NocParameters
 
+# Hoisted enum member: the GT test runs once per buffered head flit per
+# switch tick, and ``MessageClass.GUARANTEED`` costs a class __getattr__
+# on every evaluation.
+_GT = MessageClass.GUARANTEED
+
 
 class InputPort:
     """Per-upstream-neighbour input: one FIFO per virtual channel.
@@ -41,22 +46,40 @@ class InputPort:
         self.switch = switch
         self.upstream = upstream
         self.depth = depth
+        # Pipeline depth is fixed at construction; cached so accept()
+        # (one call per flit-hop) skips the params attribute chase.
+        self._latency = switch.params.switch_latency_cycles
         # Each entry: (flit, earliest cycle it may be forwarded).
         self.buffers: List[Deque[Tuple[Flit, int]]] = [
             deque() for __ in range(num_vcs)
         ]
         self.upstream_link: Optional[Link] = None
+        self._upstream_credit = False  # kept in sync with upstream_link
         self.peak_occupancy = 0  # deepest any single VC FIFO ever got
+        # Event-kernel wakeup hook: fired by pop() so the upstream
+        # ON/OFF link re-samples the free-slot count it advertises.
+        self.wake_upstream = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["wake_upstream"] = None
+        return state
 
     def free_slots(self, vc: int) -> int:
         return self.depth - len(self.buffers[vc])
 
     def accept(self, flit: Flit) -> bool:
-        if self.free_slots(flit.vc) <= 0:
+        buf = self.buffers[flit.vc]
+        if len(buf) >= self.depth:
             return False
-        ready = self.switch.now + self.switch.params.switch_latency_cycles
-        self.buffers[flit.vc].append((flit, ready))
-        occupied = len(self.buffers[flit.vc])
+        switch = self.switch
+        if switch.wakeup is not None:
+            # Event kernel: schedule the switch — and refresh its clock
+            # *before* stamping the ready cycle, since an idle switch
+            # was not ticked this cycle and its ``now`` may be stale.
+            switch.wakeup()
+        buf.append((flit, switch.now + self._latency))
+        occupied = len(buf)
         if occupied > self.peak_occupancy:
             self.peak_occupancy = occupied
         return True
@@ -71,7 +94,9 @@ class InputPort:
 
     def pop(self, vc: int, cycle: int) -> Flit:
         flit, __ = self.buffers[vc].popleft()
-        if isinstance(self.upstream_link, CreditLink):
+        if self.wake_upstream is not None:
+            self.wake_upstream()
+        if self._upstream_credit:
             self.upstream_link.return_credit(flit.vc, cycle)
         return flit
 
@@ -98,6 +123,9 @@ class SwitchModel:
         self._tdma: Dict[str, TdmaArbiter] = {}
         self.now = -1  # updated at each tick; used for pipeline timing
         self.trace = None  # optional callback(cycle, flit) on forward
+        # Event-kernel wakeup hook: fired by InputPort.accept so a
+        # delivery schedules the switch (and refreshes ``now``).
+        self.wakeup = None
         self.flits_forwarded = 0
         self.failed = False  # a dead switch neither buffers nor forwards
         self.flits_dropped = 0
@@ -119,6 +147,7 @@ class SwitchModel:
         """
         state = self.__dict__.copy()
         state["trace"] = None
+        state["wakeup"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -131,6 +160,7 @@ class SwitchModel:
             self, upstream, self.params.num_vcs, self.params.buffer_depth
         )
         port.upstream_link = link
+        port._upstream_credit = isinstance(link, CreditLink)
         self.inputs[upstream] = port
         return port
 
@@ -157,124 +187,226 @@ class SwitchModel:
         """
         self._sorted_inputs = sorted(self.inputs)
         self._sorted_outputs = sorted(self.outputs)
+        self._build_scan()
+
+    def _build_scan(self) -> None:
+        """Flatten the (input, VC) sweep into one precomputed list.
+
+        tick() visits every FIFO every cycle; the flat list removes the
+        per-port dict lookup and enumerate from that sweep.  Safe to
+        cache because the deques are created once per port and only
+        ever mutated in place (purge/fail clear-and-extend, never
+        rebind), so the references stay live across faults, purges and
+        checkpoint restores.  The arbitration slot constants ride
+        along: they only depend on the same wiring.
+        """
+        self._scan = [
+            (upstream, vc, port.buffers[vc], port)
+            for upstream in self._sorted_inputs
+            for port in (self.inputs[upstream],)
+            for vc in range(len(port.buffers))
+        ]
         self._input_index = {
             name: i for i, name in enumerate(self._sorted_inputs)
         }
+        self._nvcs = self.params.num_vcs
+        self._nslots = len(self._input_index) * self._nvcs
+        self._rr = self.params.arbitration is not ArbitrationKind.FIXED_PRIORITY
 
     # ------------------------------------------------------------------
     # Per-cycle operation
     # ------------------------------------------------------------------
-    def tick(self, cycle: int) -> None:
+    def tick(self, cycle: int) -> Optional[int]:
         """Arbitrate each output port and forward at most one flit on it.
 
         All (input, VC) head flits are scanned exactly once, so an input
         FIFO supplies at most one flit per cycle (the crossbar's input
         bandwidth constraint) and each output link carries at most one.
+
+        Returns the earliest *ready* stamp among the head flits still
+        buffered after forwarding, or None when every FIFO is empty.
+        The event kernel sleeps the switch until that cycle; the
+        reference kernel ignores the return value, and an empty switch
+        pays two no-op instructions for it.
         """
         self.now = cycle
         if self.failed:
-            return
-        if not hasattr(self, "_sorted_inputs"):
+            return None
+        if not hasattr(self, "_scan"):
             self._sorted_inputs = sorted(self.inputs)
             self._sorted_outputs = sorted(self.outputs)
-        requests: Dict[str, List[Tuple[str, int, Flit]]] = {}
+            self._build_scan()
+        outputs = self.outputs
+        locks = self._locks
+        requests: Dict[str, List[Candidate]] = {}
+        occupied = None  # non-empty FIFOs, for the post-forward nr scan
         stalled_outputs = None  # outputs whose link refused a ready flit
-        for upstream in self._sorted_inputs:
-            port = self.inputs[upstream]
-            for vc in range(self.params.num_vcs):
-                flit = port.head(vc, cycle)
-                if flit is None:
-                    continue
-                downstream = flit.next_node()
-                link = self.outputs.get(downstream)
-                if link is None:
-                    raise RuntimeError(
-                        f"switch {self.name}: flit routed to unknown "
-                        f"output {downstream!r}"
-                    )
-                out_vc = flit.packet.vc_on_link(flit.hop)  # VC for next link
-                if flit.packet.message_class is not MessageClass.GUARANTEED:
-                    # GT flits own their time slots end to end; slot
-                    # reservation already serializes them, so only
-                    # best-effort traffic takes wormhole locks.
-                    lock = self._locks.get((downstream, out_vc))
-                    if flit.is_head:
-                        if lock is not None and lock != (upstream, vc):
-                            continue  # VC busy with another packet
-                    elif lock != (upstream, vc):
-                        continue  # only the owner may send body/tail
-                if not link.can_send(out_vc, cycle):
-                    if stalled_outputs is None:
-                        stalled_outputs = {downstream}
-                    else:
-                        stalled_outputs.add(downstream)
-                    continue
-                requests.setdefault(downstream, []).append(
-                    (upstream, vc, flit)
+        for upstream, vc, buf, port in self._scan:
+            if not buf:
+                continue
+            if occupied is None:
+                occupied = [buf]
+            else:
+                occupied.append(buf)
+            flit, ready = buf[0]
+            if cycle < ready:
+                continue
+            packet = flit.packet
+            # Inlined flit.next_node() / packet.vc_on_link(): this
+            # scan runs for every ready head every cycle, and the
+            # hop is known valid (targets consume flits, so a flit
+            # held by a switch always has a next node).
+            route = packet.route
+            hop1 = flit.hop + 1
+            downstream = route[hop1] if hop1 < len(route) else None
+            link = outputs.get(downstream)
+            if link is None:
+                raise RuntimeError(
+                    f"switch {self.name}: flit routed to unknown "
+                    f"output {downstream!r}"
                 )
+            vc_path = packet.vc_path
+            out_vc = vc_path[flit.hop] if vc_path is not None else 0
+            if packet.message_class is not _GT:
+                # GT flits own their time slots end to end; slot
+                # reservation already serializes them, so only
+                # best-effort traffic takes wormhole locks.
+                key = (downstream, out_vc)
+                lock = locks.get(key)
+                if flit.is_head:
+                    if lock is not None and (
+                        lock[0] != upstream or lock[1] != vc
+                    ):
+                        continue  # VC busy with another packet
+                elif lock is None or (
+                    lock[0] != upstream or lock[1] != vc
+                ):
+                    continue  # only the owner may send body/tail
+            else:
+                key = None
+            if not link.can_send(out_vc, cycle):
+                if stalled_outputs is None:
+                    stalled_outputs = {downstream}
+                else:
+                    stalled_outputs.add(downstream)
+                continue
+            cand = (upstream, vc, flit, out_vc, link, key, port)
+            cand_list = requests.get(downstream)
+            if cand_list is None:
+                requests[downstream] = [cand]
+            else:
+                cand_list.append(cand)
         if stalled_outputs is not None:
             for downstream in stalled_outputs:
                 self.stall_cycles_by_output[downstream] += 1
-        for downstream in self._sorted_outputs:
-            candidates = requests.get(downstream)
-            if not candidates:
-                continue
-            if len(candidates) > 1:
-                self.contention_cycles_by_output[downstream] += 1
-                self.contention_losers += len(candidates) - 1
-            winner = self._arbitrate(downstream, candidates, cycle)
-            if winner is None:
-                continue
-            upstream, vc, __ = winner
-            flit = self.inputs[upstream].pop(vc, cycle)
-            out_vc = flit.packet.vc_on_link(flit.hop)
-            flit.vc = out_vc
-            if flit.packet.message_class is not MessageClass.GUARANTEED:
-                if flit.is_head:
-                    self._locks[(downstream, out_vc)] = (upstream, vc)
-                    self._lock_owner[(downstream, out_vc)] = flit.packet
-                    self._lock_since[(downstream, out_vc)] = cycle
-                if flit.is_tail:
-                    self._locks.pop((downstream, out_vc), None)
-                    self._lock_owner.pop((downstream, out_vc), None)
-                    since = self._lock_since.pop((downstream, out_vc), None)
-                    if since is not None:
-                        self.lock_hold_cycles += cycle - since + 1
-                        self.locks_taken += 1
-            self.outputs[downstream].send(flit, cycle)
-            flit.hop += 1
-            self.flits_forwarded += 1
-            if self.trace is not None:
-                self.trace(cycle, flit)
+        if requests:
+            # A single requested output needs no sorted output sweep.
+            outs = requests if len(requests) == 1 else self._sorted_outputs
+            tdma = self._tdma
+            for downstream in outs:
+                candidates = requests.get(downstream)
+                if not candidates:
+                    continue
+                if len(candidates) == 1 and not tdma:
+                    # Uncontended output without a slot table (the
+                    # overwhelmingly common case): grant the lone
+                    # requester inline.  Round-robin still advances
+                    # its pointer past the winner, exactly as
+                    # ``_arbitrate``'s grant would.
+                    winner = candidates[0]
+                    if self._rr:
+                        arbiter = self._arbiters.get(downstream)
+                        if arbiter is None or arbiter.n != self._nslots:
+                            arbiter = RoundRobinArbiter(self._nslots)
+                            self._arbiters[downstream] = arbiter
+                        arbiter._pointer = (
+                            self._input_index[winner[0]] * self._nvcs
+                            + winner[1] + 1
+                        ) % self._nslots
+                else:
+                    if len(candidates) > 1:
+                        self.contention_cycles_by_output[downstream] += 1
+                        self.contention_losers += len(candidates) - 1
+                    winner = self._arbitrate(downstream, candidates, cycle)
+                    if winner is None:
+                        continue
+                upstream, vc, __, out_vc, link, key, port = winner
+                flit = port.pop(vc, cycle)
+                flit.vc = out_vc
+                if key is not None:  # best-effort: wormhole lock ops
+                    if flit.is_head:
+                        locks[key] = (upstream, vc)
+                        self._lock_owner[key] = flit.packet
+                        self._lock_since[key] = cycle
+                    if flit.is_tail:
+                        locks.pop(key, None)
+                        self._lock_owner.pop(key, None)
+                        since = self._lock_since.pop(key, None)
+                        if since is not None:
+                            self.lock_hold_cycles += cycle - since + 1
+                            self.locks_taken += 1
+                link.send(flit, cycle)
+                flit.hop += 1
+                self.flits_forwarded += 1
+                if self.trace is not None:
+                    self.trace(cycle, flit)
+        if occupied is None:
+            return None
+        # Re-peek only the FIFOs seen non-empty above: pops may have
+        # advanced (or emptied) their heads, and ready stamps within a
+        # FIFO are non-decreasing, so this minimum is exact.
+        nr = None
+        for buf in occupied:
+            if buf:
+                r = buf[0][1]
+                if nr is None or r < nr:
+                    nr = r
+        return nr
 
     def _arbitrate(
         self,
         downstream: str,
-        candidates: List[Tuple[str, int, Flit]],
+        candidates: List[Candidate],
         cycle: int,
-    ) -> Optional[Tuple[str, int, Flit]]:
+    ) -> Optional[Candidate]:
         if not hasattr(self, "_input_index"):
             self._input_index = {
                 name: i for i, name in enumerate(sorted(self.inputs))
             }
         index_of = self._input_index
-        n = len(index_of) * self.params.num_vcs
+        num_vcs = self.params.num_vcs
+        n = len(index_of) * num_vcs
 
-        def slot(upstream: str, vc: int) -> int:
-            return index_of[upstream] * self.params.num_vcs + vc
+        tdma = self._tdma.get(downstream) if self._tdma else None
+        if tdma is None and len(candidates) == 1:
+            # Uncontended output (the overwhelmingly common case): both
+            # best-effort policies grant the lone requester without
+            # needing the request vector.  Round-robin still advances
+            # its pointer past the winner, exactly as ``grant`` would.
+            if self.params.arbitration is not ArbitrationKind.FIXED_PRIORITY:
+                arbiter = self._arbiters.get(downstream)
+                if arbiter is None or arbiter.n != n:
+                    arbiter = RoundRobinArbiter(n)
+                    self._arbiters[downstream] = arbiter
+                upstream, vc = candidates[0][0], candidates[0][1]
+                arbiter._pointer = (
+                    index_of[upstream] * num_vcs + vc + 1
+                ) % n
+            return candidates[0]
 
         requests = [False] * n
-        by_slot: Dict[int, Tuple[str, int, Flit]] = {}
-        for upstream, vc, flit in candidates:
-            s = slot(upstream, vc)
+        by_slot: Dict[int, Candidate] = {}
+        for cand in candidates:
+            upstream, vc = cand[0], cand[1]
+            s = index_of[upstream] * num_vcs + vc
             requests[s] = True
-            by_slot[s] = (upstream, vc, flit)
+            by_slot[s] = cand
 
-        tdma = self._tdma.get(downstream)
         if tdma is not None:
             connection_of: List[Optional[int]] = [None] * n
-            for s, (__, __vc, flit) in by_slot.items():
-                if flit.packet.message_class is MessageClass.GUARANTEED:
+            for s, cand in by_slot.items():
+                flit = cand[2]
+                if flit.packet.message_class is _GT:
                     connection_of[s] = flit.packet.connection_id
             granted = tdma.grant(cycle, requests, connection_of)
         else:

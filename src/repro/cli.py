@@ -717,6 +717,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         max_corruptions=args.max_corruptions,
         stall_streams=args.stall_streams,
         wait_timeout_s=args.wait_timeout,
+        kernel=(None if args.kernel == "fast" else args.kernel),
     )
     print(f"chaos campaign: {config.jobs} jobs, seed {config.seed}, "
           f"{config.workers} process workers "
@@ -776,9 +777,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buffer-depth", type=int, default=4)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--kernel", default="fast",
-                   choices=("fast", "reference"),
+                   choices=("fast", "reference", "event"),
                    help="simulation kernel (identical results; 'fast' "
-                        "skips provably idle cycles)")
+                        "skips provably idle cycles, 'event' schedules "
+                        "only woken components)")
     p.add_argument("--heatmap", action="store_true",
                    help="print an ASCII link-load heat map (mesh/torus)")
     p.set_defaults(func=_cmd_simulate)
@@ -831,9 +833,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-trace", action="store_true",
                    help="skip per-flit trace files (metrics only)")
     p.add_argument("--kernel", default="fast",
-                   choices=("fast", "reference"),
+                   choices=("fast", "reference", "event"),
                    help="simulation kernel (identical results; 'fast' "
-                        "skips provably idle cycles)")
+                        "skips provably idle cycles, 'event' schedules "
+                        "only woken components)")
     p.set_defaults(func=_cmd_observe)
 
     p = sub.add_parser(
@@ -889,7 +892,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repair-after", type=int, default=None,
                    help="repair each hard fault after this many cycles")
     p.add_argument("--kernel", default="fast",
-                   choices=("fast", "reference"),
+                   choices=("fast", "reference", "event"),
                    help="simulation kernel for the sweep jobs (identical "
                         "results; cache keys are unchanged for 'fast')")
     p.set_defaults(func=_cmd_batch)
@@ -1050,6 +1053,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream connections opened and left unread")
     p.add_argument("--wait-timeout", type=float, default=300.0,
                    help="campaign-wide completion deadline (seconds)")
+    p.add_argument("--kernel", default="fast",
+                   choices=("fast", "reference", "event"),
+                   help="simulation kernel for every campaign job "
+                        "(identical results; cache keys are unchanged "
+                        "for 'fast')")
     p.add_argument("--dir", default=None,
                    help="cache/checkpoint root (default: fresh temp dir)")
     p.add_argument("--json", action="store_true",

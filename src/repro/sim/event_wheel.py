@@ -1,0 +1,682 @@
+"""The event-wheel scheduler behind ``NocSimulator(kernel="event")``.
+
+The reference kernel polls every component every cycle; the fast kernel
+keeps the polling loop but jumps over *provably quiescent* stretches.
+This module removes the polling: components **post wakeups** when their
+state changes, and each executed cycle touches only the components with
+pending work.
+
+Three structures drive the run loop:
+
+* a :class:`WakeupWheel` of **link** deliveries — every ``Link.send``
+  posts the flit's delivery cycle, so an idle pipelined link is never
+  ticked between send and delivery;
+* a :class:`WakeupWheel` of **switch** ready cycles — a delivered flit
+  sits out the router pipeline (``switch_latency_cycles``) before it
+  can be forwarded, so the switch sleeps until the earliest buffered
+  flit's ready stamp instead of rescanning its ports every cycle;
+* per-class **active sets** (switches, initiator NIs, links, target
+  NIs) holding the *level-triggered* wakeups: a component enters its
+  set when work arrives and leaves when its own tick finds the work
+  gone (or, for a switch, provably ineligible until a known cycle).
+
+Wakeups are posted by the components themselves, through the optional
+``wakeup`` hooks this scheduler installs:
+
+* ``InputPort.accept`` wakes its switch (refreshing ``switch.now``,
+  which the reference kernel refreshes by ticking every switch) by
+  posting the new flit's ready cycle on the switch wheel;
+* ``InputPort.pop`` wakes its upstream ON/OFF link — the pop changed
+  the free-slot count the link's backpressure wire samples;
+* ``TargetNI.accept`` wakes the target;
+* ``InitiatorNI.enqueue`` wakes the initiator — covering traffic
+  injections, responses, end-to-end acks, and retransmission copies;
+* ``Link.send`` posts the delivery cycle on the link wheel (pipelined
+  links) or activates the link (ON/OFF and ACK/NACK links, which have
+  per-cycle protocol work while busy).
+
+Byte-identity with the reference kernel rests on two invariants that
+``tests/sim/test_kernel_invariants.py`` audits:
+
+* **ordering** — within each phase the active subset is ticked in the
+  same sorted component order the reference kernel uses, so shared-RNG
+  draws (burst corruption, ACK/NACK error injection) and shared-
+  receiver interactions happen in the reference order;
+* **no lost wakeup** — a component with pending work is always in its
+  active set or on a wheel (:meth:`EventScheduler.find_lost_wakeups`
+  is the detector).
+
+Two subtleties:
+
+* A switch tick with no *ready* head flit mutates nothing (stall and
+  contention counters only move when an eligible flit exists), so an
+  occupied switch may sleep until the minimum ready stamp over its
+  head flits; arrivals on the way post their own ready cycles.
+* An ON/OFF link's tick *samples* the downstream free-slot count every
+  cycle — but that count only changes when the link itself delivers
+  (it is busy, hence active) or when the owner pops/drains (the
+  ``pop`` hook above; target drains keep the link active while the
+  target is).  Once the sample history has converged to the current
+  value, skipped ticks would append the value the ring already holds,
+  so skipping is exact.  Purges and fault repairs bypass the hooks and
+  trigger a full :meth:`rescan` instead.
+
+Everything the scheduler holds is derivable from component state, so
+checkpoint capsules do not carry it: :meth:`EventScheduler.rescan`
+rebuilds the wheels and the active sets exactly, and a restored
+simulator continues byte-identically (``tests/resilience/
+test_event_checkpoint.py``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Dict, List, Optional, Set
+
+from repro.arch.link import AckNackLink, OnOffLink
+from repro.arch.switch import InputPort
+from repro.sim.tracing import TraceEventKind
+
+__all__ = ["WakeupWheel", "EventScheduler"]
+
+
+class WakeupWheel:
+    """Bucketed ``cycle -> [token]`` map of pending timed wakeups.
+
+    The run loop executes every cycle from the current one forward
+    (jumps are bounded by :meth:`next_cycle`), so each bucket is popped
+    exactly once, at its own cycle.  Stale tokens — a link whose
+    in-flight flits were purged or dropped by a fault after posting, a
+    switch whose waiting flit was forwarded by an earlier wakeup — are
+    harmless: ticking a component without eligible work is a no-op.
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self):
+        self._buckets: Dict[int, List[int]] = {}
+
+    def post(self, cycle: int, token: int) -> None:
+        bucket = self._buckets.get(cycle)
+        if bucket is None:
+            self._buckets[cycle] = [token]
+        else:
+            bucket.append(token)
+
+    def pop_due(self, cycle: int):
+        """Drain and return the bucket at ``cycle`` (empty when none)."""
+        bucket = self._buckets.pop(cycle, None)
+        return bucket if bucket is not None else ()
+
+    def next_cycle(self) -> Optional[int]:
+        """Earliest populated bucket, or None when the wheel is empty."""
+        if not self._buckets:
+            return None
+        return min(self._buckets)
+
+    def tokens(self) -> Set[int]:
+        """Every token currently posted (for the lost-wakeup audit)."""
+        out: Set[int] = set()
+        for bucket in self._buckets.values():
+            out.update(bucket)
+        return out
+
+    def earliest_by_token(self) -> Dict[int, int]:
+        """token -> earliest posted cycle (for the lost-wakeup audit)."""
+        out: Dict[int, int] = {}
+        for cycle in sorted(self._buckets):
+            for token in self._buckets[cycle]:
+                out.setdefault(token, cycle)
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+class EventScheduler:
+    """Wakeup registry and run-loop core for ``kernel="event"``.
+
+    One instance per simulator; built lazily on the first event-kernel
+    ``run()`` and excluded from checkpoints (see module docstring).
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.wheel = WakeupWheel()    # link delivery cycles
+        self.swheel = WakeupWheel()   # switch ready cycles
+        self.active_switches: Set[int] = set()
+        self.active_initiators: Set[int] = set()
+        self.active_targets: Set[int] = set()
+        self.active_links: Set[int] = set()
+        #: Initiators that may hold unacknowledged transfers (pruned
+        #: lazily; a superset is safe, a miss would lose a deadline).
+        self.rt_watch: Set[int] = set()
+
+        # Link-phase state: a sorted list of link indices lives only
+        # while the phase runs, so wakeups fired *by deliveries* (a
+        # shared target NI activating its other ejection links) can
+        # join the current cycle at their correct sorted position.
+        self._link_order: Optional[List[int]] = None
+        self._link_cursor = -1
+        self._last_link_tick = [-1] * len(sim._link_seq)
+
+        # Classify links; ON/OFF links additionally need to know which
+        # component drains the buffer they advertise (switch pops fire
+        # the per-port hook; target drains are covered by keeping the
+        # target's ejection links active while the target is).
+        target_index = {id(t): i for i, t in enumerate(sim._target_seq)}
+        self._link_kind: List[str] = []
+        self._link_target: List[Optional[int]] = []
+        self._target_in_onoff: List[List[int]] = [
+            [] for __ in sim._target_seq
+        ]
+        #: Per-link deactivation dispatch for the hot phase-3 walk:
+        #: 0 = ON/OFF into a switch port, 1 = ON/OFF into a target NI,
+        #: 2 = ACK/NACK, 3 = pipelined (wheel-managed deliveries).
+        self._kind_code: List[int] = []
+        for i, link in enumerate(sim._link_seq):
+            recv = link.receiver
+            tgt = None
+            if not isinstance(recv, InputPort) and id(recv) in target_index:
+                tgt = target_index[id(recv)]
+            if isinstance(link, OnOffLink):
+                kind = "onoff"
+                code = 0 if tgt is None else 1
+                if tgt is not None:
+                    self._target_in_onoff[tgt].append(i)
+            elif isinstance(link, AckNackLink):
+                kind = "acknack"
+                code = 2
+            else:  # CreditLink / base pipeline: delivery is the event
+                kind = "pipelined"
+                code = 3
+            self._link_kind.append(kind)
+            self._link_target.append(tgt)
+            self._kind_code.append(code)
+
+        self._install_wakers()
+        self.rescan()
+
+    # ------------------------------------------------------------------
+    # Wakeup hooks
+    # ------------------------------------------------------------------
+    def _install_wakers(self) -> None:
+        sim = self.sim
+        for i, sw in enumerate(sim._switch_seq):
+            sw.wakeup = self._make_switch_waker(i, sw)
+        for i, ni in enumerate(sim._initiator_seq):
+            ni.wakeup = self._make_initiator_waker(i)
+        for i, tgt in enumerate(sim._target_seq):
+            tgt.wakeup = self._make_target_waker(i)
+        for i, link in enumerate(sim._link_seq):
+            if self._link_kind[i] == "pipelined":
+                link.wakeup = self._make_delivery_waker(i)
+            else:
+                link.wakeup = self._make_link_waker(i)
+                if self._link_kind[i] == "onoff" and isinstance(
+                    link.receiver, InputPort
+                ):
+                    link.receiver.wake_upstream = self._make_port_waker(i)
+
+    # The wakers close over the active sets directly (``rescan`` mutates
+    # them in place rather than rebinding, to keep these references
+    # valid) and guard membership inline: wakeups fire on every send,
+    # pop, and delivery, and the common case — the component is already
+    # active — must cost one set lookup, not a method call.
+    def _make_switch_waker(self, i: int, sw):
+        latency = sw.params.switch_latency_cycles
+        active = self.active_switches
+        sim = self.sim
+
+        def wake() -> None:
+            # The reference kernel refreshes ``now`` by ticking every
+            # switch every cycle; the waker refreshes it on delivery so
+            # InputPort.accept computes the same pipeline-ready cycle.
+            cyc = sim.cycle
+            if sw.now < cyc:
+                sw.now = cyc
+            if i not in active:
+                # Deliveries land in the link phase, after this cycle's
+                # switch phase; the new flit is eligible at its ready
+                # stamp, never sooner than the next switch phase.  For
+                # the ubiquitous one-stage pipeline that stamp *is* the
+                # next switch phase, so level-activate directly and
+                # skip the post/pop round-trip through the wheel.
+                if latency <= 1:
+                    active.add(i)
+                else:
+                    self.swheel.post(cyc + latency, i)
+        return wake
+
+    def _make_initiator_waker(self, i: int):
+        active = self.active_initiators
+        rt_watch = self.rt_watch
+
+        def wake() -> None:
+            active.add(i)
+            rt_watch.add(i)
+        return wake
+
+    def _make_target_waker(self, i: int):
+        active = self.active_targets
+        in_onoff = self._target_in_onoff[i]
+
+        def wake() -> None:
+            if i not in active:
+                active.add(i)
+                for li in in_onoff:
+                    self._activate_link(li)
+        return wake
+
+    def _make_delivery_waker(self, i: int):
+        def wake(deliver_at: int) -> None:
+            self.wheel.post(deliver_at, i)
+        return wake
+
+    def _make_link_waker(self, i: int):
+        active = self.active_links
+
+        def wake(_deliver_at: int) -> None:
+            if i not in active:
+                self._activate_link(i)
+        return wake
+
+    def _make_port_waker(self, i: int):
+        active = self.active_links
+
+        def wake() -> None:
+            if i not in active:
+                self._activate_link(i)
+        return wake
+
+    def _activate_link(self, i: int) -> None:
+        if i not in self.active_links:
+            self.active_links.add(i)
+            order = self._link_order
+            cursor = self._link_cursor
+            if order is not None and i > cursor:
+                # Mid-link-phase activation: join this cycle's sweep at
+                # the correct sorted position.  Links at or before the
+                # cursor missed nothing — they were inactive, so their
+                # skipped tick is provably a no-op (converged history,
+                # nothing in flight); they tick from the next cycle.
+                # Everything at or left of the walk position is <=
+                # cursor, so bisecting past the cursor value re-derives
+                # the walk position without per-tick bookkeeping.
+                insort(order, i, lo=bisect_right(order, cursor))
+
+    # ------------------------------------------------------------------
+    # Reconstruction (run start, post-fault, post-recovery, post-restore)
+    # ------------------------------------------------------------------
+    def rescan(self) -> None:
+        """Rebuild the wheels and active sets from component state.
+
+        Every scheduling fact is derivable: buffered flits, queued
+        packets, in-flight deliveries, unacknowledged transfers, and
+        unconverged ON/OFF histories.  Called at each ``run()`` entry
+        (state may have been mutated between runs — direct ``inject``,
+        fault attachment, checkpoint restore), after fault events
+        (repairs reset link protocol state wholesale), and after
+        recovery-controller actions (purges empty buffers without
+        firing the pop hooks).
+        """
+        sim = self.sim
+        # The active sets are mutated in place, never rebound: the
+        # wakeup closures hold direct references to them.
+        # Occupied switches start active and demote themselves to the
+        # switch wheel on their first tick if nothing is ready yet.
+        self.swheel = WakeupWheel()
+        self.active_switches.clear()
+        self.active_switches.update(
+            i for i, sw in enumerate(sim._switch_seq) if sw.occupancy
+        )
+        self.active_initiators.clear()
+        self.active_initiators.update(
+            i for i, ni in enumerate(sim._initiator_seq) if ni.backlog
+        )
+        self.active_targets.clear()
+        self.active_targets.update(
+            i for i, tgt in enumerate(sim._target_seq) if not tgt.idle
+        )
+        self.rt_watch.clear()
+        self.rt_watch.update(
+            i for i, ni in enumerate(sim._initiator_seq)
+            if ni.pending_transfers
+        )
+        self.wheel = WakeupWheel()
+        active_links = self.active_links
+        active_links.clear()
+        for i, link in enumerate(sim._link_seq):
+            kind = self._link_kind[i]
+            if kind == "pipelined":
+                for deliver_at, __ in link._in_flight:
+                    self.wheel.post(deliver_at, i)
+            elif kind == "acknack":
+                if link.busy:
+                    active_links.add(i)
+            else:  # onoff
+                if (
+                    link.busy
+                    or self._link_target[i] in self.active_targets
+                    or not link.history_converged()
+                ):
+                    active_links.add(i)
+
+    # ------------------------------------------------------------------
+    # One executed cycle (the reference step(), on the active subset)
+    # ------------------------------------------------------------------
+    def execute_cycle(self, c: int) -> None:
+        sim = self.sim
+        if sim._fault_schedule is not None and sim._apply_due_faults(c):
+            # Fault events rewire components wholesale (repairs reset
+            # flow-control state, failures drop buffered work); rebuild
+            # rather than patch.
+            self.rescan()
+
+        # Phase 1: switches arbitrate and forward.
+        due = self.swheel.pop_due(c)
+        if due:
+            self.active_switches.update(due)
+        if self.active_switches:
+            seq = sim._switch_seq
+            post = self.swheel.post
+            c1 = c + 1
+            done = []
+            for i in sorted(self.active_switches):
+                # tick() returns the earliest ready stamp over the head
+                # flits it leaves buffered.  Arrivals only append (each
+                # posting its own wakeup), and pops only happen in the
+                # tick — so the minimum is stable while the switch
+                # sleeps.  A dead switch's tick returns None (a no-op;
+                # accepts keep posting wakeups, and its repair forces a
+                # rescan), so the empty and failed cases demote alike.
+                nr = seq[i].tick(c)
+                if nr is None:
+                    done.append(i)
+                elif nr > c1:
+                    # Occupied but nothing eligible before ``nr``: a
+                    # tick without a ready head mutates no state (stall
+                    # and contention counters only move on eligible
+                    # flits), so sleeping until then is exact.
+                    done.append(i)
+                    post(nr, i)
+            self.active_switches.difference_update(done)
+
+        # Phase 2: initiator NIs inject.
+        if self.active_initiators:
+            seq = sim._initiator_seq
+            done = []
+            for i in sorted(self.active_initiators):
+                ni = seq[i]
+                ni.tick(c)
+                if not ni.backlog:
+                    done.append(i)
+            self.active_initiators.difference_update(done)
+
+        # Phase 3: links deliver (active set merged with the wheel's
+        # due bucket, in sorted link order; deliveries may activate
+        # further links mid-phase — see _activate_link).  Each link's
+        # deactivation verdict is taken right after its tick where the
+        # predicate is already final — a link's protocol state only
+        # changes inside its own tick during this phase (no sends
+        # happen between deliveries) — except that links feeding a
+        # target NI must wait for the phase's final active-target set,
+        # since a later delivery may activate the target that keeps
+        # them alive.
+        order = list(self.active_links)
+        due = self.wheel.pop_due(c)
+        if due:
+            order.extend(due)
+        if order:
+            order.sort()
+            self._link_order = order
+            seq = sim._link_seq
+            last = self._last_link_tick
+            codes = self._kind_code
+            done = []
+            tcheck = []
+            idx = 0
+            while idx < len(order):
+                i = order[idx]
+                idx += 1
+                if last[i] == c:
+                    continue  # posted twice (active + wheel, or dupes)
+                last[i] = c
+                self._link_cursor = i
+                link = seq[i]
+                link.tick(c)
+                code = codes[i]
+                if code == 0:  # ON/OFF into a switch port
+                    # OnOffLink inherits ``busy`` == bool(_in_flight),
+                    # read directly: this runs once per active link per
+                    # executed cycle.
+                    if not link._in_flight and link.history_converged():
+                        done.append(i)
+                elif code == 3:  # pipelined: wheel-managed between
+                    if not link.busy:   # deliveries, never level-active
+                        done.append(i)
+                else:  # ON/OFF into a target NI, or ACK/NACK
+                    tcheck.append(i)
+            self._link_order = None
+            self._link_cursor = -1
+            if tcheck:
+                act_targets = self.active_targets
+                targets = self._link_target
+                for i in tcheck:
+                    link = seq[i]
+                    if codes[i] == 1:  # ON/OFF into a target NI
+                        if (
+                            link._in_flight
+                            or targets[i] in act_targets
+                            or not link.history_converged()
+                        ):
+                            continue
+                    elif link.busy:  # acknack: busy is overridden
+                        continue
+                    done.append(i)
+            if done:
+                self.active_links.difference_update(done)
+
+        # Phase 4: target NIs drain and complete packets.
+        if self.active_targets:
+            record_packet = sim.stats.record_packet
+            seq = sim._target_seq
+            done = []
+            for i in sorted(self.active_targets):
+                tgt = seq[i]
+                received = tgt.packets_received
+                before = len(received)
+                tgt.tick(c)
+                if len(received) != before:
+                    for packet, arrival in received[before:]:
+                        record_packet(packet, arrival)
+                if tgt.idle:
+                    done.append(i)
+            self.active_targets.difference_update(done)
+
+        # Phase 5: end-to-end retransmission deadlines.
+        if sim._retransmission is not None and self.rt_watch:
+            seq = sim._initiator_seq
+            recorder = sim._recorder
+            done = []
+            for i in sorted(self.rt_watch):
+                ni = seq[i]
+                if not ni.pending_transfers:
+                    done.append(i)
+                    continue
+                nxt = ni.next_timeout_cycle()
+                if nxt is None or nxt > c:
+                    continue  # check_timeouts would be a no-op
+                before_rt = ni.packets_retransmitted
+                ni.check_timeouts(c)
+                if recorder is not None and (
+                    ni.packets_retransmitted > before_rt
+                ):
+                    recorder.record_note(
+                        c,
+                        TraceEventKind.RETRANSMIT,
+                        ni.core,
+                        f"{ni.packets_retransmitted - before_rt} "
+                        "transfer(s)",
+                    )
+            self.rt_watch.difference_update(done)
+
+        # Phase 6: recovery controller (its next_wakeup contract states
+        # exactly when tick() can act; earlier calls are no-ops).  A
+        # completed recovery purges buffers and hot-swaps routes behind
+        # the wakeup hooks' back, so it forces a rescan.
+        controller = sim._controller
+        if controller is not None:
+            nxt = controller.next_wakeup(c)
+            if nxt is not None and nxt <= c:
+                before_rec = getattr(controller, "recoveries", None)
+                controller.tick(c)
+                if getattr(controller, "recoveries", None) != before_rec:
+                    self.rescan()
+
+        # Phase 7: metrics probe window boundaries.
+        if sim._obs is not None and c >= sim._obs.next_sample_cycle():
+            sim._obs.on_cycle(c)
+
+        if sim._event_audit is not None:
+            sim._event_audit(c)
+        sim.cycle = c + 1
+
+    # ------------------------------------------------------------------
+    # Quiescence: advance the clock to the next populated bucket
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """No level-triggered work anywhere (timed wakeups may remain)."""
+        return not (
+            self.active_switches
+            or self.active_initiators
+            or self.active_targets
+            or self.active_links
+        )
+
+    def jump_target(self, traffic, limit: int) -> Optional[int]:
+        """Jump target ``t`` with ``cycle < t <= limit``, or None.
+
+        Only called when :meth:`quiescent` holds; the timed terms — the
+        wheels' next buckets, retransmission deadlines, scheduled
+        faults, the controller's wakeup, the probe's window boundary,
+        and the traffic lookahead — bound the jump from above exactly
+        like the fast kernel's event horizon.
+        """
+        sim = self.sim
+        c = sim.cycle
+        if limit <= c + 1:
+            return None
+        horizon = limit
+        nxt = self.wheel.next_cycle()
+        if nxt is not None and nxt < horizon:
+            horizon = nxt
+        nxt = self.swheel.next_cycle()
+        if nxt is not None and nxt < horizon:
+            horizon = nxt
+        if self.rt_watch:
+            stale = []
+            for i in self.rt_watch:
+                ni = sim._initiator_seq[i]
+                if not ni.pending_transfers:
+                    stale.append(i)
+                    continue
+                deadline = ni.next_timeout_cycle()
+                if deadline is not None and deadline < horizon:
+                    horizon = deadline
+            self.rt_watch.difference_update(stale)
+        if sim._fault_schedule is not None:
+            nxt = sim._fault_schedule.next_cycle()
+            if nxt is not None and nxt < horizon:
+                horizon = nxt
+        if sim._controller is not None:
+            nxt = sim._controller.next_wakeup(c)
+            if nxt is not None and nxt < horizon:
+                horizon = nxt
+        if sim._obs is not None:
+            nxt = sim._obs.next_sample_cycle()
+            if nxt < horizon:
+                horizon = nxt
+        if horizon <= c:
+            return None
+        if traffic is not None:
+            probe = getattr(traffic, "next_injection_cycle", None)
+            if probe is None:
+                return None  # opaque generator: never skip
+            nxt = probe(c, sim, horizon)
+            if nxt is not None and nxt < horizon:
+                horizon = nxt
+        if horizon <= c:
+            return None
+        return horizon
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+    def find_lost_wakeups(self) -> List[str]:
+        """Components holding work with no wheel entry or active-set
+        membership — the failure mode that silently freezes traffic.
+
+        Returns human-readable descriptions (empty = invariant holds);
+        the property tests fail the run on any entry.
+        """
+        sim = self.sim
+        lost: List[str] = []
+        swheel_earliest = self.swheel.earliest_by_token()
+        for i, sw in enumerate(sim._switch_seq):
+            if not sw.occupancy or sw.failed or i in self.active_switches:
+                continue
+            nr = None
+            for port in sw.inputs.values():
+                for buf in port.buffers:
+                    if buf and (nr is None or buf[0][1] < nr):
+                        nr = buf[0][1]
+            token_at = swheel_earliest.get(i)
+            if token_at is None:
+                lost.append(
+                    f"switch {sw.name}: {sw.occupancy} buffered flit(s) "
+                    "but no wakeup"
+                )
+            elif nr is not None and token_at > nr:
+                lost.append(
+                    f"switch {sw.name}: head flit ready at {nr} but "
+                    f"earliest wakeup at {token_at}"
+                )
+        for i, ni in enumerate(sim._initiator_seq):
+            if ni.backlog and i not in self.active_initiators:
+                lost.append(
+                    f"initiator {ni.core}: backlog {ni.backlog} "
+                    "but no wakeup"
+                )
+            if ni.pending_transfers and i not in self.rt_watch:
+                lost.append(
+                    f"initiator {ni.core}: {ni.pending_transfers} pending "
+                    "transfer(s) but unwatched deadline"
+                )
+        for i, tgt in enumerate(sim._target_seq):
+            if not tgt.idle and i not in self.active_targets:
+                lost.append(
+                    f"target {tgt.core}: buffered/pending work "
+                    "but no wakeup"
+                )
+        wheel_tokens = self.wheel.tokens()
+        for i, link in enumerate(sim._link_seq):
+            kind = self._link_kind[i]
+            if kind == "pipelined":
+                if link._in_flight and i not in wheel_tokens and (
+                    i not in self.active_links
+                ):
+                    lost.append(
+                        f"link {link.name}: in-flight flit(s) "
+                        "but no wheel entry"
+                    )
+            elif link.busy and i not in self.active_links:
+                lost.append(f"link {link.name}: busy but not active")
+            elif kind == "onoff" and i not in self.active_links and (
+                not link.history_converged()
+            ):
+                lost.append(
+                    f"link {link.name}: unconverged ON/OFF history "
+                    "but not active"
+                )
+        return lost

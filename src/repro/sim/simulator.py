@@ -18,7 +18,7 @@ This simulator is the stand-in for the authors' RTL/SystemC models (see
 DESIGN.md): slower but behaviourally equivalent at flit granularity,
 which is the level all the reproduced claims live at.
 
-Two run kernels share the single ``step()`` implementation:
+Three run kernels share the per-cycle semantics of ``step()``:
 
 * ``kernel="reference"`` — execute every cycle, one ``step()`` per tick;
 * ``kernel="fast"`` (the default) — identical per-cycle semantics, but
@@ -27,9 +27,18 @@ Two run kernels share the single ``step()`` implementation:
   generator, in-flight link pipeline, NI retransmission timer, pending
   response, fault-schedule entry, recovery controller or metrics window
   can act.  Every executed cycle runs the very same ``step()``, and
-  traffic lookahead buffers its draws for verbatim replay, so the two
-  kernels are byte-identical in stats, traces and recovery accounting
-  (``tests/sim/test_kernel_equivalence.py`` enforces this).
+  traffic lookahead buffers its draws for verbatim replay;
+* ``kernel="event"`` — components *post wakeups* instead of being
+  polled: an :class:`repro.sim.event_wheel.EventScheduler` keeps active
+  sets plus a bucketed delivery wheel, each executed cycle ticks only
+  the components with pending work (in the reference kernel's sorted
+  phase order), and fully quiescent stretches jump like the fast
+  kernel.  This is the kernel that stays fast at mid-load, where the
+  fast kernel's whole-network quiescence test never fires.
+
+All three are byte-identical in stats, traces and recovery accounting
+(``tests/sim/test_kernel_equivalence.py`` enforces this over a
+3-way configuration matrix).
 """
 
 from __future__ import annotations
@@ -53,7 +62,7 @@ from repro.topology.graph import NodeKind, RoutingTable, Topology
 from repro.sim.stats import StatsCollector
 
 #: Valid ``NocSimulator(kernel=...)`` selectors.
-KERNELS = ("fast", "reference")
+KERNELS = ("fast", "reference", "event")
 
 #: Cap on the idle-check backoff (cycles between quiescence probes while
 #: the network stays busy).  Skipping later than possible is always
@@ -126,7 +135,9 @@ class NocSimulator:
         Packets injected before this cycle are excluded from statistics.
     kernel:
         ``"fast"`` (default) skips provably idle cycles; ``"reference"``
-        executes every cycle.  Results are byte-identical either way.
+        executes every cycle; ``"event"`` schedules only components
+        with posted wakeups (see :mod:`repro.sim.event_wheel`).
+        Results are byte-identical across all three.
     """
 
     def __init__(
@@ -177,6 +188,15 @@ class NocSimulator:
         self._skip_backoff = 1
         self._next_skip_check = 0
         self._skip_hook: Optional[Callable[[int, int], None]] = None
+
+        # Event-kernel scheduler (built lazily by the first event-kernel
+        # run; see repro.sim.event_wheel).  Its entire state is derived
+        # from component state, so it is excluded from checkpoints and
+        # rebuilt on restore.  ``_event_audit`` is an optional per-
+        # executed-cycle ``f(cycle)`` callback the invariant tests use
+        # to assert no wakeup was lost.
+        self._event_sched = None
+        self._event_audit: Optional[Callable[[int], None]] = None
 
         self._build(vc_assignment)
         self._switch_order = sorted(self.switches)
@@ -408,6 +428,11 @@ class NocSimulator:
         state["_recorder"] = None
         state["_obs"] = None
         state["_skip_hook"] = None
+        # The event scheduler's wheel and active sets are fully derived
+        # from component state; the restored simulator rebuilds them
+        # (EventScheduler.rescan) for byte-identical continuation.
+        state["_event_sched"] = None
+        state["_event_audit"] = None
         return state
 
     def __setstate__(self, state):
@@ -504,6 +529,8 @@ class NocSimulator:
             raise ValueError("cycles must be non-negative")
         if self.kernel == "fast":
             return self._run_fast(cycles, traffic, drain, max_drain_cycles)
+        if self.kernel == "event":
+            return self._run_event(cycles, traffic, drain, max_drain_cycles)
         for __ in range(cycles):
             if traffic is not None:
                 traffic.tick(self.cycle, self)
@@ -559,6 +586,51 @@ class NocSimulator:
                     )
                     self._next_skip_check = self.cycle + self._skip_backoff
                 self.step()
+            if not self.idle:
+                raise self._drain_timeout_error(max_drain_cycles)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Event kernel: components post wakeups instead of being polled
+    # ------------------------------------------------------------------
+    def _run_event(
+        self, cycles: int, traffic, drain: bool, max_drain_cycles: int
+    ) -> StatsCollector:
+        """The ``kernel="event"`` run loop.
+
+        Each executed cycle replays the reference :meth:`step` phases on
+        the scheduler's active subsets only (in the same sorted order);
+        fully quiescent stretches jump to the next timed wakeup.  The
+        scheduler is rebuilt from component state at every entry, so
+        mutations between runs (direct injection, checkpoint restore,
+        attachment changes) are always picked up.
+        """
+        from repro.sim.event_wheel import EventScheduler
+
+        if self._event_sched is None:
+            self._event_sched = EventScheduler(self)
+        else:
+            self._event_sched.rescan()
+        sched = self._event_sched
+        end = self.cycle + cycles
+        while self.cycle < end:
+            if sched.quiescent():
+                target = sched.jump_target(traffic, end)
+                if target is not None:
+                    self._skip_to(target)
+                    continue
+            if traffic is not None:
+                traffic.tick(self.cycle, self)
+            sched.execute_cycle(self.cycle)
+        if drain:
+            end = self.cycle + max_drain_cycles
+            while not self.idle and self.cycle < end:
+                if sched.quiescent():
+                    target = sched.jump_target(None, end)
+                    if target is not None:
+                        self._skip_to(target)
+                        continue
+                sched.execute_cycle(self.cycle)
             if not self.idle:
                 raise self._drain_timeout_error(max_drain_cycles)
         return self.stats
@@ -755,11 +827,19 @@ class NocSimulator:
             key for key in self._link_order if switch in key
         ]
 
-    def _apply_due_faults(self, cycle: int) -> None:
+    def _apply_due_faults(self, cycle: int) -> int:
+        """Apply every fault event due at ``cycle``; returns how many.
+
+        The count lets the event kernel rebuild its scheduler state only
+        when something actually changed (fault events rewire components
+        wholesale — repairs reset flow-control state entirely).
+        """
         from repro.sim.faults import FaultKind
         from repro.sim.tracing import TraceEventKind
 
+        applied = 0
         for event in self._fault_schedule.due(cycle):
+            applied += 1
             dropped = 0
             if event.kind is FaultKind.SWITCH_DOWN:
                 dropped += self.switches[event.component].fail(cycle)
@@ -804,6 +884,7 @@ class NocSimulator:
                 self._recorder.record_note(
                     cycle, TraceEventKind.FAULT, where, event.describe()
                 )
+        return applied
 
     def hot_swap_routing(
         self, new_table: RoutingTable, cycle: int

@@ -50,6 +50,24 @@ def _core_index_maps(cores: Sequence[str]):
     return ordered, {c: i for i, c in enumerate(ordered)}
 
 
+def _coord_maps(topo, cores: Sequence[str]):
+    """Mesh-coordinate lookups for the coordinate-based patterns.
+
+    Returns ``(coord_of, at_coord, xs, ys)`` or ``None`` when any core
+    lacks ``x``/``y`` attributes (non-mesh topologies).
+    """
+    coord_of = {}
+    for c in cores:
+        a = topo.node_attrs(c)
+        if "x" not in a or "y" not in a:
+            return None
+        coord_of[c] = (a["x"], a["y"])
+    at_coord = {xy: c for c, xy in coord_of.items()}
+    xs = sorted({xy[0] for xy in coord_of.values()})
+    ys = sorted({xy[1] for xy in coord_of.values()})
+    return coord_of, at_coord, xs, ys
+
+
 class SyntheticTraffic:
     """Rate-driven synthetic pattern over all cores.
 
@@ -96,10 +114,20 @@ class SyntheticTraffic:
         # cycle they belong to, replayed verbatim when tick() reaches it.
         self._pending: Dict[int, List[Tuple[str, str]]] = {}
         self._drawn_until = 0
+        # Per-topology cache (keyed by object identity, dropped on
+        # pickle): the sorted core list, and — for the RNG-free
+        # deterministic patterns, whose destination is a pure function
+        # of the source — the precomputed src -> dst map.
+        self._topo_cache = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_topo_cache"] = None
+        return state
 
     # ------------------------------------------------------------------
     def _destination(self, src: str, cores: List[str], index: Dict[str, int],
-                     topo) -> Optional[str]:
+                     topo, coords=None) -> Optional[str]:
         n = len(cores)
         i = index[src]
         if self.pattern == "uniform":
@@ -124,14 +152,14 @@ class SyntheticTraffic:
                 j += 1
             return cores[j]
         # Coordinate-based patterns need mesh attributes.
-        attrs = topo.node_attrs(src)
-        if "x" not in attrs or "y" not in attrs:
+        if coords is None:
+            coords = _coord_maps(topo, cores)
+        if coords is None or src not in coords[0]:
             raise ValueError(
                 f"pattern {self.pattern!r} needs mesh coordinates on cores"
             )
-        x, y = attrs["x"], attrs["y"]
-        xs = sorted({topo.node_attrs(c)["x"] for c in cores})
-        ys = sorted({topo.node_attrs(c)["y"] for c in cores})
+        coord_of, at_coord, xs, ys = coords
+        x, y = coord_of[src]
         if self.pattern == "transpose":
             tx, ty = y, x
             if tx not in xs or ty not in ys:
@@ -140,21 +168,36 @@ class SyntheticTraffic:
             tx, ty = (x + 1) % (max(xs) + 1), y
         else:  # pragma: no cover
             raise AssertionError(self.pattern)
-        for c in cores:
-            a = topo.node_attrs(c)
-            if a["x"] == tx and a["y"] == ty and c != src:
-                return c
-        return None
+        c = at_coord.get((tx, ty))
+        return c if c is not None and c != src else None
 
     def _draw_cycle(self, simulator) -> List[Tuple[str, str]]:
         """One cycle's worth of Bernoulli draws, in sorted-core order."""
-        cores, index = _core_index_maps(simulator.topology.cores)
+        topo = simulator.topology
+        cache = self._topo_cache
+        if cache is None or cache[0] is not topo:
+            cores, index = _core_index_maps(topo.cores)
+            dest = None
+            if self.pattern in (
+                "bit-complement", "shuffle", "transpose", "neighbor"
+            ):
+                coords = _coord_maps(topo, cores)
+                dest = {
+                    src: self._destination(src, cores, index, topo, coords)
+                    for src in cores
+                }
+            cache = self._topo_cache = (topo, cores, index, dest)
+        __, cores, index, dest = cache
         p = self.injection_rate / self.packet_size_flits
         drawn: List[Tuple[str, str]] = []
+        rng_random = self._rng.random
         for src in cores:
-            if self._rng.random() >= p:
+            if rng_random() >= p:
                 continue
-            dst = self._destination(src, cores, index, simulator.topology)
+            if dest is not None:
+                dst = dest[src]
+            else:
+                dst = self._destination(src, cores, index, topo)
             if dst is None:
                 continue
             drawn.append((src, dst))

@@ -1,17 +1,19 @@
-"""Differential equivalence suite: ``fast`` kernel vs ``reference``.
+"""Differential equivalence suite: every kernel vs ``reference``.
 
-Every configuration in the seeded matrix below runs twice — once per
-kernel — from identical seeds and freshly built component state.  The
-resulting fingerprints (packet records, component counters, trace
-streams, fault/recovery accounting, metrics summaries) are serialised
-to canonical JSON and must be **byte-identical**.  The only observable
-allowed to differ between kernels is ``NocSimulator.cycles_skipped``,
-which is therefore excluded from the fingerprint.
+Every configuration in the seeded matrix below runs once per kernel
+(``reference``, ``fast``, ``event``) from identical seeds and freshly
+built component state.  The resulting fingerprints (packet records,
+component counters, trace streams, fault/recovery accounting, metrics
+summaries) are serialised to canonical JSON and must be
+**byte-identical** across all kernels.  The only observable allowed to
+differ between kernels is ``NocSimulator.cycles_skipped``, which is
+therefore excluded from the fingerprint.
 
 The matrix spans topology x load x flow control x faults x traffic
-model x metrics/tracing, biased toward low injection rates because
-that is where the fast kernel actually skips (and therefore where it
-can diverge if the event horizon is wrong).
+model x metrics/tracing.  Low injection rates stress the fast kernel's
+quiescence jumps; mid/high rates stress the event kernel's active-set
+bookkeeping (where the fast kernel degenerates to the reference loop
+but the event scheduler must still wake exactly the right components).
 """
 
 import json
@@ -319,13 +321,17 @@ def _run(config, kernel):
     "config", CONFIGS, ids=[c["id"] for c in CONFIGS]
 )
 def test_kernels_byte_identical(config):
+    """3-way matrix: every non-reference kernel matches the reference."""
     __, fp_ref = _run(config, "reference")
-    __, fp_fast = _run(config, "fast")
     blob_ref = json.dumps(fp_ref, sort_keys=True)
-    blob_fast = json.dumps(fp_fast, sort_keys=True)
-    assert blob_fast == blob_ref, (
-        f"kernel divergence on {config['id']}"
-    )
+    for kernel in KERNELS:
+        if kernel == "reference":
+            continue
+        __, fp = _run(config, kernel)
+        blob = json.dumps(fp, sort_keys=True)
+        assert blob == blob_ref, (
+            f"kernel {kernel!r} diverged from reference on {config['id']}"
+        )
 
 
 def test_matrix_is_large_enough():
@@ -347,7 +353,27 @@ def test_fast_kernel_actually_skips_at_low_load():
         json.dumps(fp_ref, sort_keys=True)
 
 
+def test_event_kernel_actually_schedules():
+    """Same degeneration guard for the event kernel, at a load where
+    the fast kernel cannot skip: the scheduler must be live (its wheel
+    posting deliveries) while matching the reference byte-for-byte —
+    and its quiescence jumps must fire at trickle load too."""
+    mid = dict(CONFIGS[0], rate=0.05, cycles=1000, id="event-mid")
+    sim_mid, fp_mid = _run(mid, "event")
+    assert sim_mid._event_sched is not None
+    sim_ref, fp_ref = _run(mid, "reference")
+    assert json.dumps(fp_mid, sort_keys=True) == \
+        json.dumps(fp_ref, sort_keys=True)
+
+    low = dict(CONFIGS[0], rate=0.001, cycles=2000, id="event-low")
+    sim_low, fp_low = _run(low, "event")
+    assert sim_low.cycles_skipped > 500
+    sim_ref, fp_ref = _run(low, "reference")
+    assert json.dumps(fp_low, sort_keys=True) == \
+        json.dumps(fp_ref, sort_keys=True)
+
+
 def test_kernel_names_are_closed():
-    assert KERNELS == ("fast", "reference")
+    assert KERNELS == ("fast", "reference", "event")
     with pytest.raises(ValueError):
         _build_sim(CONFIGS[0], "warp")

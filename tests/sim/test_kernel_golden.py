@@ -116,6 +116,14 @@ SCENARIOS = {
         "pattern": "uniform", "rate": 0.03, "packet_size": 4,
         "cycles": 800, "warmup": 100, "seed": 13, "faults": None,
     },
+    # Mid-load on a big mesh: enough cores inject every cycle that the
+    # fast kernel's whole-network quiescence test almost never fires —
+    # the regime the event kernel exists for (see BENCH_sim_event.json).
+    "mesh_midload": {
+        "topology": "mesh", "size": 8, "flow_control": "on_off",
+        "pattern": "uniform", "rate": 0.05, "packet_size": 4,
+        "cycles": 600, "warmup": 100, "seed": 29, "faults": None,
+    },
     "fault_campaign": {
         "topology": "mesh", "size": 4, "flow_control": "on_off",
         "pattern": "uniform", "rate": 0.04, "packet_size": 4,
@@ -156,6 +164,24 @@ def test_matches_golden(name, kernel):
         f"[{kernel} kernel] simulation drift vs golden {name!r}: {drift}\n"
         f"If this change is intentional, regenerate the fixture and "
         f"review its diff."
+    )
+
+
+def test_midload_golden_defeats_fast_skipping():
+    """The mid-load fixture must sit where the fast kernel's skipping
+    is ineffective (otherwise it guards nothing the mesh fixture does
+    not), while the event kernel still matches byte-for-byte there."""
+    scenario = SCENARIOS["mesh_midload"]
+    reset_packet_ids()
+    sim = _sim_for(scenario, "fast")
+    traffic = SyntheticTraffic(scenario["pattern"], scenario["rate"],
+                               scenario["packet_size"],
+                               seed=scenario["seed"])
+    sim.run(scenario["cycles"], traffic, drain=True)
+    executed = sim.cycle - sim.cycles_skipped
+    assert sim.cycles_skipped < 0.2 * executed, (
+        "the mid-load scenario no longer defeats fast-kernel skipping; "
+        "raise its rate or size so it stays a meaningful regression net"
     )
 
 

@@ -1,6 +1,6 @@
-"""Property-based invariants of the fast simulation kernel.
+"""Property-based invariants of the fast and event simulation kernels.
 
-Three families, per the kernel's correctness argument:
+Four families, per the kernels' correctness arguments:
 
 * **Flit conservation** — nothing is duplicated or lost: every packet
   offered is delivered (fault-free, drained) or accounted for as
@@ -11,6 +11,12 @@ Three families, per the kernel's correctness argument:
 * **Skip audit** — via ``NocSimulator._skip_hook``: no jump ever
   crosses a scheduled fault or a pending retransmission deadline, and
   every jump moves strictly forward from a quiescent cycle.
+* **Wakeup audit** (event kernel) — no clock jump crosses a posted
+  wheel wakeup, a scheduled fault, a pending retransmission deadline,
+  or a metrics window boundary; and at the end of every executed cycle
+  no component holds work without a wheel entry or active-set
+  membership (the "lost wakeup" detector, which fails the run when
+  wired through ``NocSimulator._event_audit``).
 """
 
 import pytest
@@ -20,6 +26,7 @@ from hypothesis import given, settings, strategies as st
 from repro.arch import FlowControlKind, NocParameters
 from repro.arch.packet import reset_packet_ids
 from repro.sim import (
+    DrainTimeoutError,
     FaultEvent,
     FaultKind,
     FaultSchedule,
@@ -201,3 +208,153 @@ class TestSkipAudit:
         traffic = SyntheticTraffic("uniform", 0.002, 4, seed=5)
         sim.run(2000, traffic, drain=True)
         assert sim.cycles_skipped == 0
+
+
+class TestEventWakeupAudit:
+    """The event kernel's safety invariants, audited live.
+
+    The scheduler's correctness argument has exactly two failure modes:
+    a clock jump that crosses a timed wakeup (time warp), and a
+    component left holding work with nothing scheduled to tick it
+    (lost wakeup — the network silently freezes).  Both are audited
+    from inside real runs here.
+    """
+
+    _FAULTS = [
+        FaultEvent(120, FaultKind.LINK_DOWN, ("s_0_0", "s_1_0")),
+        FaultEvent(700, FaultKind.LINK_UP, ("s_0_0", "s_1_0")),
+    ]
+
+    @settings(max_examples=10, deadline=None)
+    @given(_CONFIG)
+    def test_no_jump_crosses_a_timed_wakeup(self, config):
+        """Every jump lands at or before the earliest posted wheel
+        entry, scheduled fault, retransmission deadline, and metrics
+        window boundary (snapshotted *before* the jump lands)."""
+        (topology, size), fc, rate, packet_size, seed = config
+        reset_packet_ids()
+        sim, __ = _fresh_sim(topology, size, fc, "event")
+        if topology == "mesh":
+            sim.attach_fault_schedule(FaultSchedule(list(self._FAULTS)))
+        sim.enable_retransmission(RetransmissionPolicy(
+            timeout_cycles=48, max_retries=3, backoff=1.5))
+        probe = sim.enable_metrics(interval=89)
+        jumps = []
+
+        def hook(from_cycle, to_cycle):
+            sched = sim._event_sched
+            deadlines = [
+                ni.next_timeout_cycle()
+                for ni in sim.initiators.values()
+                if ni.next_timeout_cycle() is not None
+            ]
+            fault_sched = sim._fault_schedule
+            jumps.append((
+                from_cycle, to_cycle,
+                sched.wheel.next_cycle(),
+                fault_sched.next_cycle() if fault_sched is not None else None,
+                min(deadlines) if deadlines else None,
+                probe.next_sample_cycle(),
+            ))
+
+        sim._skip_hook = hook
+        traffic = SyntheticTraffic("uniform", rate, packet_size, seed=seed)
+        try:
+            sim.run(900, traffic, drain=True, max_drain_cycles=4000)
+        except DrainTimeoutError:
+            # A fault can legitimately strand high-rate traffic (both
+            # kernels stall identically; the equivalence suite covers
+            # that) — the jumps taken so far are still fully auditable.
+            pass
+        assert sim.cycle - sim.cycles_skipped >= 1
+        for (from_cycle, to_cycle, wheel_next, next_fault,
+             next_deadline, next_sample) in jumps:
+            assert from_cycle < to_cycle
+            # Landing exactly ON the wakeup cycle is correct: that
+            # cycle executes and services it on time.
+            if wheel_next is not None:
+                assert to_cycle <= wheel_next, (
+                    f"jump {from_cycle}->{to_cycle} crossed the posted "
+                    f"wheel wakeup at {wheel_next}")
+            if next_fault is not None:
+                assert to_cycle <= next_fault, (
+                    f"jump {from_cycle}->{to_cycle} crossed the fault "
+                    f"scheduled at {next_fault}")
+            if next_deadline is not None:
+                assert to_cycle <= next_deadline, (
+                    f"jump {from_cycle}->{to_cycle} crossed the "
+                    f"retransmission deadline at {next_deadline}")
+            assert to_cycle <= next_sample, (
+                f"jump {from_cycle}->{to_cycle} crossed the metrics "
+                f"window boundary at {next_sample}")
+        assert sim.cycles_skipped == sum(t - f for f, t, *__ in jumps)
+
+    @settings(max_examples=10, deadline=None)
+    @given(_CONFIG)
+    def test_no_lost_wakeups_throughout_run(self, config):
+        """After every executed cycle, every component with pending
+        work is in an active set or on the wheel."""
+        (topology, size), fc, rate, packet_size, seed = config
+        reset_packet_ids()
+        sim, __ = _fresh_sim(topology, size, fc, "event")
+        if topology == "mesh":
+            sim.attach_fault_schedule(FaultSchedule(list(self._FAULTS)))
+            sim.enable_retransmission(RetransmissionPolicy(
+                timeout_cycles=48, max_retries=3, backoff=1.5))
+        failures = []
+
+        def audit(cycle):
+            lost = sim._event_sched.find_lost_wakeups()
+            if lost:
+                failures.append((cycle, lost))
+
+        sim._event_audit = audit
+        traffic = SyntheticTraffic("uniform", rate, packet_size, seed=seed)
+        try:
+            sim.run(600, traffic, drain=True, max_drain_cycles=4000)
+        except DrainTimeoutError:
+            pass  # stranded traffic is legitimate; the audit still ran
+        assert not failures, f"lost wakeups: {failures[:3]}"
+
+    def test_lost_wakeup_detector_fails_the_run(self):
+        """The detector is only worth trusting if it actually trips:
+        sabotage one busy switch mid-run by stripping its wakeup hook
+        and its active-set entry — the exact bug class the detector
+        exists for (a component that never posts) — and the audit hook
+        must abort the run, not let the network stall silently."""
+        reset_packet_ids()
+        sim, __ = _fresh_sim("mesh", 4, "on_off", "event")
+        state = {"sabotaged_at": None}
+
+        def audit(cycle):
+            sched = sim._event_sched
+            if state["sabotaged_at"] is None:
+                for i in sorted(sched.active_switches):
+                    sw = sim._switch_seq[i]
+                    if sw.occupancy:
+                        sw.wakeup = None  # the hook was "never installed"
+                        sched.active_switches.discard(i)
+                        state["sabotaged_at"] = cycle
+                        break
+                return
+            lost = sched.find_lost_wakeups()
+            if lost:
+                raise RuntimeError(f"lost wakeup detected: {lost[0]}")
+
+        sim._event_audit = audit
+        traffic = SyntheticTraffic("uniform", 0.1, 4, seed=3)
+        with pytest.raises(RuntimeError, match="lost wakeup detected"):
+            sim.run(400, traffic, drain=True)
+        assert state["sabotaged_at"] is not None
+
+    def test_event_audit_hook_not_pickled(self):
+        """The audit hook and scheduler are observation-side: a capsule
+        taken mid-run carries neither (they are rebuilt/re-attached)."""
+        reset_packet_ids()
+        sim, __ = _fresh_sim("mesh", 4, "on_off", "event")
+        sim._event_audit = lambda cycle: None
+        traffic = SyntheticTraffic("uniform", 0.05, 4, seed=9)
+        sim.run(100, traffic)
+        restored, __t = NocSimulator.restore(sim.snapshot(traffic))
+        assert restored._event_audit is None
+        assert restored._event_sched is None
